@@ -1,0 +1,200 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each benchmark
+// regenerates its artifact from scratch on the simulated machine and
+// reports headline values and the worst paper-vs-measured deviation as
+// custom metrics.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single experiment with e.g. -bench=BenchmarkFig4.
+package haswellep_test
+
+import (
+	"math"
+	"testing"
+
+	"haswellep/internal/experiments"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+)
+
+// worstDeviation reports the largest |paper-vs-measured| deviation.
+func worstDeviation(cs []report.Comparison) float64 {
+	worst := 0.0
+	for _, c := range cs {
+		if d := math.Abs(c.DeviationPct()); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// seriesValue returns the y value of the named series at the largest x.
+func seriesValue(fig *report.Figure, name string) float64 {
+	for _, s := range fig.Series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	return math.NaN()
+}
+
+func BenchmarkTable1ArchComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		b.ReportMetric(float64(len(t.Rows)), "rows")
+	}
+}
+
+func BenchmarkTable2TestSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		b.ReportMetric(float64(len(t.Rows)), "rows")
+	}
+}
+
+func BenchmarkTable3LatencySummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3()
+		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
+	}
+}
+
+func BenchmarkTable4SharedL3Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4()
+		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
+		b.ReportMetric(res.Values[1][3], "worst_case_ns")
+	}
+}
+
+func BenchmarkTable5SharedMemMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table5()
+		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
+		b.ReportMetric(res.Values[0][3], "worst_case_ns")
+	}
+}
+
+func BenchmarkTable6BandwidthSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table6()
+		b.ReportMetric(worstDeviation(res.Comparisons[:5]), "l3_local_dev_%")
+	}
+}
+
+func BenchmarkTable7BandwidthScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table7()
+		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
+		b.ReportMetric(res.Rows["remote read (home snoop)"][11], "remote_home_GBps")
+		b.ReportMetric(res.Rows["remote read (source snoop)"][11], "remote_src_GBps")
+	}
+}
+
+func BenchmarkTable8CODScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table8()
+		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
+		b.ReportMetric(res.Rows["local memory"][5], "local_GBps")
+	}
+}
+
+func BenchmarkL3Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AggregateL3(machine.SourceSnoop)
+		b.ReportMetric(res.Rows["L3 read"][11], "read12_GBps")
+		b.ReportMetric(res.Rows["L3 write"][11], "write12_GBps")
+	}
+}
+
+func BenchmarkFig4LatencySourceSnoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig4()
+		b.ReportMetric(seriesValue(fig, "local"), "local_mem_ns")
+		b.ReportMetric(seriesValue(fig, "other NUMA node (1 hop QPI), exclusive"), "remote_mem_ns")
+	}
+}
+
+func BenchmarkFig5HomeSnoopLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig5()
+		b.ReportMetric(seriesValue(fig, "home snoop: local"), "home_local_mem_ns")
+		b.ReportMetric(seriesValue(fig, "source snoop: local"), "src_local_mem_ns")
+	}
+}
+
+func BenchmarkFig6CODLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mod, excl := experiments.Fig6()
+		b.ReportMetric(seriesValue(mod, "local"), "local_ns")
+		b.ReportMetric(seriesValue(excl, "other NUMA node (3 hops)"), "three_hop_ns")
+	}
+}
+
+func BenchmarkFig7DirectoryCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lat, frac := experiments.Fig7()
+		// The headline effect: DRAM-response fraction high for small
+		// sets, near zero for large ones.
+		s := frac.Series[1] // home=node1 curve
+		b.ReportMetric(s.Points[0].Y, "dram_frac_small")
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, "dram_frac_large")
+		_ = lat
+	}
+}
+
+func BenchmarkFig8Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig8()
+		first := fig.Series[0] // local AVX
+		b.ReportMetric(first.Points[0].Y, "l1_avx_GBps")
+		b.ReportMetric(seriesValue(fig, "within NUMA node, exclusive"), "mem_GBps")
+	}
+}
+
+func BenchmarkFig9SharedBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig9()
+		own := fig.Series[0].Points[0].Y   // F in own node: L1 speed
+		other := fig.Series[1].Points[0].Y // F elsewhere: L3 speed
+		b.ReportMetric(own, "fwd_own_GBps")
+		b.ReportMetric(other, "fwd_other_GBps")
+	}
+}
+
+func BenchmarkFig10Applications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10()
+		b.ReportMetric(res.Runtime["371.applu331"][machine.COD], "applu_cod_rel")
+		b.ReportMetric(res.Runtime["362.fma3d"][machine.HomeSnoop], "fma3d_home_rel")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir := experiments.AblationDirectory()
+		b.ReportMetric(dir.LocalMemNs[0]-dir.LocalMemNs[1], "dir_saves_ns")
+		traffic := experiments.AblationSnoopTraffic()
+		b.ReportMetric(traffic.Snoops[0][2], "snoops_4s")
+	}
+}
+
+func BenchmarkLoadedLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.LoadedLatency()
+		s := fig.Series[0]
+		b.ReportMetric(s.Points[0].Y, "unloaded_ns")
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, "saturated_ns")
+	}
+}
+
+func BenchmarkWorkloadStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.WorkloadStudy()
+		b.ReportMetric(res.MakespanRel["numa-local-stream"][machine.COD], "stream_cod_rel")
+		b.ReportMetric(res.MakespanRel["migratory-locks"][machine.COD], "locks_cod_rel")
+	}
+}

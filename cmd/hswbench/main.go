@@ -1,0 +1,190 @@
+// Command hswbench runs the paper-reproduction experiments of the simulated
+// Haswell-EP machine and prints the corresponding table or figure data.
+//
+// Usage:
+//
+//	hswbench -exp table3            # one experiment
+//	hswbench -exp all               # everything (slow)
+//	hswbench -exp fig4 -out dir     # write figure CSVs into dir
+//	hswbench -list                  # list experiment ids
+//
+// Experiment ids follow DESIGN.md: table1, table2, table3, table4, table5,
+// table6, table7, table8, l3scaling, fig4, fig5, fig6, fig7, fig8, fig9,
+// fig10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"haswellep/internal/experiments"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+)
+
+// experimentIDs lists every supported experiment in run order.
+var experimentIDs = []string{
+	"table1", "table2", "table3", "table4", "table5",
+	"table6", "table7", "table8", "l3scaling",
+	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"ablation", "loaded", "workloads", "matrix",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (or 'all')")
+	out := flag.String("out", "", "directory for figure CSV files (default: print to stdout)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	compare := flag.Bool("compare", true, "print paper-vs-measured comparisons where available")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experimentIDs, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hswbench: -exp required (use -list for ids)")
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentIDs
+	}
+	for _, id := range ids {
+		if err := run(id, *out, *compare); err != nil {
+			fmt.Fprintf(os.Stderr, "hswbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// run executes one experiment and prints its artifacts.
+func run(id, outDir string, compare bool) error {
+	emitFig := func(figs ...*report.Figure) error {
+		for _, f := range figs {
+			if outDir == "" {
+				fmt.Println("# " + f.Title)
+				fmt.Print(f.CSV())
+				fmt.Println()
+				continue
+			}
+			name := sanitize(f.Title) + ".csv"
+			path := filepath.Join(outDir, name)
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	}
+	emitCmp := func(title string, cs []report.Comparison) {
+		if compare && len(cs) > 0 {
+			fmt.Println(report.ComparisonSet(title+" — paper vs measured:", cs))
+		}
+	}
+
+	switch id {
+	case "table1":
+		fmt.Println(experiments.Table1().String())
+	case "table2":
+		fmt.Println(experiments.Table2().String())
+	case "table3":
+		res := experiments.Table3()
+		fmt.Println(res.Table.String())
+		emitCmp("Table III", res.Comparisons)
+	case "table4":
+		res := experiments.Table4()
+		fmt.Println(res.Table.String())
+		emitCmp("Table IV", res.Comparisons)
+	case "table5":
+		res := experiments.Table5()
+		fmt.Println(res.Table.String())
+		emitCmp("Table V", res.Comparisons)
+	case "table6":
+		res := experiments.Table6()
+		fmt.Println(res.Table.String())
+		emitCmp("Table VI", res.Comparisons)
+	case "table7":
+		res := experiments.Table7()
+		fmt.Println(res.Table.String())
+		emitCmp("Table VII", res.Comparisons)
+	case "table8":
+		res := experiments.Table8()
+		fmt.Println(res.Table.String())
+		emitCmp("Table VIII", res.Comparisons)
+	case "l3scaling":
+		def := experiments.AggregateL3(machine.SourceSnoop)
+		fmt.Println(def.Table.String())
+		emitCmp("L3 scaling", def.Comparisons)
+		cod := experiments.AggregateL3(machine.COD)
+		fmt.Println(cod.Table.String())
+		emitCmp("L3 scaling (COD)", cod.Comparisons)
+	case "fig4":
+		return emitFig(experiments.Fig4())
+	case "fig5":
+		return emitFig(experiments.Fig5())
+	case "fig6":
+		m, e := experiments.Fig6()
+		return emitFig(m, e)
+	case "fig7":
+		lat, frac := experiments.Fig7()
+		return emitFig(lat, frac)
+	case "fig8":
+		return emitFig(experiments.Fig8())
+	case "fig9":
+		return emitFig(experiments.Fig9())
+	case "fig10":
+		res := experiments.Fig10()
+		fmt.Println(res.Table.String())
+		emitCmp("Figure 10", res.Comparisons)
+	case "ablation":
+		fmt.Println(experiments.AblationDirectory().Table.String())
+		fmt.Println(experiments.AblationHitME().Table.String())
+		fmt.Println(experiments.AblationSnoopTraffic().Table.String())
+		fmt.Println(experiments.AblationDieVariants().String())
+	case "loaded":
+		return emitFig(experiments.LoadedLatency())
+	case "workloads":
+		fmt.Println(experiments.WorkloadStudy().Table.String())
+	case "matrix":
+		for _, mode := range []machine.SnoopMode{machine.SourceSnoop, machine.COD} {
+			res := experiments.NodeMatrix(mode)
+			fmt.Println(res.Latency.String())
+			fmt.Println(res.Bandwidth.String())
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	return nil
+}
+
+// sanitize turns a figure title into a file name: lowercase, alphanumerics
+// and underscores only, truncated to a sane length.
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	lastUnderscore := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	out := strings.Trim(b.String(), "_")
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	return out
+}

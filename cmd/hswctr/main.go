@@ -1,0 +1,103 @@
+// Command hswctr runs a placement/measurement scenario and prints the
+// emulated performance-counter readings — the simulator's perf-stat, built
+// on the event set the paper uses to reverse-engineer the machine
+// (footnotes 6 and 8).
+//
+// Usage:
+//
+//	hswctr -mode cod -state shared -placer 6 -sharer 12 -node 1 -core 0
+//	hswctr -state modified -placer 12 -node 1       # remote HITM forwards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/perfctr"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
+	state := flag.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
+	placer := flag.Int("placer", 1, "core that places the data")
+	sharer := flag.Int("sharer", -1, "second core for shared placement")
+	core := flag.Int("core", 0, "core that measures")
+	node := flag.Int("node", 0, "home node of the buffer")
+	size := flag.Int64("size", 1, "buffer size in MiB")
+	explain := flag.Bool("explain", false, "narrate the protocol path of the first access")
+	flag.Parse()
+
+	var mode machine.SnoopMode
+	switch *modeFlag {
+	case "source":
+		mode = machine.SourceSnoop
+	case "home":
+		mode = machine.HomeSnoop
+	case "cod":
+		mode = machine.COD
+	default:
+		fmt.Fprintf(os.Stderr, "hswctr: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	m := machine.MustNew(machine.TestSystem(mode))
+	e := mesif.New(m)
+	p := placement.New(e)
+	mon := perfctr.New(e)
+
+	if *node >= m.Topo.Nodes() || *placer >= m.Topo.Cores() || *core >= m.Topo.Cores() {
+		fmt.Fprintln(os.Stderr, "hswctr: node or core out of range")
+		os.Exit(2)
+	}
+	r := m.MustAlloc(topology.NodeID(*node), *size*units.MiB)
+	pc := topology.CoreID(*placer)
+	second := topology.CoreID(*placer + 1)
+	if *sharer >= 0 {
+		second = topology.CoreID(*sharer)
+	}
+	switch *state {
+	case "modified":
+		p.Modified(pc, r)
+	case "exclusive":
+		p.Exclusive(pc, r)
+	case "shared":
+		p.Shared(r, pc, second)
+	case "memory":
+		p.Modified(pc, r)
+		p.FlushAll(pc, r)
+	default:
+		fmt.Fprintf(os.Stderr, "hswctr: unknown state %q\n", *state)
+		os.Exit(2)
+	}
+
+	if *explain {
+		fmt.Println(e.Explain(topology.CoreID(*core), r.Base.Line()))
+		fmt.Println()
+	}
+
+	mon.Reset()
+	e.WorkingSet = r.Size
+	var meanNs float64
+	n := 0
+	for _, l := range bench.ChaseOrder(r) {
+		acc := e.Read(topology.CoreID(*core), l)
+		mon.Observe(acc)
+		meanNs += acc.Latency.Nanoseconds()
+		n++
+	}
+	meanNs /= float64(n)
+
+	fmt.Printf("%v\n", m)
+	fmt.Printf("scenario: core %d reads %s of %s data homed on node%d (placed by core %d)\n\n",
+		*core, units.HumanBytes(r.Size), *state, *node, *placer)
+	fmt.Printf("mean latency: %.1f ns over %d loads\n\n", meanNs, n)
+	fmt.Println("counter readings:")
+	fmt.Print(mon.ReadCounters().String())
+}

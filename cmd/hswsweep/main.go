@@ -1,0 +1,117 @@
+// Command hswsweep runs a single custom latency or bandwidth sweep against
+// the simulated machine — the ad-hoc measurement tool the figure harness is
+// built from.
+//
+// Usage:
+//
+//	hswsweep -mode cod -state exclusive -placer 6 -core 0
+//	hswsweep -kind bandwidth -state modified -placer 12 -node 1
+//
+// The placement puts every cache line of a growing buffer into the given
+// coherence state on the placer core (buffer homed on -node), then measures
+// from -core, printing one CSV row per dataset size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
+	kind := flag.String("kind", "latency", "measurement: latency or bandwidth")
+	state := flag.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
+	placer := flag.Int("placer", 0, "core that places the data")
+	sharer := flag.Int("sharer", -1, "second core for shared placement (default: placer+1)")
+	core := flag.Int("core", 0, "core that measures")
+	node := flag.Int("node", -1, "home node of the buffer (default: placer's node)")
+	maxSize := flag.Int64("max", 32, "largest dataset size in MiB")
+	flag.Parse()
+
+	var mode machine.SnoopMode
+	switch *modeFlag {
+	case "source":
+		mode = machine.SourceSnoop
+	case "home":
+		mode = machine.HomeSnoop
+	case "cod":
+		mode = machine.COD
+	default:
+		fatal("unknown mode %q", *modeFlag)
+	}
+
+	m := machine.MustNew(machine.TestSystem(mode))
+	e := mesif.New(m)
+	p := placement.New(e)
+	pc := topology.CoreID(*placer)
+	mc := topology.CoreID(*core)
+	if int(pc) >= m.Topo.Cores() || int(mc) >= m.Topo.Cores() {
+		fatal("core out of range (0-%d)", m.Topo.Cores()-1)
+	}
+	homeNode := m.Topo.NodeOfCore(pc)
+	if *node >= 0 {
+		if *node >= m.Topo.Nodes() {
+			fatal("node out of range (0-%d)", m.Topo.Nodes()-1)
+		}
+		homeNode = topology.NodeID(*node)
+	}
+	second := topology.CoreID(*placer + 1)
+	if *sharer >= 0 {
+		second = topology.CoreID(*sharer)
+	}
+
+	place := func(r addr.Region) {
+		switch *state {
+		case "modified":
+			p.Modified(pc, r)
+		case "exclusive":
+			p.Exclusive(pc, r)
+		case "shared":
+			p.Shared(r, pc, second)
+		case "memory":
+			p.Modified(pc, r)
+			p.FlushAll(pc, r)
+		default:
+			fatal("unknown state %q", *state)
+		}
+	}
+
+	if *kind == "latency" {
+		fmt.Println("size_bytes,latency_ns,dominant_source")
+	} else {
+		fmt.Println("size_bytes,bandwidth_GBps")
+	}
+	for size := int64(16 * units.KiB); size <= *maxSize*units.MiB; size *= 2 {
+		m.Reset()
+		r, err := m.AllocOnNode(homeNode, size)
+		if err != nil {
+			fatal("%v", err)
+		}
+		place(r)
+		switch *kind {
+		case "latency":
+			st := bench.Latency(e, mc, r)
+			fmt.Printf("%d,%.1f,%v\n", size, st.MeanNs, st.DominantSource())
+		case "bandwidth":
+			st := bwmodel.ReadStream(e, mc, r, bwmodel.AVX256, bwmodel.ConcurrencyFor(mode))
+			fmt.Printf("%d,%.1f\n", size, st.GBps)
+		default:
+			fatal("unknown kind %q", *kind)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hswsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command hswtopo prints the simulated machine's topology: ring layouts,
+// NUMA node membership, node-hop distances, and the memory map — the
+// simulator's equivalent of lstopo/numactl --hardware.
+//
+// Usage:
+//
+//	hswtopo              # default configuration (source snoop)
+//	hswtopo -mode cod    # Cluster-on-Die
+//	hswtopo -mode home   # home snoop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+	"haswellep/internal/topology"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
+	flag.Parse()
+
+	var mode machine.SnoopMode
+	switch *modeFlag {
+	case "source":
+		mode = machine.SourceSnoop
+	case "home":
+		mode = machine.HomeSnoop
+	case "cod":
+		mode = machine.COD
+	default:
+		fmt.Fprintf(os.Stderr, "hswtopo: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	m := machine.MustNew(machine.TestSystem(mode))
+	fmt.Println(m.String())
+	fmt.Println()
+
+	// Ring layout of one die.
+	fmt.Println("Die layout (identical per socket):")
+	die := m.Topo.Die
+	for r := 0; r < die.Rings(); r++ {
+		fmt.Printf("  ring %d:", r)
+		for _, s := range die.RingStops(r) {
+			switch s.Kind {
+			case topology.KindCBo:
+				fmt.Printf(" CBo%d", s.Index)
+			case topology.KindIMC:
+				fmt.Printf(" IMC%d", s.Index)
+			case topology.KindBridge:
+				fmt.Printf(" Q%d", s.Index)
+			default:
+				fmt.Printf(" %v", s.Kind)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// NUMA nodes.
+	fmt.Println("NUMA nodes:")
+	for n := 0; n < m.Topo.Nodes(); n++ {
+		node := topology.NodeID(n)
+		cores := m.Topo.CoresOfNode(node)
+		fmt.Printf("  node%d: socket %d, cores %d-%d, home agent IMC%d\n",
+			n, m.Topo.SocketOfNode(node), cores[0], cores[len(cores)-1],
+			m.Topo.LocalAgent(m.Topo.AgentOfNode(node)))
+	}
+	fmt.Println()
+
+	// Node distance matrix (the paper's hop metric).
+	tbl := report.NewTable("Node hop distances:", header(m.Topo.Nodes())...)
+	for a := 0; a < m.Topo.Nodes(); a++ {
+		row := []string{fmt.Sprintf("node%d", a)}
+		for b := 0; b < m.Topo.Nodes(); b++ {
+			row = append(row, fmt.Sprintf("%d", m.Topo.NodeHops(topology.NodeID(a), topology.NodeID(b))))
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Println(tbl.String())
+
+	// Latency model summary.
+	lat := m.Cfg.Lat
+	fmt.Println("Calibrated primitive-step latencies (ns):")
+	fmt.Printf("  L1 hit %.1f, L2 hit %.1f, L3 pipe %.1f, ring hop %.2f, bridge %.2f\n",
+		lat.L1Hit, lat.L2Hit, lat.L3Pipe, lat.RingHop, lat.BridgeCross)
+	fmt.Printf("  QPI transit %.1f, node transfer %.1f, HA resolve %.1f\n",
+		lat.QPITransit, lat.NodeTransferPipe, lat.HAResolve)
+}
+
+func header(nodes int) []string {
+	h := []string{""}
+	for b := 0; b < nodes; b++ {
+		h = append(h, fmt.Sprintf("node%d", b))
+	}
+	return h
+}

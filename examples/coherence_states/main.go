@@ -1,0 +1,94 @@
+// Coherence-state tour: demonstrate how each MESIF state and each coherence
+// configuration changes what a read costs — the heart of the paper's
+// Sections VI-A to VI-C, runnable on one screen.
+//
+// The example places the same buffer in every interesting (location, state)
+// combination, measures the first-access latency from core 0, and prints
+// the paper's reference values next to the simulated ones.
+package main
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// scenario is one (configuration, placement) combination with the paper's
+// published latency for orientation.
+type scenario struct {
+	name    string
+	mode    machine.SnoopMode
+	paperNs float64
+	place   func(m *machine.Machine, p *placement.Placer) addr.Region
+}
+
+func main() {
+	l3 := func(node int, size int64, plc func(p *placement.Placer, r addr.Region)) func(*machine.Machine, *placement.Placer) addr.Region {
+		return func(m *machine.Machine, p *placement.Placer) addr.Region {
+			r := m.MustAlloc(topology.NodeID(node), size)
+			plc(p, r)
+			return r
+		}
+	}
+	scenarios := []scenario{
+		{"L1 hit (any state)", machine.SourceSnoop, 1.6,
+			l3(0, 16*units.KiB, func(p *placement.Placer, r addr.Region) { p.Exclusive(0, r) })},
+		{"local L3, own data", machine.SourceSnoop, 21.2,
+			l3(0, 8*units.MiB, func(p *placement.Placer, r addr.Region) { p.Exclusive(0, r) })},
+		{"modified in another core's L1", machine.SourceSnoop, 53,
+			l3(0, 16*units.KiB, func(p *placement.Placer, r addr.Region) { p.Modified(1, r) })},
+		{"exclusive, stale core-valid bit", machine.SourceSnoop, 44.4,
+			l3(0, 8*units.MiB, func(p *placement.Placer, r addr.Region) { p.Exclusive(1, r) })},
+		{"shared in local L3", machine.SourceSnoop, 21.2,
+			l3(0, 8*units.MiB, func(p *placement.Placer, r addr.Region) { p.Shared(r, 1, 2) })},
+		{"modified in remote L3 (1 QPI hop)", machine.SourceSnoop, 86,
+			l3(1, 8*units.MiB, func(p *placement.Placer, r addr.Region) { p.Modified(12, r) })},
+		{"local memory", machine.SourceSnoop, 96.4,
+			l3(0, 16*units.MiB, func(p *placement.Placer, r addr.Region) { p.Modified(0, r); p.FlushAll(0, r) })},
+		{"local memory, home snoop", machine.HomeSnoop, 108,
+			l3(0, 16*units.MiB, func(p *placement.Placer, r addr.Region) { p.Modified(0, r); p.FlushAll(0, r) })},
+		{"local L3 in COD mode", machine.COD, 18.0,
+			l3(0, 4*units.MiB, func(p *placement.Placer, r addr.Region) { p.Exclusive(0, r) })},
+		{"local memory in COD mode", machine.COD, 89.6,
+			l3(0, 16*units.MiB, func(p *placement.Placer, r addr.Region) { p.Modified(0, r); p.FlushAll(0, r) })},
+	}
+
+	fmt.Printf("%-36s %10s %10s  %s\n", "scenario", "paper", "simulated", "served by")
+	for _, sc := range scenarios {
+		m := machine.MustNew(machine.TestSystem(sc.mode))
+		e := mesif.New(m)
+		p := placement.New(e)
+		r := sc.place(m, p)
+		st := bench.Latency(e, 0, r)
+		fmt.Printf("%-36s %8.1fns %8.1fns  %v\n", sc.name, sc.paperNs, st.MeanNs, st.DominantSource())
+	}
+
+	// Bonus: watch a single line change state as cores touch it.
+	fmt.Println("\nState transitions of one line (COD mode):")
+	m := machine.MustNew(machine.TestSystem(machine.COD))
+	e := mesif.New(m)
+	line := m.MustAlloc(1, 64).Base.Line()
+	steps := []struct {
+		desc string
+		core topology.CoreID
+		op   func(topology.CoreID)
+	}{
+		{"core 6 (home node) writes", 6, func(c topology.CoreID) { e.Write(c, line) }},
+		{"core 0 (node0) reads", 0, func(c topology.CoreID) { e.Read(c, line) }},
+		{"core 12 (node2) reads", 12, func(c topology.CoreID) { e.Read(c, line) }},
+		{"core 18 (node3) writes", 18, func(c topology.CoreID) { e.Write(c, line) }},
+	}
+	for _, s := range steps {
+		s.op(s.core)
+		fmt.Printf("  after %-26s L3 states: node0=%v node1=%v node2=%v node3=%v\n",
+			s.desc+":", e.L3StateIn(0, line), e.L3StateIn(1, line),
+			e.L3StateIn(2, line), e.L3StateIn(3, line))
+	}
+	fmt.Printf("  in-memory directory at the home agent: %v\n", m.HA(line).Dir.State(line))
+}

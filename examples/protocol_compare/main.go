@@ -1,0 +1,87 @@
+// Protocol comparison: the decision the paper's evaluation supports — which
+// coherence configuration should a given workload run under? The example
+// characterizes the machine in all three configurations, prints the
+// micro-metrics side by side, and evaluates the application models on top,
+// ending with the paper's recommendation matrix.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"haswellep/internal/apps"
+	"haswellep/internal/machine"
+)
+
+func main() {
+	modes := []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD}
+	names := []string{"source snoop", "home snoop", "COD"}
+
+	fmt.Println("Characterizing the machine in all three configurations...")
+	chars := make([]apps.Characterization, len(modes))
+	for i, mode := range modes {
+		chars[i] = apps.Characterize(mode)
+	}
+
+	metrics := []apps.Metric{
+		apps.MLocalLat, apps.MLocalBW, apps.MRemoteBW,
+		apps.MRemoteLat, apps.MSharedLat, apps.ML3Lat,
+	}
+	fmt.Printf("\n%-34s %14s %14s %14s\n", "micro-characteristic", names[0], names[1], names[2])
+	for _, metric := range metrics {
+		fmt.Printf("%-34s", metric)
+		for i := range modes {
+			fmt.Printf(" %14.1f", chars[i].Values[metric])
+		}
+		fmt.Println()
+	}
+
+	// Application verdicts.
+	base := chars[0]
+	type verdict struct {
+		name      string
+		homeSnoop float64
+		cod       float64
+	}
+	var omp, mpi []verdict
+	for _, p := range apps.Profiles() {
+		v := verdict{
+			name:      p.Name,
+			homeSnoop: p.RelativeRuntime(base, chars[1]),
+			cod:       p.RelativeRuntime(base, chars[2]),
+		}
+		if p.Suite == apps.OMP2012 {
+			omp = append(omp, v)
+		} else {
+			mpi = append(mpi, v)
+		}
+	}
+	sortV := func(v []verdict) {
+		sort.Slice(v, func(i, j int) bool { return v[i].cod > v[j].cod })
+	}
+	sortV(omp)
+	sortV(mpi)
+
+	show := func(title string, vs []verdict) {
+		fmt.Printf("\n%s (runtime relative to source snoop; >1 is slower):\n", title)
+		for _, v := range vs {
+			marker := ""
+			if v.cod > 1.05 {
+				marker = "  <- hurt by COD worst-case latencies"
+			} else if v.cod < 0.99 {
+				marker = "  <- gains from COD's local memory"
+			}
+			fmt.Printf("  %-16s home snoop %.3f   COD %.3f%s\n", v.name, v.homeSnoop, v.cod, marker)
+		}
+	}
+	show("SPEC OMP2012 models", omp)
+	show("SPEC MPI2007 models", mpi)
+
+	fmt.Println("\nRecommendation (the paper's Section IX):")
+	fmt.Println("  - Default source snooping is the safe choice: optimized for latency,")
+	fmt.Println("    and no application in the study gains much from changing it.")
+	fmt.Println("  - Home snooping buys inter-socket bandwidth (16.8 -> 30.6 GB/s) at")
+	fmt.Println("    +12% local memory latency: only cross-socket-bound codes profit.")
+	fmt.Println("  - COD rewards NUMA-clean workloads (MPI-style) with lower local")
+	fmt.Println("    latency, but shared lines can cost 2x when three nodes are involved.")
+}

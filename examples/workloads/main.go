@@ -1,0 +1,83 @@
+// Workload archetypes: run the synthetic access patterns that explain the
+// paper's application results (Section VIII) against all three coherence
+// configurations and watch where the time goes — streaming loves COD's
+// local memory, migratory lines love the directory cache, cross-socket
+// pipelines love home snooping's bandwidth.
+package main
+
+import (
+	"fmt"
+
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+	"haswellep/internal/workload"
+)
+
+func main() {
+	modes := []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD}
+	names := []string{"source snoop", "home snoop", "COD"}
+
+	specs := []workload.Spec{
+		{
+			Name: "NUMA-local streaming (MPI-style)", Pattern: workload.Sequential,
+			Footprint: 8 * units.MiB, HomeNode: 0,
+			Cores: []topology.CoreID{0, 1, 2, 3}, WriteFraction: 0.25,
+		},
+		{
+			Name: "migratory hot lines (locks)", Pattern: workload.Migratory,
+			Footprint: 4 * units.KiB, HomeNode: 0,
+			Cores: []topology.CoreID{0, 5, 12, 17}, Accesses: 8000,
+		},
+		{
+			Name: "cross-socket pipeline", Pattern: workload.ProducerConsumer,
+			Footprint: 1 * units.MiB, HomeNode: 0,
+			Cores: []topology.CoreID{0, 12}, Accesses: 16000,
+		},
+		{
+			Name: "shared lookup table", Pattern: workload.ReadShared,
+			Footprint: 256 * units.KiB, HomeNode: 0,
+			Cores: []topology.CoreID{0, 6, 12, 18}, Accesses: 16000,
+		},
+		{
+			Name: "random pointer chasing", Pattern: workload.Random,
+			Footprint: 16 * units.MiB, HomeNode: 0, Seed: 1,
+			Cores: []topology.CoreID{0, 1}, Accesses: 20000,
+		},
+	}
+
+	for _, spec := range specs {
+		fmt.Printf("%s (%v, %s, %d cores):\n", spec.Name, spec.Pattern,
+			units.HumanBytes(spec.Footprint), len(spec.Cores))
+		var base float64
+		for i, mode := range modes {
+			m := machine.MustNew(machine.TestSystem(mode))
+			r := workload.NewRunner(mesif.New(m))
+			res, err := r.Run(spec)
+			if err != nil {
+				panic(err)
+			}
+			rel := 1.0
+			if i == 0 {
+				base = res.MakespanNs()
+			} else if base > 0 {
+				rel = res.MakespanNs() / base
+			}
+			fmt.Printf("  %-13s mean %6.1f ns  makespan %8.1f us  (%.2fx)"+
+				"  snoops/access %.2f  dir hits %d\n",
+				names[i], res.MeanNs(), res.MakespanNs()/1000, rel,
+				float64(res.Traffic.SnoopsSent)/float64(res.Accesses()),
+				res.Traffic.DirHits)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the tea leaves (matching the paper's Section VIII):")
+	fmt.Println("  - NUMA-local streaming and random chasing gain under COD: the")
+	fmt.Println("    MPI-style win of Figure 10.")
+	fmt.Println("  - Contended and shared lines lose under COD: directory lookups and")
+	fmt.Println("    snoop-all broadcasts are the applu331-style penalty, partially")
+	fmt.Println("    absorbed by HitME directory-cache hits on read-shared data.")
+	fmt.Println("  - Home snooping costs every pattern a little local latency; only")
+	fmt.Println("    bandwidth-starved cross-socket traffic would pay it back.")
+}

@@ -1,0 +1,3 @@
+module haswellep
+
+go 1.22

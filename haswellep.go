@@ -1,0 +1,123 @@
+// Package haswellep is a transaction-level simulator of the Intel
+// Haswell-EP memory subsystem, reproducing "Cache Coherence Protocol and
+// Memory Performance of the Intel Haswell-EP Architecture" (Molka,
+// Hackenberg, Schöne, Nagel — ICPP 2015).
+//
+// The package is a façade over the implementation packages: it re-exports
+// the machine model, the MESIF protocol engine, the paper's data-placement
+// and coherence-state-control methodology, the latency/bandwidth
+// measurement harness, and the per-table/per-figure experiment drivers.
+//
+// # Quick start
+//
+//	m := haswellep.NewTestSystem(haswellep.SourceSnoop)
+//	e := haswellep.NewEngine(m)
+//	p := haswellep.NewPlacer(e)
+//
+//	buf := m.MustAlloc(0, 8*haswellep.MiB)
+//	p.Exclusive(1, buf)                    // core 1 caches it exclusively
+//	stat := haswellep.MeasureLatency(e, 0, buf)
+//	fmt.Printf("%.1f ns\n", stat.MeanNs)   // the paper's 44.4 ns case
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology and results.
+package haswellep
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Machine is the assembled simulated system: topology, caches, home agents,
+// and memory map.
+type Machine = machine.Machine
+
+// Config describes a machine to simulate.
+type Config = machine.Config
+
+// SnoopMode selects the coherence protocol configuration.
+type SnoopMode = machine.SnoopMode
+
+// The three coherence configurations the paper compares.
+const (
+	// SourceSnoop is the default configuration (BIOS Early Snoop on).
+	SourceSnoop = machine.SourceSnoop
+	// HomeSnoop is the Early-Snoop-disabled configuration.
+	HomeSnoop = machine.HomeSnoop
+	// COD is Cluster-on-Die: home snooping with directory support and
+	// two NUMA nodes per socket.
+	COD = machine.COD
+)
+
+// Engine executes MESIF transactions against a machine.
+type Engine = mesif.Engine
+
+// Access is the result of one transaction.
+type Access = mesif.Access
+
+// Placer implements the paper's data placement and coherence state control.
+type Placer = placement.Placer
+
+// Region is a line-aligned physical memory range.
+type Region = addr.Region
+
+// CoreID identifies a core (socket-major numbering).
+type CoreID = topology.CoreID
+
+// NodeID identifies a NUMA node of the active configuration.
+type NodeID = topology.NodeID
+
+// LatencyStat summarizes a latency measurement pass.
+type LatencyStat = bench.LatencyStat
+
+// StreamStat summarizes a bandwidth measurement pass.
+type StreamStat = bwmodel.StreamStat
+
+// Size units re-exported for allocation sizes.
+const (
+	KiB = units.KiB
+	MiB = units.MiB
+	GiB = units.GiB
+)
+
+// NewTestSystem builds the paper's dual-socket 12-core test system in the
+// given snoop mode.
+func NewTestSystem(mode SnoopMode) *Machine {
+	return machine.MustNew(machine.TestSystem(mode))
+}
+
+// NewMachine builds a machine from an arbitrary configuration.
+func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// TestSystemConfig returns the test system configuration for customization.
+func TestSystemConfig(mode SnoopMode) Config { return machine.TestSystem(mode) }
+
+// NewEngine builds a MESIF protocol engine for the machine.
+func NewEngine(m *Machine) *Engine { return mesif.New(m) }
+
+// NewPlacer builds a data placer over an engine.
+func NewPlacer(e *Engine) *Placer { return placement.New(e) }
+
+// MeasureLatency runs one dependent-load (pointer chase) pass over the
+// region from the given core and reports the mean load-to-use latency.
+func MeasureLatency(e *Engine, core CoreID, r Region) LatencyStat {
+	return bench.Latency(e, core, r)
+}
+
+// MeasureReadBandwidth models the single-core streaming read bandwidth of
+// the region with 256-bit loads.
+func MeasureReadBandwidth(e *Engine, core CoreID, r Region) StreamStat {
+	return bwmodel.ReadStream(e, core, r, bwmodel.AVX256, bwmodel.ConcurrencyFor(e.M.Cfg.Mode))
+}
+
+// MeasureWriteBandwidth models the single-core streaming write bandwidth of
+// the region.
+func MeasureWriteBandwidth(e *Engine, core CoreID, r Region) StreamStat {
+	return bwmodel.WriteStream(e, core, r, bwmodel.DefaultWriteConcurrency)
+}

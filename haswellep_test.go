@@ -1,0 +1,94 @@
+package haswellep_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"haswellep"
+)
+
+// TestPublicAPIQuickstart exercises the façade end to end: the README's
+// quickstart must work exactly as documented.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := haswellep.NewTestSystem(haswellep.SourceSnoop)
+	e := haswellep.NewEngine(m)
+	p := haswellep.NewPlacer(e)
+
+	buf := m.MustAlloc(0, 8*haswellep.MiB)
+	p.Exclusive(1, buf)
+
+	stat := haswellep.MeasureLatency(e, 0, buf)
+	if math.Abs(stat.MeanNs-44.4) > 2.5 {
+		t.Errorf("quickstart latency = %.1f ns, want ~44.4", stat.MeanNs)
+	}
+
+	m.Reset()
+	p.Exclusive(1, buf)
+	bw := haswellep.MeasureReadBandwidth(e, 0, buf)
+	if math.Abs(bw.GBps-15.0) > 1.5 {
+		t.Errorf("quickstart bandwidth = %.1f GB/s, want ~15", bw.GBps)
+	}
+}
+
+func TestPublicAPIConfig(t *testing.T) {
+	cfg := haswellep.TestSystemConfig(haswellep.COD)
+	cfg.HitMEBytes = 28 * haswellep.KiB
+	m, err := haswellep.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topo.Nodes() != 4 {
+		t.Errorf("COD nodes = %d", m.Topo.Nodes())
+	}
+	cfg.Sockets = 0
+	if _, err := haswellep.NewMachine(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPublicAPIWriteBandwidth(t *testing.T) {
+	m := haswellep.NewTestSystem(haswellep.SourceSnoop)
+	e := haswellep.NewEngine(m)
+	buf := m.MustAlloc(0, 4*haswellep.MiB)
+	bw := haswellep.MeasureWriteBandwidth(e, 0, buf)
+	if bw.GBps < 6.5 || bw.GBps > 9 {
+		t.Errorf("write bandwidth = %.1f GB/s, want ~7.7", bw.GBps)
+	}
+}
+
+// ExampleMeasureLatency demonstrates the paper's stale-core-valid-bit case
+// through the public API.
+func ExampleMeasureLatency() {
+	m := haswellep.NewTestSystem(haswellep.SourceSnoop)
+	e := haswellep.NewEngine(m)
+	p := haswellep.NewPlacer(e)
+
+	buf := m.MustAlloc(0, 8*haswellep.MiB)
+	p.Exclusive(1, buf) // core 1 caches exclusively, then silently evicts
+
+	stat := haswellep.MeasureLatency(e, 0, buf)
+	fmt.Printf("%.0f ns\n", stat.MeanNs)
+	// Output: 44 ns
+}
+
+// ExampleNewTestSystem shows the three configurations' local memory
+// latencies side by side.
+func ExampleNewTestSystem() {
+	for _, mode := range []haswellep.SnoopMode{
+		haswellep.SourceSnoop, haswellep.HomeSnoop, haswellep.COD,
+	} {
+		m := haswellep.NewTestSystem(mode)
+		e := haswellep.NewEngine(m)
+		p := haswellep.NewPlacer(e)
+		buf := m.MustAlloc(0, 16*haswellep.MiB)
+		p.Modified(0, buf)
+		e.Flush(0, buf.Base.Line()) // flush one line as a teaser...
+		p.FlushAll(0, buf)          // ...then all of them
+		fmt.Printf("%.0f ns\n", haswellep.MeasureLatency(e, 0, buf).MeanNs)
+	}
+	// Output:
+	// 96 ns
+	// 108 ns
+	// 92 ns
+}

@@ -1,0 +1,117 @@
+// Package addr models physical addresses of the simulated machine.
+//
+// Every cache in the machine operates on 64-byte lines. The last-level cache
+// is distributed over slices; the caching agent (CA) responsible for a line
+// is selected by a hash of the physical address, as on real Haswell-EP
+// ([16, Section 2.3] in the paper). The exact production hash is undocumented;
+// we use a deterministic XOR-fold hash with the same property that matters
+// for the reproduction: lines of a contiguous buffer distribute evenly over
+// the slices of the owning node.
+package addr
+
+import "haswellep/internal/units"
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// LineAddr identifies one 64-byte cache line (PAddr >> 6).
+type LineAddr uint64
+
+// LineShift is log2 of the cache line size.
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = int64(1) << LineShift
+
+// Line returns the cache line containing a.
+func (a PAddr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Offset returns the byte offset of a within its cache line.
+func (a PAddr) Offset() uint64 { return uint64(a) & (uint64(LineSize) - 1) }
+
+// Addr returns the physical address of the first byte of the line.
+func (l LineAddr) Addr() PAddr { return PAddr(l << LineShift) }
+
+// Next returns the line directly after l.
+func (l LineAddr) Next() LineAddr { return l + 1 }
+
+// AlignDown aligns a down to its line start.
+func (a PAddr) AlignDown() PAddr { return a &^ PAddr(LineSize-1) }
+
+// AlignUp aligns a up to the next line start (identity when aligned).
+func (a PAddr) AlignUp() PAddr { return (a + PAddr(LineSize-1)) &^ PAddr(LineSize-1) }
+
+// LinesIn returns the number of whole cache lines in a byte range of n bytes
+// starting at base (base is aligned down, the end is aligned up).
+func LinesIn(base PAddr, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	start := base.AlignDown()
+	end := (base + PAddr(n)).AlignUp()
+	return int((end - start) >> LineShift)
+}
+
+// SliceHash selects the responsible L3 slice (equivalently, caching agent)
+// for a line among nSlices slices. The production hash is an undocumented
+// XOR of address-bit subsets; this implementation XOR-folds the line address
+// and mixes it so consecutive lines stripe evenly across slices while
+// unrelated address bits still influence the selection.
+func SliceHash(l LineAddr, nSlices int) int {
+	if nSlices <= 1 {
+		return 0
+	}
+	x := uint64(l)
+	// XOR-fold high entropy down into the low bits, then mix.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	// Combine the hashed high bits with the raw low bits so that
+	// consecutive lines still round-robin over slices: the real hash is
+	// observed to distribute a linear sweep near-uniformly.
+	return int((x ^ uint64(l)) % uint64(nSlices))
+}
+
+// Region is a contiguous range of physical memory.
+type Region struct {
+	Base PAddr
+	Size int64
+}
+
+// Contains reports whether address a falls inside the region.
+func (r Region) Contains(a PAddr) bool {
+	return a >= r.Base && a < r.Base+PAddr(r.Size)
+}
+
+// End returns the first address past the region.
+func (r Region) End() PAddr { return r.Base + PAddr(r.Size) }
+
+// Lines returns every cache line in the region, in ascending order.
+func (r Region) Lines() []LineAddr {
+	n := LinesIn(r.Base, r.Size)
+	out := make([]LineAddr, 0, n)
+	for l := r.Base.AlignDown().Line(); l < r.End().AlignUp().Line(); l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// String renders the region as [base, end) with a human size.
+func (r Region) String() string {
+	return "[" + hex(uint64(r.Base)) + ", " + hex(uint64(r.End())) + ") " + units.HumanBytes(r.Size)
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0x0"
+	}
+	var buf [18]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return "0x" + string(buf[i:])
+}

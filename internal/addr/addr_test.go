@@ -1,0 +1,166 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMapping(t *testing.T) {
+	a := PAddr(0x1234567890)
+	if a.Line().Addr() > a {
+		t.Fatal("line start above address")
+	}
+	if a-a.Line().Addr() >= PAddr(LineSize) {
+		t.Fatal("line start too far below address")
+	}
+	if a.Offset() != uint64(a)%64 {
+		t.Fatalf("Offset = %d", a.Offset())
+	}
+}
+
+func TestAlign(t *testing.T) {
+	cases := []struct {
+		in, down, up PAddr
+	}{
+		{0, 0, 0},
+		{1, 0, 64},
+		{63, 0, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+	}
+	for _, c := range cases {
+		if got := c.in.AlignDown(); got != c.down {
+			t.Errorf("AlignDown(%d) = %d, want %d", c.in, got, c.down)
+		}
+		if got := c.in.AlignUp(); got != c.up {
+			t.Errorf("AlignUp(%d) = %d, want %d", c.in, got, c.up)
+		}
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(v uint64) bool {
+		a := PAddr(v % (1 << 48))
+		d, u := a.AlignDown(), a.AlignUp()
+		return d <= a && a <= u && d.Offset() == 0 && u.Offset() == 0 && u-d < 2*PAddr(LineSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinesIn(t *testing.T) {
+	cases := []struct {
+		base PAddr
+		n    int64
+		want int
+	}{
+		{0, 0, 0},
+		{0, -5, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2}, // straddles a boundary
+		{64, 128, 2},
+	}
+	for _, c := range cases {
+		if got := LinesIn(c.base, c.n); got != c.want {
+			t.Errorf("LinesIn(%d, %d) = %d, want %d", c.base, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegion(t *testing.T) {
+	r := Region{Base: 128, Size: 256}
+	if !r.Contains(128) || !r.Contains(383) {
+		t.Error("region must contain its bounds")
+	}
+	if r.Contains(127) || r.Contains(384) {
+		t.Error("region must not contain outside addresses")
+	}
+	if r.End() != 384 {
+		t.Errorf("End = %d", r.End())
+	}
+	lines := r.Lines()
+	if len(lines) != 4 {
+		t.Fatalf("Lines() returned %d lines, want 4", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] != lines[i-1]+1 {
+			t.Fatal("lines not consecutive ascending")
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 4096}
+	want := "[0x1000, 0x2000) 4KiB"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSliceHashRange(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 8, 12} {
+		for l := LineAddr(0); l < 10000; l++ {
+			s := SliceHash(l, n)
+			if s < 0 || s >= n {
+				t.Fatalf("SliceHash(%d, %d) = %d out of range", l, n, s)
+			}
+		}
+	}
+}
+
+func TestSliceHashDeterministic(t *testing.T) {
+	f := func(l uint64, n uint8) bool {
+		slices := int(n%12) + 1
+		a := SliceHash(LineAddr(l), slices)
+		b := SliceHash(LineAddr(l), slices)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSliceHashUniform checks that a contiguous buffer stripes near-evenly
+// over the slices — the property the production hash is built for.
+func TestSliceHashUniform(t *testing.T) {
+	for _, n := range []int{6, 8, 12} {
+		const lines = 1 << 16
+		counts := make([]int, n)
+		for l := LineAddr(0); l < lines; l++ {
+			counts[SliceHash(l, n)]++
+		}
+		want := float64(lines) / float64(n)
+		for s, c := range counts {
+			dev := (float64(c) - want) / want
+			if dev > 0.05 || dev < -0.05 {
+				t.Errorf("slice %d of %d holds %d lines (%.1f%% off uniform)", s, n, c, dev*100)
+			}
+		}
+	}
+}
+
+func TestSliceHashSingleSlice(t *testing.T) {
+	if SliceHash(12345, 1) != 0 {
+		t.Error("single slice must map to 0")
+	}
+	if SliceHash(12345, 0) != 0 {
+		t.Error("degenerate slice count must map to 0")
+	}
+}
+
+func TestHex(t *testing.T) {
+	cases := map[uint64]string{
+		0:      "0x0",
+		0x1:    "0x1",
+		0xff:   "0xff",
+		0xabc0: "0xabc0",
+	}
+	for in, want := range cases {
+		if got := hex(in); got != want {
+			t.Errorf("hex(%#x) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package apps models the application benchmarks of Section VIII (SPEC
+// OMP2012 and SPEC MPI2007) to reproduce Figure 10's coherence-protocol
+// sensitivity study.
+//
+// The real suites are proprietary; per the reproduction's substitution rule
+// each application is represented by a synthetic memory-behavior profile: a
+// compute fraction that is insensitive to the memory system plus weights on
+// the micro-characteristics the paper itself uses to explain the results —
+// local memory latency and bandwidth, inter-socket bandwidth, and worst-case
+// shared-line transfer latency. The profile weights are fixed constants
+// derived from the applications' published characterizations; the
+// per-configuration micro-characteristics are MEASURED on the simulated
+// machine, so the config-to-config deltas of Figure 10 are genuinely
+// computed rather than transcribed.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"haswellep/internal/bench"
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Suite identifies the benchmark suite of an application.
+type Suite int
+
+// The two suites of Section VIII.
+const (
+	OMP2012 Suite = iota
+	MPI2007
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	if s == MPI2007 {
+		return "SPEC MPI2007"
+	}
+	return "SPEC OMP2012"
+}
+
+// Metric keys the machine characterization exposes to the profiles.
+type Metric int
+
+// Characterization metrics. Latency metrics enter runtime proportionally;
+// bandwidth metrics enter inversely (less bandwidth -> more runtime).
+const (
+	// MLocalLat is the local main memory latency.
+	MLocalLat Metric = iota
+	// MLocalBW is the saturated local memory read bandwidth of the
+	// threads' socket (or COD node, scaled to the socket).
+	MLocalBW
+	// MLocalWriteBW is the saturated local memory write bandwidth.
+	MLocalWriteBW
+	// MRemoteBW is the saturated inter-socket read bandwidth.
+	MRemoteBW
+	// MRemoteLat is the remote cache access latency.
+	MRemoteLat
+	// MSharedLat is the worst-case latency of reading shared cache lines
+	// whose forward copy and home are in different nodes — the COD
+	// penalty path of Table IV.
+	MSharedLat
+	// ML3Lat is the local L3 latency.
+	ML3Lat
+	numMetrics
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MLocalLat:
+		return "local memory latency"
+	case MLocalBW:
+		return "local memory bandwidth"
+	case MLocalWriteBW:
+		return "local memory write bandwidth"
+	case MRemoteBW:
+		return "inter-socket bandwidth"
+	case MRemoteLat:
+		return "remote cache latency"
+	case MSharedLat:
+		return "worst-case shared-line latency"
+	case ML3Lat:
+		return "L3 latency"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// inverse reports whether the metric improves runtime when it grows.
+func (m Metric) inverse() bool {
+	switch m {
+	case MLocalBW, MLocalWriteBW, MRemoteBW:
+		return true
+	default:
+		return false
+	}
+}
+
+// Characterization holds one configuration's measured metrics.
+type Characterization struct {
+	Mode   machine.SnoopMode
+	Values [numMetrics]float64
+}
+
+// Characterize measures the metrics on a freshly simulated machine in the
+// given mode. Every value comes out of the protocol engine and the
+// bandwidth model — none is a transcribed paper number.
+func Characterize(mode machine.SnoopMode) Characterization {
+	m := machine.MustNew(machine.TestSystem(mode))
+	e := mesif.New(m)
+	p := placement.New(e)
+	caps := bwmodel.CapsFor(m.Cfg)
+	conc := bwmodel.ConcurrencyFor(mode)
+	ch := Characterization{Mode: mode}
+
+	const memSize = 16 * units.MiB
+	const l3Size = 4 * units.MiB
+
+	// Local memory latency and bandwidth (first core of node0).
+	r := m.MustAlloc(0, memSize)
+	p.Modified(0, r)
+	p.FlushAll(0, r)
+	ch.Values[MLocalLat] = bench.Latency(e, 0, r).MeanNs
+
+	m.Reset()
+	p.Modified(0, r)
+	p.FlushAll(0, r)
+	single := bwmodel.ReadStream(e, 0, r, bwmodel.AVX256, conc).GBps
+	localCap := caps.MemReadPerSocket
+	nLocal := 12
+	if mode == machine.COD {
+		// Per-node capacity, both nodes of the socket active.
+		localCap = 2 * caps.MemReadPerNode
+		nLocal = 12
+	}
+	ch.Values[MLocalBW] = bwmodel.Aggregate(nLocal, single, localCap, 1)
+
+	m.Reset()
+	wr := m.MustAlloc(0, memSize)
+	wsingle := bwmodel.WriteStream(e, 0, wr, bwmodel.DefaultWriteConcurrency).GBps
+	ch.Values[MLocalWriteBW] = bwmodel.Aggregate(12, wsingle, 2*caps.SaturatedWriteCap(6), 1)
+
+	// Inter-socket bandwidth: all cores of socket0 reading socket1.
+	m.Reset()
+	remoteNode := 1
+	if mode == machine.COD {
+		remoteNode = 2
+	}
+	rr := m.MustAlloc(machineNode(m, remoteNode), memSize)
+	rp := m.Topo.CoresOfNode(m.Topo.NodeOfAgent(m.HomeAgentOf(rr.Base.Line())))[0]
+	p.Modified(rp, rr)
+	p.FlushAll(rp, rr)
+	rsingle := bwmodel.ReadStream(e, 0, rr, bwmodel.AVX256, conc).GBps
+	qpiCap := caps.QPIReadCap(mode)
+	if mode == machine.COD {
+		qpiCap = caps.CODInterNodeCap(2)
+	}
+	ch.Values[MRemoteBW] = bwmodel.Aggregate(12, rsingle, qpiCap, 1)
+
+	// Remote cache latency (state exclusive, as Table III).
+	m.Reset()
+	re := m.MustAlloc(machineNode(m, remoteNode), l3Size)
+	rc := m.Topo.CoresOfNode(m.Topo.NodeOfAgent(m.HomeAgentOf(re.Base.Line())))[0]
+	p.Exclusive(rc, re)
+	ch.Values[MRemoteLat] = bench.Latency(e, 0, re).MeanNs
+
+	// Worst-case shared-line latency: forward copy and home in different
+	// (remote) nodes. Without COD this degenerates to the plain remote
+	// shared-line forward.
+	m.Reset()
+	homeNode, fwdNode := 1, 1
+	if mode == machine.COD {
+		homeNode, fwdNode = 2, 1
+	}
+	sh := m.MustAlloc(machineNode(m, homeNode), l3Size)
+	hc := m.Topo.CoresOfNode(m.Topo.NodeOfAgent(m.HomeAgentOf(sh.Base.Line())))[0]
+	fc := m.Topo.CoresOfNode(machineNode(m, fwdNode))[0]
+	if fc == hc {
+		fc = m.Topo.CoresOfNode(machineNode(m, fwdNode))[1]
+	}
+	p.Shared(sh, hc, fc)
+	e.EvictDirectoryCache(sh)
+	ch.Values[MSharedLat] = bench.Latency(e, 0, sh).MeanNs
+
+	// Local L3 latency.
+	m.Reset()
+	l3 := m.MustAlloc(0, l3Size)
+	p.Exclusive(0, l3)
+	ch.Values[ML3Lat] = bench.Latency(e, 0, l3).MeanNs
+
+	return ch
+}
+
+// machineNode clamps a desired node index to the machine's node count (the
+// non-COD machine has two nodes).
+func machineNode(m *machine.Machine, want int) topology.NodeID {
+	if want >= m.Topo.Nodes() {
+		want = m.Topo.Nodes() - 1
+	}
+	return topology.NodeID(want)
+}
+
+// Profile is one application's synthetic memory-behavior model.
+type Profile struct {
+	Name  string
+	Suite Suite
+	// Compute is the runtime fraction insensitive to the memory system.
+	Compute float64
+	// Weights maps metrics to runtime fractions in the baseline
+	// configuration. Compute plus all weights sums to 1.
+	Weights map[Metric]float64
+}
+
+// RelativeRuntime computes the application's runtime in a configuration
+// relative to the baseline characterization.
+func (p Profile) RelativeRuntime(base, cfg Characterization) float64 {
+	rt := p.Compute
+	for m, w := range p.Weights {
+		ratio := cfg.Values[m] / base.Values[m]
+		if m.inverse() {
+			ratio = base.Values[m] / cfg.Values[m]
+		}
+		rt += w * ratio
+	}
+	return rt
+}
+
+// Validate checks that the profile's fractions are sane.
+func (p Profile) Validate() error {
+	sum := p.Compute
+	for m, w := range p.Weights {
+		if w < 0 {
+			return fmt.Errorf("apps: %s has negative weight for %v", p.Name, m)
+		}
+		sum += w
+	}
+	if sum < 0.99 || sum > 1.01 {
+		return fmt.Errorf("apps: %s weights sum to %.3f, want 1", p.Name, sum)
+	}
+	return nil
+}
+
+// SortedNames lists the profile names of a suite in ascending order.
+func SortedNames(profiles []Profile, suite Suite) []string {
+	var names []string
+	for _, p := range profiles {
+		if p.Suite == suite {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

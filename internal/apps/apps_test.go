@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"testing"
+
+	"haswellep/internal/machine"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 27 {
+		t.Fatalf("profiles = %d, want 14 OMP + 13 MPI", len(ps))
+	}
+	omp, mpi := 0, 0
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Error(err)
+		}
+		switch p.Suite {
+		case OMP2012:
+			omp++
+		case MPI2007:
+			mpi++
+		}
+	}
+	if omp != 14 || mpi != 13 {
+		t.Errorf("suite split = %d OMP, %d MPI", omp, mpi)
+	}
+}
+
+func TestProfileValidateCatchesBadWeights(t *testing.T) {
+	bad := Profile{Name: "x", Compute: 0.5, Weights: map[Metric]float64{MLocalLat: 0.1}}
+	if bad.Validate() == nil {
+		t.Error("under-weighted profile accepted")
+	}
+	neg := Profile{Name: "y", Compute: 1.2, Weights: map[Metric]float64{MLocalLat: -0.2}}
+	if neg.Validate() == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestRelativeRuntimeBaseline(t *testing.T) {
+	var base Characterization
+	for i := range base.Values {
+		base.Values[i] = 100
+	}
+	for _, p := range Profiles() {
+		if rt := p.RelativeRuntime(base, base); rt < 0.999 || rt > 1.001 {
+			t.Errorf("%s baseline runtime = %v, want 1", p.Name, rt)
+		}
+	}
+}
+
+func TestRelativeRuntimeDirections(t *testing.T) {
+	var base, slow Characterization
+	for i := range base.Values {
+		base.Values[i] = 100
+		slow.Values[i] = 100
+	}
+	// Doubling a latency metric slows every app with that weight.
+	slow.Values[MLocalLat] = 200
+	p := Profile{Name: "t", Compute: 0.5, Weights: map[Metric]float64{MLocalLat: 0.5}}
+	if rt := p.RelativeRuntime(base, slow); rt != 1.5 {
+		t.Errorf("latency doubling runtime = %v, want 1.5", rt)
+	}
+	// Halving a bandwidth metric also slows (inverse metric).
+	slow = base
+	slow.Values[MLocalBW] = 50
+	p = Profile{Name: "t", Compute: 0.5, Weights: map[Metric]float64{MLocalBW: 0.5}}
+	if rt := p.RelativeRuntime(base, slow); rt != 1.5 {
+		t.Errorf("bandwidth halving runtime = %v, want 1.5", rt)
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for m := Metric(0); m < numMetrics; m++ {
+		if m.String() == "" {
+			t.Errorf("metric %d unnamed", m)
+		}
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Error("unknown metric string")
+	}
+	if OMP2012.String() == MPI2007.String() {
+		t.Error("suite names must differ")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := SortedNames(Profiles(), OMP2012)
+	if len(names) != 14 {
+		t.Fatalf("OMP names = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+// TestCharacterizeShape verifies the mode-to-mode relations the paper's
+// Figure 10 discussion rests on.
+func TestCharacterizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	def := Characterize(machine.SourceSnoop)
+	hs := Characterize(machine.HomeSnoop)
+	cod := Characterize(machine.COD)
+
+	if hs.Values[MLocalLat] <= def.Values[MLocalLat] {
+		t.Error("home snoop must raise local memory latency")
+	}
+	if hs.Values[MRemoteBW] <= def.Values[MRemoteBW] {
+		t.Error("home snoop must raise inter-socket bandwidth")
+	}
+	if cod.Values[MLocalLat] >= def.Values[MLocalLat] {
+		t.Error("COD must lower local memory latency")
+	}
+	if cod.Values[MSharedLat] <= 1.4*def.Values[MSharedLat] {
+		t.Errorf("COD worst-case shared latency must blow up: %v vs %v",
+			cod.Values[MSharedLat], def.Values[MSharedLat])
+	}
+	if cod.Values[ML3Lat] >= def.Values[ML3Lat] {
+		t.Error("COD must lower local L3 latency")
+	}
+}

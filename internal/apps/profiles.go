@@ -1,0 +1,72 @@
+package apps
+
+// Profiles returns the synthetic memory-behavior models of the 14 SPEC
+// OMP2012 and 13 SPEC MPI2007 applications.
+//
+// The weights encode the qualitative characterizations the paper's Section
+// VIII relies on (and the suites' public documentation): OpenMP codes share
+// one address space across both sockets, so they carry inter-socket
+// bandwidth and shared-line weights; 362.fma3d and 371.applu331 are the two
+// codes the paper singles out as sensitive to cross-socket communication
+// (they gain ~5% from home snooping's higher QPI bandwidth and lose — up to
+// 23% for applu331 — to COD's worst-case shared-line latencies). The MPI
+// codes partition their data and primarily stress local memory, which is
+// why the paper finds COD mostly helps and home snooping mildly hurts them.
+func Profiles() []Profile {
+	w := func(pairs ...interface{}) map[Metric]float64 {
+		m := make(map[Metric]float64, len(pairs)/2)
+		for i := 0; i < len(pairs); i += 2 {
+			m[pairs[i].(Metric)] = pairs[i+1].(float64)
+		}
+		return m
+	}
+
+	return []Profile{
+		// ---- SPEC OMP2012 (shared memory, spans both sockets) ----
+		// Molecular dynamics: compute bound, modest cache traffic.
+		{"350.md", OMP2012, 0.88, w(MLocalLat, 0.04, MLocalBW, 0.03, ML3Lat, 0.03, MSharedLat, 0.02)},
+		// Blast waves CFD: strongly memory-bandwidth bound.
+		{"351.bwaves", OMP2012, 0.40, w(MLocalBW, 0.42, MLocalLat, 0.10, MRemoteBW, 0.04, MSharedLat, 0.04)},
+		// Molecular modeling: cache friendly.
+		{"352.nab", OMP2012, 0.82, w(ML3Lat, 0.08, MLocalLat, 0.05, MLocalBW, 0.03, MSharedLat, 0.02)},
+		// NAS BT: bandwidth heavy with some neighbor sharing.
+		{"357.bt331", OMP2012, 0.52, w(MLocalBW, 0.30, MLocalLat, 0.08, MSharedLat, 0.05, MRemoteBW, 0.05)},
+		// Protein alignment (tasking): compute bound, fine-grained tasks.
+		{"358.botsalgn", OMP2012, 0.90, w(ML3Lat, 0.04, MSharedLat, 0.03, MLocalLat, 0.03)},
+		// Sparse LU (tasking): latency sensitive, irregular.
+		{"359.botsspar", OMP2012, 0.77, w(MLocalLat, 0.10, ML3Lat, 0.06, MSharedLat, 0.04, MRemoteLat, 0.03)},
+		// Lattice Boltzmann: streaming bandwidth bound.
+		{"360.ilbdc", OMP2012, 0.38, w(MLocalBW, 0.44, MLocalWriteBW, 0.08, MLocalLat, 0.06, MSharedLat, 0.04)},
+		// Crash simulation: heavy cross-socket neighbor exchange — one of
+		// the paper's two outliers.
+		{"362.fma3d", OMP2012, 0.48, w(MRemoteBW, 0.18, MSharedLat, 0.16, MLocalBW, 0.10, MLocalLat, 0.08)},
+		// Shallow water: classic stream-bound stencil.
+		{"363.swim", OMP2012, 0.30, w(MLocalBW, 0.46, MLocalWriteBW, 0.12, MLocalLat, 0.08, MSharedLat, 0.04)},
+		// Image processing: compute bound.
+		{"367.imagick", OMP2012, 0.93, w(ML3Lat, 0.03, MLocalBW, 0.02, MLocalLat, 0.02)},
+		// Multigrid: bandwidth plus latency on coarse grids.
+		{"370.mgrid331", OMP2012, 0.50, w(MLocalBW, 0.30, MLocalLat, 0.12, MSharedLat, 0.04, MRemoteBW, 0.04)},
+		// SSOR solver with wavefront dependencies across threads: the
+		// paper's worst COD case (+23%).
+		{"371.applu331", OMP2012, 0.42, w(MSharedLat, 0.23, MRemoteBW, 0.17, MLocalBW, 0.10, MLocalLat, 0.08)},
+		// Smith-Waterman: integer compute bound.
+		{"372.smithwa", OMP2012, 0.92, w(ML3Lat, 0.04, MLocalLat, 0.02, MSharedLat, 0.02)},
+		// KD-tree search (tasking): pointer chasing, latency sensitive.
+		{"376.kdtree", OMP2012, 0.74, w(MLocalLat, 0.10, ML3Lat, 0.10, MSharedLat, 0.04, MRemoteLat, 0.02)},
+
+		// ---- SPEC MPI2007 (message passing, NUMA-local data) ----
+		{"104.milc", MPI2007, 0.50, w(MLocalBW, 0.34, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"107.leslie3d", MPI2007, 0.42, w(MLocalBW, 0.40, MLocalLat, 0.14, MRemoteBW, 0.04)},
+		{"113.GemsFDTD", MPI2007, 0.45, w(MLocalBW, 0.38, MLocalLat, 0.13, MRemoteBW, 0.04)},
+		{"115.fds4", MPI2007, 0.62, w(MLocalBW, 0.22, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"121.pop2", MPI2007, 0.60, w(MLocalBW, 0.24, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"122.tachyon", MPI2007, 0.92, w(MLocalLat, 0.04, ML3Lat, 0.03, MLocalBW, 0.01)},
+		{"126.lammps", MPI2007, 0.74, w(MLocalBW, 0.12, MLocalLat, 0.10, MRemoteBW, 0.04)},
+		{"127.wrf2", MPI2007, 0.58, w(MLocalBW, 0.26, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"128.GAPgeofem", MPI2007, 0.48, w(MLocalBW, 0.34, MLocalLat, 0.14, MRemoteBW, 0.04)},
+		{"129.tera_tf", MPI2007, 0.66, w(MLocalBW, 0.20, MLocalLat, 0.10, MRemoteBW, 0.04)},
+		{"130.socorro", MPI2007, 0.56, w(MLocalBW, 0.28, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"132.zeusmp2", MPI2007, 0.54, w(MLocalBW, 0.30, MLocalLat, 0.12, MRemoteBW, 0.04)},
+		{"137.lu", MPI2007, 0.50, w(MLocalBW, 0.30, MLocalLat, 0.16, MRemoteBW, 0.04)},
+	}
+}

@@ -1,0 +1,131 @@
+// Package bench implements the measurement side of the paper's
+// microbenchmarks (Section V-B): read latency via a dependent-load pointer
+// chase over a placed buffer, and the dataset-size sweeps behind the
+// latency figures. Bandwidth measurements build on these passes in package
+// bwmodel.
+package bench
+
+import (
+	"math/rand"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// chaseSeed makes every measurement's pseudo-random chase order
+// deterministic and reproducible.
+const chaseSeed = 0x5EED
+
+// ChaseOrder returns the region's lines in the pseudo-random order a
+// pointer-chase buffer would link them, so that hardware prefetchers (and
+// our DRAM open-page model) see a random access stream.
+func ChaseOrder(r addr.Region) []addr.LineAddr {
+	lines := r.Lines()
+	rng := rand.New(rand.NewSource(chaseSeed))
+	rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+	return lines
+}
+
+// LatencyStat summarizes one latency measurement pass.
+type LatencyStat struct {
+	// MeanNs is the average load-to-use latency in nanoseconds.
+	MeanNs float64
+	// N is the number of lines accessed.
+	N int
+	// BySource counts accesses per data source.
+	BySource map[mesif.Source]int
+	// RemoteDRAM and RemoteFwd mirror the paper's performance counter
+	// readings (footnotes 6 and 8): how many loads were serviced by
+	// remote DRAM or by a remote cache forward.
+	RemoteDRAM int
+	RemoteFwd  int
+	// Broadcasts counts home-agent snoop broadcasts (COD).
+	Broadcasts int
+}
+
+// Latency performs one dependent-load pass over the region from the given
+// core: every line is read exactly once, in chase order, and the mean
+// access latency is reported. Because the loads are dependent, the pass
+// latency is the sum of the individual access latencies, exactly as in the
+// paper's pointer-chasing benchmark.
+func Latency(e *mesif.Engine, core topology.CoreID, r addr.Region) LatencyStat {
+	e.WorkingSet = r.Size
+	order := ChaseOrder(r)
+	stat := LatencyStat{BySource: make(map[mesif.Source]int)}
+	var total units.Time
+	for _, l := range order {
+		acc := e.Read(core, l)
+		total += acc.Latency
+		stat.BySource[acc.Source]++
+		if acc.RemoteDRAM {
+			stat.RemoteDRAM++
+		}
+		if acc.RemoteFwd {
+			stat.RemoteFwd++
+		}
+		if acc.Broadcast {
+			stat.Broadcasts++
+		}
+	}
+	stat.N = len(order)
+	if stat.N > 0 {
+		stat.MeanNs = total.Nanoseconds() / float64(stat.N)
+	}
+	return stat
+}
+
+// DominantSource returns the source class that served the most accesses.
+func (s LatencyStat) DominantSource() mesif.Source {
+	var best mesif.Source
+	bestN := -1
+	for src, n := range s.BySource {
+		if n > bestN || (n == bestN && src < best) {
+			best, bestN = src, n
+		}
+	}
+	return best
+}
+
+// SourceFraction returns the fraction of accesses served by the source.
+func (s LatencyStat) SourceFraction(src mesif.Source) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.BySource[src]) / float64(s.N)
+}
+
+// DefaultSweepSizes returns the dataset sizes (bytes) of the paper's
+// latency figures: powers of two from 4 KiB to 256 MiB with intermediate
+// points around the cache capacities.
+func DefaultSweepSizes() []int64 {
+	var sizes []int64
+	for s := int64(4 * units.KiB); s <= 256*units.MiB; s *= 2 {
+		sizes = append(sizes, s)
+		if s >= 16*units.KiB && s < 256*units.MiB {
+			sizes = append(sizes, s+s/2) // 1.5x points resolve the knees
+		}
+	}
+	return sizes
+}
+
+// SweepPoint is one point of a dataset-size sweep.
+type SweepPoint struct {
+	Size int64
+	Stat LatencyStat
+}
+
+// Sweep runs setup+measure for each dataset size: setup must place a fresh
+// buffer of the given size and return the region and the measuring core;
+// the machine is reset between points so placements never interfere.
+func Sweep(e *mesif.Engine, sizes []int64, setup func(size int64) (addr.Region, topology.CoreID)) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, size := range sizes {
+		e.M.Reset()
+		e.ResetStats()
+		region, core := setup(size)
+		out = append(out, SweepPoint{Size: size, Stat: Latency(e, core, region)})
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+func setup(t *testing.T) (*mesif.Engine, *placement.Placer) {
+	t.Helper()
+	e := mesif.New(machine.MustNew(machine.TestSystem(machine.SourceSnoop)))
+	return e, placement.New(e)
+}
+
+func TestChaseOrderIsPermutation(t *testing.T) {
+	r := addr.Region{Base: 0x10000, Size: 64 * 256}
+	order := ChaseOrder(r)
+	if len(order) != 256 {
+		t.Fatalf("order has %d lines", len(order))
+	}
+	seen := map[addr.LineAddr]bool{}
+	for _, l := range order {
+		if seen[l] {
+			t.Fatal("duplicate line in chase order")
+		}
+		seen[l] = true
+		if !r.Contains(l.Addr()) {
+			t.Fatal("line outside region")
+		}
+	}
+}
+
+func TestChaseOrderDeterministic(t *testing.T) {
+	r := addr.Region{Base: 0x10000, Size: 64 * 64}
+	a, b := ChaseOrder(r), ChaseOrder(r)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("chase order not deterministic")
+		}
+	}
+}
+
+func TestChaseOrderShuffles(t *testing.T) {
+	r := addr.Region{Base: 0, Size: 64 * 1024}
+	order := ChaseOrder(r)
+	ascending := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1]+1 {
+			ascending++
+		}
+	}
+	if ascending > len(order)/10 {
+		t.Errorf("%d of %d steps are sequential; hardly a shuffle", ascending, len(order))
+	}
+}
+
+func TestLatencyL1(t *testing.T) {
+	e, p := setup(t)
+	r, _ := e.M.AllocOnNode(0, 8*units.KiB)
+	p.Exclusive(0, r)
+	st := Latency(e, 0, r)
+	if math.Abs(st.MeanNs-1.6) > 0.05 {
+		t.Errorf("L1 latency = %v", st.MeanNs)
+	}
+	if st.N != 128 {
+		t.Errorf("N = %d", st.N)
+	}
+	if st.BySource[mesif.SrcL1] != 128 {
+		t.Errorf("BySource = %v", st.BySource)
+	}
+	if st.DominantSource() != mesif.SrcL1 {
+		t.Errorf("dominant = %v", st.DominantSource())
+	}
+	if st.SourceFraction(mesif.SrcL1) != 1 {
+		t.Errorf("fraction = %v", st.SourceFraction(mesif.SrcL1))
+	}
+}
+
+func TestLatencyEmptyRegion(t *testing.T) {
+	e, _ := setup(t)
+	st := Latency(e, 0, addr.Region{})
+	if st.N != 0 || st.MeanNs != 0 {
+		t.Errorf("empty region stat = %+v", st)
+	}
+	if st.SourceFraction(mesif.SrcL1) != 0 {
+		t.Error("empty fraction must be 0")
+	}
+}
+
+func TestLatencyCountsRemote(t *testing.T) {
+	e, p := setup(t)
+	r, _ := e.M.AllocOnNode(1, 64*units.KiB)
+	c := topology.CoreID(12)
+	p.Modified(c, r)
+	p.FlushAll(c, r)
+	st := Latency(e, 0, r)
+	if st.RemoteDRAM != st.N {
+		t.Errorf("RemoteDRAM = %d of %d", st.RemoteDRAM, st.N)
+	}
+}
+
+func TestDefaultSweepSizes(t *testing.T) {
+	sizes := DefaultSweepSizes()
+	if sizes[0] != 4*units.KiB {
+		t.Errorf("first size = %d", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatal("sizes not strictly increasing")
+		}
+	}
+	if sizes[len(sizes)-1] != 256*units.MiB {
+		t.Errorf("last size = %d", sizes[len(sizes)-1])
+	}
+}
+
+func TestSweepResetsBetweenPoints(t *testing.T) {
+	e, p := setup(t)
+	sizes := []int64{8 * units.KiB, 16 * units.KiB}
+	calls := 0
+	pts := Sweep(e, sizes, func(size int64) (addr.Region, topology.CoreID) {
+		calls++
+		// The machine must be clean at every setup call.
+		if e.M.Cores[0].L1D.Len() != 0 {
+			t.Error("machine not reset before setup")
+		}
+		r, _ := e.M.AllocOnNode(0, size)
+		p.Exclusive(0, r)
+		return r, 0
+	})
+	if calls != 2 || len(pts) != 2 {
+		t.Fatalf("calls=%d points=%d", calls, len(pts))
+	}
+	if pts[0].Size != sizes[0] || pts[1].Size != sizes[1] {
+		t.Error("point sizes wrong")
+	}
+	for _, pt := range pts {
+		if math.Abs(pt.Stat.MeanNs-1.6) > 0.05 {
+			t.Errorf("size %d latency = %v", pt.Size, pt.Stat.MeanNs)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bwmodel
+
+import (
+	"math"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/units"
+)
+
+func TestWidthStrings(t *testing.T) {
+	if SSE128.String() != "SSE(128bit)" || AVX256.String() != "AVX(256bit)" {
+		t.Error("width names wrong")
+	}
+}
+
+func TestDatapathGBps(t *testing.T) {
+	if DatapathGBps(ClassL1, AVX256) <= DatapathGBps(ClassL1, SSE128) {
+		t.Error("AVX must beat SSE on L1")
+	}
+	if DatapathGBps(ClassL2, AVX256) <= DatapathGBps(ClassL2, SSE128) {
+		t.Error("AVX must beat SSE on L2")
+	}
+	if DatapathGBps(ClassL3, AVX256) != 0 || DatapathGBps(ClassMemLocal, SSE128) != 0 {
+		t.Error("outer levels are not datapath limited")
+	}
+}
+
+func TestConcurrencyFor(t *testing.T) {
+	def := ConcurrencyFor(machine.SourceSnoop)
+	cod := ConcurrencyFor(machine.COD)
+	if def[ClassMemLocal] == cod[ClassMemLocal] {
+		t.Error("COD local memory concurrency must differ (two-channel page locality)")
+	}
+	if def != ConcurrencyFor(machine.HomeSnoop) {
+		t.Error("home snoop shares the default table")
+	}
+	for c := PathClass(0); c < numClasses; c++ {
+		if def[c] <= 0 {
+			t.Errorf("class %d has nonpositive concurrency", c)
+		}
+	}
+}
+
+func TestMaxMinNoConstraint(t *testing.T) {
+	flows := UniformFlows(3, 10, map[int]float64{0: 1})
+	alloc := MaxMin(flows, []float64{100})
+	if Sum(alloc) != 30 {
+		t.Errorf("unconstrained sum = %v", Sum(alloc))
+	}
+}
+
+func TestMaxMinSingleBottleneck(t *testing.T) {
+	flows := UniformFlows(4, 10, map[int]float64{0: 1})
+	alloc := MaxMin(flows, []float64{20})
+	if math.Abs(Sum(alloc)-20) > 1e-6 {
+		t.Errorf("bottlenecked sum = %v", Sum(alloc))
+	}
+	for _, a := range alloc {
+		if math.Abs(a-5) > 1e-6 {
+			t.Errorf("unfair share %v", a)
+		}
+	}
+}
+
+func TestMaxMinWeightedUsage(t *testing.T) {
+	// A write flow consuming 2 bus bytes per delivered byte.
+	flows := UniformFlows(2, 20, map[int]float64{0: 2})
+	alloc := MaxMin(flows, []float64{40})
+	if math.Abs(Sum(alloc)-20) > 1e-6 {
+		t.Errorf("weighted sum = %v, want 20 (40 bus / weight 2)", Sum(alloc))
+	}
+}
+
+func TestMaxMinMultiResource(t *testing.T) {
+	// Flow 0 uses resources 0+1, flow 1 only resource 1.
+	flows := []Flow{
+		{Demand: 30, Uses: map[int]float64{0: 1, 1: 1}},
+		{Demand: 30, Uses: map[int]float64{1: 1}},
+	}
+	alloc := MaxMin(flows, []float64{10, 40})
+	if alloc[0] > 10+1e-6 {
+		t.Errorf("flow 0 exceeds its private bottleneck: %v", alloc[0])
+	}
+	if alloc[0]+alloc[1] > 40+1e-6 {
+		t.Errorf("resource 1 oversubscribed: %v", alloc)
+	}
+}
+
+func TestMaxMinIgnoresZeroCap(t *testing.T) {
+	flows := UniformFlows(1, 5, map[int]float64{0: 1})
+	alloc := MaxMin(flows, []float64{0})
+	if alloc[0] != 5 {
+		t.Errorf("zero capacity must mean unconstrained, got %v", alloc[0])
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	if got := Aggregate(4, 10, 100, 1); got != 40 {
+		t.Errorf("unconstrained aggregate = %v", got)
+	}
+	if got := Aggregate(12, 10.3, 63, 1); got != 63 {
+		t.Errorf("capped aggregate = %v", got)
+	}
+	if got := Aggregate(2, 10, 30, 2); got != 15 {
+		t.Errorf("weighted aggregate = %v", got)
+	}
+}
+
+func TestCapsFor(t *testing.T) {
+	caps := CapsFor(machine.TestSystem(machine.SourceSnoop))
+	if caps.MemReadPerSocket < 61 || caps.MemReadPerSocket > 65 {
+		t.Errorf("socket read cap = %v, want ~63", caps.MemReadPerSocket)
+	}
+	if got := caps.QPIReadCap(machine.SourceSnoop); math.Abs(got-16.8) > 0.3 {
+		t.Errorf("source snoop QPI cap = %v, want ~16.8", got)
+	}
+	if got := caps.QPIReadCap(machine.HomeSnoop); math.Abs(got-30.6) > 0.3 {
+		t.Errorf("home snoop QPI cap = %v, want ~30.6", got)
+	}
+	if got := caps.CODInterNodeCap(1); got != caps.InterClusterPerDirection {
+		t.Errorf("on-chip inter-node cap = %v", got)
+	}
+	if got := caps.CODInterNodeCap(2); math.Abs(got-15.6) > 0.3 {
+		t.Errorf("1-QPI-hop cap = %v, want ~15.6", got)
+	}
+	if got := caps.CODInterNodeCap(3); math.Abs(got-14.7) > 0.3 {
+		t.Errorf("multi-hop cap = %v, want ~14.7", got)
+	}
+}
+
+func TestSaturatedWriteCap(t *testing.T) {
+	caps := CapsFor(machine.TestSystem(machine.SourceSnoop))
+	five := caps.SaturatedWriteCap(5)
+	twelve := caps.SaturatedWriteCap(12)
+	if math.Abs(five-26.6) > 0.5 {
+		t.Errorf("5-core write cap = %v, want ~26.5", five)
+	}
+	if twelve >= five {
+		t.Error("write cap must decline past five cores")
+	}
+	if math.Abs(twelve-25.9) > 0.5 {
+		t.Errorf("12-core write cap = %v, want ~25.8", twelve)
+	}
+}
+
+func TestReadStreamL1(t *testing.T) {
+	e := mesif.New(machine.MustNew(machine.TestSystem(machine.SourceSnoop)))
+	p := placement.New(e)
+	r, _ := e.M.AllocOnNode(0, 8*units.KiB)
+	p.Exclusive(0, r)
+	st := ReadStream(e, 0, r, AVX256, DefaultConcurrency)
+	if math.Abs(st.GBps-127.2) > 0.5 {
+		t.Errorf("L1 AVX stream = %v, want 127.2", st.GBps)
+	}
+	if st.ByClass[ClassL1] != st.N {
+		t.Errorf("classes = %v", st.ByClass)
+	}
+
+	e.M.Reset()
+	p.Exclusive(0, r)
+	st = ReadStream(e, 0, r, SSE128, DefaultConcurrency)
+	if math.Abs(st.GBps-77.1) > 0.5 {
+		t.Errorf("L1 SSE stream = %v, want 77.1", st.GBps)
+	}
+}
+
+func TestReadStreamEmpty(t *testing.T) {
+	e := mesif.New(machine.MustNew(machine.TestSystem(machine.SourceSnoop)))
+	st := ReadStream(e, 0, addr.Region{}, AVX256, DefaultConcurrency)
+	if st.GBps != 0 || st.N != 0 {
+		t.Errorf("empty stream = %+v", st)
+	}
+}
+
+func TestWriteStreamMemory(t *testing.T) {
+	e := mesif.New(machine.MustNew(machine.TestSystem(machine.SourceSnoop)))
+	r, _ := e.M.AllocOnNode(0, 4*units.MiB)
+	st := WriteStream(e, 0, r, DefaultWriteConcurrency)
+	// Fresh memory: RFO misses to local DRAM; the paper's 7.7 GB/s.
+	if st.GBps < 6.8 || st.GBps > 8.6 {
+		t.Errorf("memory write stream = %v, want ~7.7", st.GBps)
+	}
+}
+
+func TestWriteConcurrencyValues(t *testing.T) {
+	if DefaultWriteConcurrency.L3 <= 0 || DefaultWriteConcurrency.Mem <= DefaultWriteConcurrency.L3 {
+		t.Error("write concurrency table implausible")
+	}
+}

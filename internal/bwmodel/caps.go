@@ -1,0 +1,113 @@
+package bwmodel
+
+import (
+	"haswellep/internal/dram"
+	"haswellep/internal/machine"
+)
+
+// SystemCaps collects the shared-resource capacities (GB/s) of a machine
+// configuration that bound aggregated bandwidth.
+type SystemCaps struct {
+	// L3ReadPerSocket bounds the summed L3 read bandwidth of one
+	// socket's cores. The ring and slice banks scale almost linearly
+	// (Section VII-B: 26.2 -> 278 GB/s over 12 cores in the typical
+	// case; uncore frequency boosts occasionally reach 343 GB/s, which
+	// we — like the paper — do not treat as sustained).
+	L3ReadPerSocket float64
+	// L3WritePerSocket bounds the summed L3 write bandwidth (15 -> 161).
+	L3WritePerSocket float64
+	// L3ReadPerNode / L3WritePerNode bound one COD node's L3 (154 / 94).
+	L3ReadPerNode  float64
+	L3WritePerNode float64
+	// MemReadPerSocket is the sustained DRAM read bandwidth of a socket
+	// (four DDR4-2133 channels after command overheads: ~63 GB/s).
+	MemReadPerSocket float64
+	// MemWriteBusPerSocket is the channel bandwidth available to a
+	// streaming-write mixture; every delivered write byte costs two bus
+	// bytes (RFO read + writeback), which the flow weights account for.
+	MemWriteBusPerSocket float64
+	// MemReadPerNode is the sustained read bandwidth of one COD node's
+	// two channels.
+	MemReadPerNode float64
+	// QPIPayloadPerDirection is the cache-line payload capacity of the
+	// inter-socket links per direction under home snooping.
+	QPIPayloadPerDirection float64
+	// SourceSnoopQPIFactor scales the QPI payload capacity in source
+	// snoop mode: every L3 miss of every core broadcasts snoops across
+	// the same links, and the snoop+response traffic competes with the
+	// data returns (Table VII: 16.8 vs 30.6 GB/s remote read).
+	SourceSnoopQPIFactor float64
+	// InterClusterPerDirection bounds node-to-node transfers that stay
+	// on one die (through the ring bridges and the peer node's CA
+	// pipeline; Table VIII: 18.8 GB/s).
+	InterClusterPerDirection float64
+	// CODQPIHopFactor derates the QPI payload per additional node hop in
+	// COD mode (Table VIII: 15.6 GB/s at one hop, 14.7 at two/three).
+	CODQPIHopFactor float64
+	// WriteSaturationSlope models the slight decline of saturated
+	// streaming-write bandwidth as more cores contend (26.5 GB/s at five
+	// cores, 25.8 at twelve): GB/s lost per additional core past five.
+	WriteSaturationSlope float64
+}
+
+// CapsFor derives the capacities for a machine configuration. Values that
+// follow from modeled hardware (DRAM channels, QPI links) are computed;
+// uncore throughput limits are calibration constants from Section VII.
+func CapsFor(cfg machine.Config) SystemCaps {
+	ctl := dram.NewController(cfg.DRAM)
+	perIMCRead := ctl.SustainedReadBandwidth().GBps()
+	perIMCWriteBus := ctl.SustainedWriteBandwidth().GBps()
+	imcs := 2 // per socket on the modeled dies
+
+	qpi := cfg.QPI.UsableBandwidthPerDirection().GBps()
+
+	return SystemCaps{
+		L3ReadPerSocket:          280,
+		L3WritePerSocket:         162,
+		L3ReadPerNode:            154,
+		L3WritePerNode:           94,
+		MemReadPerSocket:         float64(imcs) * perIMCRead,
+		MemWriteBusPerSocket:     float64(imcs) * perIMCWriteBus,
+		MemReadPerNode:           perIMCRead * 1.035, // two-channel streams page-hit slightly more
+		QPIPayloadPerDirection:   qpi,
+		SourceSnoopQPIFactor:     0.549,
+		InterClusterPerDirection: 18.8,
+		CODQPIHopFactor:          0.94,
+		WriteSaturationSlope:     0.1,
+	}
+}
+
+// QPIReadCap returns the remote-memory read capacity per direction for the
+// given snoop mode.
+func (c SystemCaps) QPIReadCap(mode machine.SnoopMode) float64 {
+	if mode == machine.SourceSnoop {
+		return c.QPIPayloadPerDirection * c.SourceSnoopQPIFactor
+	}
+	return c.QPIPayloadPerDirection
+}
+
+// CODInterNodeCap returns the node-to-node transfer capacity in COD mode
+// for the given hop count (1 = on-chip neighbor, 2 = one QPI hop, ...).
+func (c SystemCaps) CODInterNodeCap(hops int) float64 {
+	if hops <= 1 {
+		return c.InterClusterPerDirection
+	}
+	// Inter-socket COD transfers also pay directory traffic on the links;
+	// each additional on-chip hop derates the sustained rate further.
+	cap := c.QPIPayloadPerDirection * 0.51
+	for h := 2; h < hops; h++ {
+		cap *= c.CODQPIHopFactor
+	}
+	return cap
+}
+
+// SaturatedWriteCap returns the delivered write bandwidth limit for n
+// concurrently writing cores on one socket: the bus capacity halved by the
+// RFO+writeback double traffic, minus the contention decline.
+func (c SystemCaps) SaturatedWriteCap(n int) float64 {
+	cap := c.MemWriteBusPerSocket / 2
+	if n > 5 {
+		cap -= c.WriteSaturationSlope * float64(n-5)
+	}
+	return cap
+}

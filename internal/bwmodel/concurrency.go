@@ -1,0 +1,186 @@
+// Package bwmodel converts the protocol engine's access latencies into the
+// bandwidths the paper reports.
+//
+// Single-stream bandwidth on this machine is limited by how many cache-line
+// transfers a core keeps in flight (its line-fill buffers plus the L2
+// prefetcher's streams) divided by the path latency, and by the datapath
+// widths of the inner cache levels (2x32 B L1 loads per cycle, 64 B/cycle
+// from L2 — Table I). Aggregated multi-core bandwidth is limited by the
+// shared resources: L3 ring throughput, memory channel bandwidth, and the
+// QPI links (whose payload capacity source snooping partially spends on
+// snoop traffic — the paper's Table VII contrast of 16.8 vs 30.6 GB/s).
+//
+// The per-path effective concurrency values below are calibration constants
+// fitted to the paper's single-threaded measurements (Figure 8/9, Table VI)
+// in the default configuration; all cross-configuration predictions then
+// follow from the simulated latencies.
+package bwmodel
+
+import (
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+)
+
+// Width is the SIMD load width of the measuring loop.
+type Width int
+
+// Load widths of the paper's bandwidth benchmarks.
+const (
+	// SSE128 uses 128-bit loads, which cannot saturate the L1/L2
+	// datapaths of Haswell.
+	SSE128 Width = iota
+	// AVX256 uses 256-bit loads (with the reduced AVX base frequency).
+	AVX256
+)
+
+// String names the width.
+func (w Width) String() string {
+	if w == AVX256 {
+		return "AVX(256bit)"
+	}
+	return "SSE(128bit)"
+}
+
+// PathClass buckets an access for concurrency lookup.
+type PathClass int
+
+// Path classes. Local means "within the requester's NUMA node"; peer
+// classes are cross-node.
+const (
+	ClassL1 PathClass = iota
+	ClassL2
+	ClassL3
+	ClassL3Snoop
+	ClassCoreFwdL1
+	ClassCoreFwdL2
+	ClassPeerL3
+	ClassPeerCore
+	ClassMemLocal
+	ClassMemRemote
+	numClasses
+)
+
+// classOf maps an engine access to a path class.
+func classOf(acc mesif.Access) PathClass {
+	switch acc.Source {
+	case mesif.SrcL1:
+		return ClassL1
+	case mesif.SrcL2:
+		return ClassL2
+	case mesif.SrcL3:
+		return ClassL3
+	case mesif.SrcL3CoreSnoop:
+		return ClassL3Snoop
+	case mesif.SrcCoreForward:
+		return ClassCoreFwdL1 // refined by caller via level when needed
+	case mesif.SrcPeerL3, mesif.SrcPeerL3CoreSnoop:
+		return ClassPeerL3
+	case mesif.SrcPeerCore:
+		return ClassPeerCore
+	case mesif.SrcMemoryForward:
+		return ClassMemRemote
+	default: // SrcMemory
+		if acc.RemoteDRAM {
+			return ClassMemRemote
+		}
+		return ClassMemLocal
+	}
+}
+
+// Concurrency is the effective number of in-flight line transfers a single
+// core sustains on each path class. Provenance (default configuration,
+// Section VII-A):
+//
+//	L3 26.2 GB/s at 21.2 ns        -> 8.7 lines
+//	L3+snoop 15.0 GB/s at 44.4 ns  -> 10.4
+//	core-forward 7.8 / 10.6 GB/s   -> 6.5 / 8.1 (L1/L2 source)
+//	remote L3 9.1 GB/s at 86 ns    -> 12.2
+//	remote core 6.7 GB/s at 113 ns -> 11.8
+//	local memory 10.3 GB/s at 96.4 -> 15.5
+//	remote memory 8.0 GB/s at 146  -> 18.2
+//
+// The inner levels (L1/L2) are datapath- rather than concurrency-limited;
+// their table entries are effectively "high enough".
+type Concurrency [numClasses]float64
+
+// DefaultConcurrency is the calibrated table for the snooping modes.
+var DefaultConcurrency = Concurrency{
+	ClassL1:        64,
+	ClassL2:        32,
+	ClassL3:        8.7,
+	ClassL3Snoop:   10.4,
+	ClassCoreFwdL1: 6.5,
+	ClassCoreFwdL2: 8.1,
+	ClassPeerL3:    16.0,
+	ClassPeerCore:  11.8,
+	ClassMemLocal:  15.5,
+	ClassMemRemote: 18.2,
+}
+
+// PerCoreCap limits a single core's streaming rate on a path class in GB/s
+// regardless of latency: the L3 fill engine sustains ~29 GB/s into one
+// core, and the per-core QPI transfer stream saturates near 9.1 GB/s (the
+// reason every remote single-stream number of Table VI clusters between
+// 8.0 and 9.1 GB/s across states and modes). Zero means uncapped.
+var PerCoreCap = [numClasses]float64{
+	ClassL3:     29.0,
+	ClassPeerL3: 9.2,
+}
+
+// CODConcurrency adjusts the table for Cluster-on-Die mode: node-local
+// streams ride two dedicated channels and page-hit more (Table VI's >20%
+// local gain), while cross-node memory reads pass through the home agent's
+// directory pipeline, which sustains fewer outstanding requests per remote
+// requester (Table VIII's single-core node-to-node bandwidths).
+var CODConcurrency = func() Concurrency {
+	c := DefaultConcurrency
+	c[ClassMemRemote] = 11.0
+	c[ClassMemLocal] = 17.6
+	c[ClassPeerL3] = 14.3 // the directory-pipeline path sustains less MLP
+	return c
+}()
+
+// CODMemCrossSocketConcurrency replaces ClassMemRemote for COD streams
+// whose home node is on the other socket (2+ node hops): the longer QPI
+// path holds more lines in flight than the on-chip cluster-to-cluster path.
+const CODMemCrossSocketConcurrency = 13.0
+
+// ConcurrencyFor returns the calibrated table for a snoop mode.
+func ConcurrencyFor(mode machine.SnoopMode) Concurrency {
+	if mode == machine.COD {
+		return CODConcurrency
+	}
+	return DefaultConcurrency
+}
+
+// WriteConcurrency is the in-flight line count of store streams (RFO +
+// writeback), calibrated to the 7.7 GB/s single-core local memory write and
+// the 15 GB/s single-core L3 write bandwidth.
+type WriteConcurrency struct {
+	L3  float64
+	Mem float64
+}
+
+// DefaultWriteConcurrency is the calibrated store-stream table.
+var DefaultWriteConcurrency = WriteConcurrency{L3: 5.0, Mem: 11.6}
+
+// DatapathGBps returns the level-limited bandwidth of L1/L2 hits for a load
+// width, in GB/s. AVX loads run at the reduced AVX base frequency
+// (2 x 32 B x 2.1 GHz with ~95% issue efficiency = 127 GB/s); SSE loads
+// keep the nominal clock but only move 2 x 16 B per cycle.
+func DatapathGBps(class PathClass, w Width) float64 {
+	switch class {
+	case ClassL1:
+		if w == AVX256 {
+			return 127.2
+		}
+		return 77.1
+	case ClassL2:
+		if w == AVX256 {
+			return 69.1
+		}
+		return 48.2
+	default:
+		return 0 // not datapath-limited
+	}
+}

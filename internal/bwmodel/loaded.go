@@ -1,0 +1,49 @@
+package bwmodel
+
+// Loaded latency: how the unloaded access latencies of the paper's Section
+// VI degrade as the memory system approaches its bandwidth limits. The
+// paper measures unloaded latencies and saturated bandwidths; this model
+// connects the two endpoints (the classic "loaded latency" curve of tools
+// like Intel MLC), so workload studies can price memory accesses under
+// contention.
+
+// LoadedLatencyModel parameterizes the queueing behavior.
+type LoadedLatencyModel struct {
+	// ServiceNs is the additional queueing delay per outstanding request
+	// at the bottleneck when utilization reaches 50%.
+	ServiceNs float64
+	// MaxUtilization clamps the modeled utilization below 1 so the curve
+	// stays finite (hardware throttles injection before true saturation).
+	MaxUtilization float64
+}
+
+// DefaultLoadedLatency matches DDR4 controller behavior: tens of ns of
+// queueing at half load, a few hundred ns close to saturation.
+var DefaultLoadedLatency = LoadedLatencyModel{
+	ServiceNs:      28,
+	MaxUtilization: 0.97,
+}
+
+// Latency returns the expected access latency (ns) at the given offered
+// load against a capacity, starting from the unloaded base latency. The
+// M/M/1-style term ServiceNs * rho/(1-rho) reproduces the familiar hockey
+// stick: flat until ~60% utilization, then sharply rising.
+func (m LoadedLatencyModel) Latency(baseNs, offeredGBps, capacityGBps float64) float64 {
+	if capacityGBps <= 0 || offeredGBps <= 0 {
+		return baseNs
+	}
+	rho := offeredGBps / capacityGBps
+	if rho > m.MaxUtilization {
+		rho = m.MaxUtilization
+	}
+	return baseNs + m.ServiceNs*rho/(1-rho)
+}
+
+// Curve samples the loaded-latency curve at the given offered loads.
+func (m LoadedLatencyModel) Curve(baseNs, capacityGBps float64, offered []float64) []float64 {
+	out := make([]float64, len(offered))
+	for i, o := range offered {
+		out[i] = m.Latency(baseNs, o, capacityGBps)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package bwmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadedLatencyUnloaded(t *testing.T) {
+	m := DefaultLoadedLatency
+	if got := m.Latency(96.4, 0, 63); got != 96.4 {
+		t.Errorf("zero load latency = %v", got)
+	}
+	if got := m.Latency(96.4, 10, 0); got != 96.4 {
+		t.Errorf("zero capacity must return base, got %v", got)
+	}
+}
+
+func TestLoadedLatencyMonotone(t *testing.T) {
+	m := DefaultLoadedLatency
+	f := func(a, b uint8) bool {
+		x := float64(a) / 4
+		y := float64(b) / 4
+		if x > y {
+			x, y = y, x
+		}
+		return m.Latency(96.4, x, 63) <= m.Latency(96.4, y, 63)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadedLatencyShape(t *testing.T) {
+	m := DefaultLoadedLatency
+	base := 96.4
+	half := m.Latency(base, 31.5, 63)
+	near := m.Latency(base, 62, 63)
+	// Half load: roughly base + ServiceNs.
+	if math.Abs(half-(base+m.ServiceNs)) > 1 {
+		t.Errorf("half-load latency = %v", half)
+	}
+	// Near saturation: several times the base queueing.
+	if near < base+5*m.ServiceNs {
+		t.Errorf("near-saturation latency = %v, too flat", near)
+	}
+	// Clamp keeps it finite past capacity.
+	over := m.Latency(base, 100, 63)
+	if math.IsInf(over, 1) || over < near {
+		t.Errorf("over-capacity latency = %v", over)
+	}
+}
+
+func TestLoadedLatencyCurve(t *testing.T) {
+	m := DefaultLoadedLatency
+	offered := []float64{0, 10, 30, 50, 60}
+	curve := m.Curve(96.4, 63, offered)
+	if len(curve) != len(offered) {
+		t.Fatal("curve length mismatch")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("curve not monotone")
+		}
+	}
+}

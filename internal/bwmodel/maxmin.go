@@ -1,0 +1,90 @@
+package bwmodel
+
+// Flow is one bandwidth consumer in an aggregated scenario: a core (or a
+// group of cores) with an uncontended demand and a set of shared resources
+// it loads, each with a weight of bytes-consumed-per-byte-delivered (e.g. a
+// streaming write loads the memory channels with weight 2: RFO read plus
+// writeback).
+type Flow struct {
+	// Demand is the flow's uncontended bandwidth in GB/s (its
+	// single-stream measurement).
+	Demand float64
+	// Uses maps resource index to consumption weight.
+	Uses map[int]float64
+}
+
+// MaxMin allocates bandwidth to the flows under the resource capacities
+// (GB/s) by progressive capping: every saturated resource scales its
+// contributors down proportionally until no resource is oversubscribed.
+// With identical flows this yields the exact fair share; with heterogeneous
+// flows it converges to a proportional-fair allocation.
+func MaxMin(flows []Flow, caps []float64) []float64 {
+	alloc := make([]float64, len(flows))
+	for i, f := range flows {
+		alloc[i] = f.Demand
+	}
+	const (
+		maxIter = 100
+		epsilon = 1e-9
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		worst := 1.0
+		worstRes := -1
+		for r, cap := range caps {
+			if cap <= 0 {
+				continue
+			}
+			load := 0.0
+			for i, f := range flows {
+				if w, ok := f.Uses[r]; ok {
+					load += alloc[i] * w
+				}
+			}
+			if load > cap+epsilon {
+				if ratio := cap / load; ratio < worst {
+					worst = ratio
+					worstRes = r
+				}
+			}
+		}
+		if worstRes < 0 {
+			break
+		}
+		for i, f := range flows {
+			if _, ok := f.Uses[worstRes]; ok {
+				alloc[i] *= worst
+			}
+		}
+	}
+	return alloc
+}
+
+// Sum totals an allocation.
+func Sum(alloc []float64) float64 {
+	s := 0.0
+	for _, a := range alloc {
+		s += a
+	}
+	return s
+}
+
+// UniformFlows builds n identical flows with the given demand and resource
+// usage weights.
+func UniformFlows(n int, demand float64, uses map[int]float64) []Flow {
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{Demand: demand, Uses: uses}
+	}
+	return flows
+}
+
+// Aggregate is a convenience for the common homogeneous case: n cores with
+// identical per-core demand sharing one capacity with the given weight.
+// It returns the total delivered bandwidth.
+func Aggregate(n int, demand, capacity, weight float64) float64 {
+	total := float64(n) * demand
+	if total*weight > capacity {
+		return capacity / weight
+	}
+	return total
+}

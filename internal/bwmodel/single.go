@@ -1,0 +1,158 @@
+package bwmodel
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// lineBytes is the transfer granularity.
+const lineBytes = 64.0
+
+// StreamStat summarizes a bandwidth pass.
+type StreamStat struct {
+	// GBps is the modeled sustained bandwidth of the stream.
+	GBps float64
+	// N is the number of lines streamed.
+	N int
+	// ByClass counts lines per path class.
+	ByClass map[PathClass]int
+}
+
+// refineClass maps an access to its path class, using the forward level to
+// split core forwards into their L1/L2 variants.
+func refineClass(acc mesif.Access) PathClass {
+	c := classOf(acc)
+	if acc.Source == mesif.SrcCoreForward && acc.FwdLevel == 2 {
+		return ClassCoreFwdL2
+	}
+	return c
+}
+
+// bucket subdivides ClassMemRemote by socket distance in COD mode (the
+// cross-socket directory path sustains different MLP than the on-chip
+// cluster-to-cluster path).
+type bucket struct {
+	class PathClass
+	cross bool
+}
+
+// streamAccum aggregates per-bucket line counts and latency sums. A real
+// streaming loop overlaps the outstanding misses of one path class, so the
+// effective per-line time is the class's MEAN latency divided by its
+// concurrency — not a per-line maximum — bounded below by the datapath and
+// per-core transfer-engine limits.
+type streamAccum struct {
+	n     map[bucket]int
+	latNs map[bucket]float64
+}
+
+func newStreamAccum() *streamAccum {
+	return &streamAccum{n: make(map[bucket]int), latNs: make(map[bucket]float64)}
+}
+
+func (a *streamAccum) add(b bucket, latNs float64) {
+	a.n[b]++
+	a.latNs[b] += latNs
+}
+
+// readTime returns the total stream time in ns under a read concurrency
+// table.
+func (a *streamAccum) readTime(w Width, conc Concurrency) float64 {
+	total := 0.0
+	for b, n := range a.n {
+		mean := a.latNs[b] / float64(n)
+		c := conc[b.class]
+		if b.class == ClassMemRemote && b.cross {
+			c = CODMemCrossSocketConcurrency
+		}
+		t := mean / c
+		if dp := DatapathGBps(b.class, w); dp > 0 {
+			if dpT := lineBytes / dp; dpT > t {
+				t = dpT
+			}
+		}
+		if cap := PerCoreCap[b.class]; cap > 0 {
+			if capT := lineBytes / cap; capT > t {
+				t = capT
+			}
+		}
+		total += float64(n) * t
+	}
+	return total
+}
+
+// writeTime returns the total stream time in ns under a write concurrency
+// model.
+func (a *streamAccum) writeTime(wc WriteConcurrency) float64 {
+	total := 0.0
+	for b, n := range a.n {
+		mean := a.latNs[b] / float64(n)
+		c := wc.Mem
+		switch b.class {
+		case ClassL1, ClassL2, ClassL3, ClassL3Snoop:
+			c = wc.L3
+		}
+		total += float64(n) * mean / c
+	}
+	return total
+}
+
+// crossSocket reports whether the line's home is on another socket than the
+// core, for COD-mode memory-class bucketing.
+func crossSocket(e *mesif.Engine, core topology.CoreID, l addr.LineAddr) bool {
+	if e.M.Cfg.Mode != machine.COD {
+		return false
+	}
+	rn := e.M.Topo.NodeOfCore(core)
+	return e.M.Topo.SocketOfNode(rn) != e.M.Topo.SocketOfNode(e.M.HomeNode(l))
+}
+
+// ReadStream models a single-core streaming-read pass over the region: the
+// engine executes every line access (mutating all protocol state exactly as
+// the latency benchmark does), and each path class contributes its mean
+// latency divided by the class's effective concurrency, bounded by the
+// datapath widths and per-core transfer-engine caps.
+func ReadStream(e *mesif.Engine, core topology.CoreID, r addr.Region, w Width, conc Concurrency) StreamStat {
+	e.WorkingSet = r.Size
+	stat := StreamStat{ByClass: make(map[PathClass]int)}
+	acc := newStreamAccum()
+	lines := r.Lines()
+	for _, l := range lines {
+		a := e.Read(core, l)
+		class := refineClass(a)
+		stat.ByClass[class]++
+		b := bucket{class: class}
+		if class == ClassMemRemote {
+			b.cross = crossSocket(e, core, l)
+		}
+		acc.add(b, a.Latency.Nanoseconds())
+	}
+	stat.N = len(lines)
+	if totalNs := acc.readTime(w, conc); totalNs > 0 {
+		stat.GBps = float64(stat.N) * lineBytes / totalNs
+	}
+	return stat
+}
+
+// WriteStream models a single-core streaming-write pass: each line costs a
+// read-for-ownership (whose latency the engine computes) plus an eventual
+// writeback; the store stream keeps WriteConcurrency lines in flight.
+func WriteStream(e *mesif.Engine, core topology.CoreID, r addr.Region, wc WriteConcurrency) StreamStat {
+	e.WorkingSet = r.Size
+	stat := StreamStat{ByClass: make(map[PathClass]int)}
+	acc := newStreamAccum()
+	lines := r.Lines()
+	for _, l := range lines {
+		a := e.Write(core, l)
+		class := refineClass(a)
+		stat.ByClass[class]++
+		acc.add(bucket{class: class}, a.Latency.Nanoseconds())
+	}
+	stat.N = len(lines)
+	if totalNs := acc.writeTime(wc); totalNs > 0 {
+		stat.GBps = float64(stat.N) * lineBytes / totalNs
+	}
+	return stat
+}

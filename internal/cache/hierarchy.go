@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/units"
+)
+
+// Standard Haswell-EP cache geometries (Table II of the paper).
+var (
+	// L1DGeometry is the per-core 32 KiB, 8-way L1 data cache.
+	L1DGeometry = Geometry{SizeBytes: 32 * units.KiB, Ways: 8, Name: "L1D"}
+	// L2Geometry is the per-core 256 KiB, 8-way unified L2.
+	L2Geometry = Geometry{SizeBytes: 256 * units.KiB, Ways: 8, Name: "L2"}
+	// L3SliceGeometry is one 2.5 MiB, 20-way slice of the shared L3.
+	L3SliceGeometry = Geometry{SizeBytes: 2560 * units.KiB, Ways: 20, Name: "L3 slice"}
+)
+
+// CoreCaches bundles the private caches of one core. L1 and L2 on Haswell
+// are not inclusive of each other; a line lives in L1, or L2, or both
+// (we model the common post-fill state: present in both after a demand
+// miss, with L2 retaining the line after L1 eviction).
+type CoreCaches struct {
+	Core int // die-local core id
+	L1D  *Cache
+	L2   *Cache
+}
+
+// NewCoreCaches builds empty L1/L2 caches for die-local core id.
+func NewCoreCaches(core int) *CoreCaches {
+	l1 := L1DGeometry
+	l1.Name = fmt.Sprintf("core%d L1D", core)
+	l2 := L2Geometry
+	l2.Name = fmt.Sprintf("core%d L2", core)
+	return &CoreCaches{Core: core, L1D: New(l1), L2: New(l2)}
+}
+
+// HighestLevelState returns the innermost private-cache level holding the
+// line and its state: 1 for L1D, 2 for L2, 0 when absent from both.
+func (cc *CoreCaches) HighestLevelState(l addr.LineAddr) (level int, st State) {
+	if s := cc.L1D.StateOf(l); s.Valid() {
+		return 1, s
+	}
+	if s := cc.L2.StateOf(l); s.Valid() {
+		return 2, s
+	}
+	return 0, Invalid
+}
+
+// HasValid reports whether either private cache holds a valid copy.
+func (cc *CoreCaches) HasValid(l addr.LineAddr) bool {
+	lvl, _ := cc.HighestLevelState(l)
+	return lvl != 0
+}
+
+// InvalidateBoth drops the line from L1 and L2, returning the most
+// authoritative dropped state (Modified wins over anything else).
+func (cc *CoreCaches) InvalidateBoth(l addr.LineAddr) State {
+	s1, ok1 := cc.L1D.Invalidate(l)
+	s2, ok2 := cc.L2.Invalidate(l)
+	switch {
+	case ok1 && s1.State == Modified:
+		return Modified
+	case ok2 && s2.State == Modified:
+		return Modified
+	case ok1:
+		return s1.State
+	case ok2:
+		return s2.State
+	default:
+		return Invalid
+	}
+}
+
+// Downgrade changes the line's state in both private caches (used when a
+// snoop demotes M/E to S, etc.). Absent levels are left untouched.
+func (cc *CoreCaches) Downgrade(l addr.LineAddr, to State) {
+	cc.L1D.Update(l, func(ln *Line) { ln.State = to })
+	cc.L2.Update(l, func(ln *Line) { ln.State = to })
+}
+
+// L3Slice is one slice of the distributed, inclusive L3. Besides the line
+// state it maintains the core-valid bit vector that tells the caching agent
+// which cores of the local node may hold the line in their private caches.
+type L3Slice struct {
+	Slice int // die-local slice id
+	*Cache
+}
+
+// NewL3Slice builds an empty slice with the standard geometry.
+func NewL3Slice(slice int) *L3Slice {
+	g := L3SliceGeometry
+	g.Name = fmt.Sprintf("L3 slice %d", slice)
+	return &L3Slice{Slice: slice, Cache: New(g)}
+}
+
+// SetCoreValid sets or clears the core-valid bit for die-local core on a
+// present line. Absent lines are ignored (returns false).
+func (s *L3Slice) SetCoreValid(l addr.LineAddr, core int, valid bool) bool {
+	return s.Update(l, func(ln *Line) {
+		if valid {
+			ln.CoreValid |= 1 << uint(core)
+		} else {
+			ln.CoreValid &^= 1 << uint(core)
+		}
+	})
+}
+
+// CoreValidBits returns the core-valid vector of a present line.
+func (s *L3Slice) CoreValidBits(l addr.LineAddr) uint32 {
+	ln, ok := s.Lookup(l)
+	if !ok {
+		return 0
+	}
+	return ln.CoreValid
+}
+
+// PopcountValid returns the number of core-valid bits set on the line.
+func (s *L3Slice) PopcountValid(l addr.LineAddr) int {
+	v := s.CoreValidBits(l)
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Package cache implements the set-associative caches of the simulated
+// machine: per-core L1D and L2 caches and the distributed, inclusive L3
+// slices with per-core valid bits, all keeping 64-byte lines in MESIF
+// coherence states with true-LRU replacement.
+package cache
+
+import "fmt"
+
+// State is a MESIF coherence state of a cached line.
+type State int
+
+// The five MESIF states (Section IV-A). Invalid is the zero value so an
+// absent line naturally reads as Invalid.
+const (
+	// Invalid: the line is not present / unusable.
+	Invalid State = iota
+	// Shared: one of possibly many clean read-only copies.
+	Shared
+	// Exclusive: the only cached copy, clean.
+	Exclusive
+	// Modified: the only cached copy, dirty.
+	Modified
+	// Forward: a shared copy designated to answer requests. At most one
+	// Forward copy of a line exists system-wide at any time.
+	Forward
+)
+
+// String returns the canonical one-letter name plus word.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Forward:
+		return "F"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Valid reports whether the state denotes a usable copy.
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the copy differs from memory.
+func (s State) Dirty() bool { return s == Modified }
+
+// Unique reports whether the protocol guarantees no other cache holds the
+// line (Exclusive or Modified).
+func (s State) Unique() bool { return s == Exclusive || s == Modified }
+
+// CanForward reports whether a cache holding the line in this state answers
+// read requests with a cache-to-cache transfer (M, E, or F — Section IV-B).
+func (s State) CanForward() bool {
+	return s == Modified || s == Exclusive || s == Forward
+}
+
+// SharedLike reports whether the state is one of the clean-shared states
+// (Shared or Forward).
+func (s State) SharedLike() bool { return s == Shared || s == Forward }

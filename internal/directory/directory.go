@@ -1,0 +1,300 @@
+// Package directory implements the two directory structures Haswell-EP's
+// home agents use to reduce snoop traffic (Sections II and IV of the paper):
+//
+//   - The in-memory directory of the "directory assisted snoop broadcast"
+//     (DAS) protocol [4]: two bits per cache line, stored in the memory ECC
+//     bits, encoding remote-invalid / shared / snoop-all.
+//   - The "HitME" directory cache [5]: a small (14 KiB per home agent)
+//     cache of 8-bit node-presence vectors for hotly contested (migratory)
+//     lines, with the AllocateShared allocation policy.
+//
+// Both are consulted and maintained by the home agents in package mesif when
+// the machine runs in COD mode.
+package directory
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/units"
+)
+
+// MemState is the 2-bit in-memory directory state of a line.
+type MemState uint8
+
+// In-memory directory states ([4], Section IV-A).
+const (
+	// RemoteInvalid: no caching agent outside the home node holds the
+	// line. The home agent may answer from memory without any snoop.
+	RemoteInvalid MemState = iota
+	// SharedRemote: one or more clean copies exist outside the home node.
+	// Reads can still be answered from memory; invalidations must snoop.
+	SharedRemote
+	// SnoopAll: a potentially modified copy may exist in another node;
+	// the home agent must snoop before answering (unless the HitME cache
+	// proves the line is merely shared).
+	SnoopAll
+)
+
+// String names the state.
+func (s MemState) String() string {
+	switch s {
+	case RemoteInvalid:
+		return "remote-invalid"
+	case SharedRemote:
+		return "shared"
+	case SnoopAll:
+		return "snoop-all"
+	default:
+		return fmt.Sprintf("MemState(%d)", int(s))
+	}
+}
+
+// InMemory is the per-home-agent in-memory directory. Absent entries read
+// as RemoteInvalid, exactly like freshly initialized ECC directory bits.
+type InMemory struct {
+	m map[addr.LineAddr]MemState
+	// writes counts directory update operations (each implies a memory
+	// write of the ECC bits).
+	writes uint64
+}
+
+// NewInMemory builds an empty in-memory directory.
+func NewInMemory() *InMemory {
+	return &InMemory{m: make(map[addr.LineAddr]MemState)}
+}
+
+// State returns the directory state of a line.
+func (d *InMemory) State(l addr.LineAddr) MemState { return d.m[l] }
+
+// SetState updates the directory state of a line, counting a write when the
+// state actually changes.
+func (d *InMemory) SetState(l addr.LineAddr, s MemState) {
+	if d.m[l] == s {
+		return
+	}
+	d.writes++
+	if s == RemoteInvalid {
+		delete(d.m, l)
+		return
+	}
+	d.m[l] = s
+}
+
+// Writes returns how many directory state changes occurred.
+func (d *InMemory) Writes() uint64 { return d.writes }
+
+// Len returns the number of lines in a non-default state.
+func (d *InMemory) Len() int { return len(d.m) }
+
+// Clear resets every line to RemoteInvalid.
+func (d *InMemory) Clear() {
+	d.m = make(map[addr.LineAddr]MemState)
+	d.writes = 0
+}
+
+// PresenceVector is a bitmask of NUMA nodes holding a copy of a line; the
+// HitME cache stores 8-bit vectors, so at most 8 nodes are supported.
+type PresenceVector uint8
+
+// With returns the vector with node's bit set.
+func (v PresenceVector) With(node int) PresenceVector { return v | 1<<uint(node) }
+
+// Without returns the vector with node's bit cleared.
+func (v PresenceVector) Without(node int) PresenceVector { return v &^ (1 << uint(node)) }
+
+// Has reports whether node's bit is set.
+func (v PresenceVector) Has(node int) bool { return v&(1<<uint(node)) != 0 }
+
+// Count returns the number of nodes present.
+func (v PresenceVector) Count() int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// Nodes lists the node ids present in the vector, ascending.
+func (v PresenceVector) Nodes() []int {
+	var out []int
+	for i := 0; i < 8; i++ {
+		if v.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EntryKind distinguishes how a HitME entry was allocated and therefore how
+// the home agent may use it.
+type EntryKind uint8
+
+// HitME entry kinds.
+const (
+	// EntryShared: the line was forwarded in state Forward to a node
+	// outside the home node (AllocateShared). The memory copy is valid
+	// and the home agent may forward it without snooping.
+	EntryShared EntryKind = iota
+	// EntryOwned: the line was granted for modification (or forwarded
+	// while modified) to the node recorded in the vector; the home agent
+	// sends a directed snoop to that node instead of broadcasting.
+	EntryOwned
+)
+
+// String names the kind.
+func (k EntryKind) String() string {
+	if k == EntryOwned {
+		return "owned"
+	}
+	return "shared"
+}
+
+// hitmeEntry is one directory cache entry: a tagged presence vector.
+type hitmeEntry struct {
+	tag    addr.LineAddr
+	vector PresenceVector
+	kind   EntryKind
+	valid  bool
+}
+
+// HitMECacheBytes is the capacity of one home agent's directory cache
+// (Section IV-D: "with only 14 KiB per home agent these caches are very
+// small").
+const HitMECacheBytes = 14 * units.KiB
+
+// hitmeEntryBytes is the modeled storage cost of one entry (tag + vector).
+const hitmeEntryBytes = 2
+
+// hitmeWays is the associativity of the directory cache.
+const hitmeWays = 8
+
+// HitME is one home agent's directory cache. Entries are allocated under
+// the AllocateShared policy [5]: only lines that are forwarded between
+// caching agents in different NUMA nodes — with the requester outside the
+// home node — are entered. A valid entry lets the home agent answer reads
+// of shared lines from memory without a snoop broadcast even though the
+// in-memory directory says snoop-all.
+type HitME struct {
+	sets [][]hitmeEntry // per set, MRU first
+
+	hits, misses, allocs, evictions uint64
+}
+
+// NewHitME builds an empty directory cache of the standard 14 KiB size.
+func NewHitME() *HitME { return NewHitMESized(HitMECacheBytes) }
+
+// NewHitMESized builds a directory cache of an arbitrary capacity (for the
+// ablation studies exploring how the cache size moves the Figure 7
+// transition). Sizes below one set round up.
+func NewHitMESized(bytes int64) *HitME {
+	entries := int(bytes) / hitmeEntryBytes
+	nsets := entries / hitmeWays
+	if nsets < 1 {
+		nsets = 1
+	}
+	return &HitME{sets: make([][]hitmeEntry, nsets)}
+}
+
+// setOf returns the set index for a line.
+func (h *HitME) setOf(l addr.LineAddr) int {
+	// Multiplicative hash then modulo; the set count is not a power of
+	// two (896 sets), so plain modulo indexing is used.
+	x := uint64(l) * 0x9e3779b97f4a7c15
+	return int((x >> 32) % uint64(len(h.sets)))
+}
+
+// Lookup returns the presence vector and kind for a line and whether the
+// directory cache holds it. A hit refreshes LRU order.
+func (h *HitME) Lookup(l addr.LineAddr) (PresenceVector, EntryKind, bool) {
+	set := h.sets[h.setOf(l)]
+	for i, e := range set {
+		if e.valid && e.tag == l {
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			h.hits++
+			return e.vector, e.kind, true
+		}
+	}
+	h.misses++
+	return 0, EntryShared, false
+}
+
+// Peek returns the presence vector and kind without touching LRU order or
+// counters.
+func (h *HitME) Peek(l addr.LineAddr) (PresenceVector, EntryKind, bool) {
+	for _, e := range h.sets[h.setOf(l)] {
+		if e.valid && e.tag == l {
+			return e.vector, e.kind, true
+		}
+	}
+	return 0, EntryShared, false
+}
+
+// Allocate installs or updates the entry for a line. When the set is full
+// the LRU entry is evicted; the evicted line is returned so the home agent
+// can account for the stale snoop-all state it leaves behind in memory.
+func (h *HitME) Allocate(l addr.LineAddr, v PresenceVector, kind EntryKind) (evictedLine addr.LineAddr, evicted bool) {
+	si := h.setOf(l)
+	set := h.sets[si]
+	for i, e := range set {
+		if e.valid && e.tag == l {
+			copy(set[1:i+1], set[:i])
+			set[0] = hitmeEntry{tag: l, vector: v, kind: kind, valid: true}
+			return 0, false
+		}
+	}
+	h.allocs++
+	if len(set) < hitmeWays {
+		set = append(set, hitmeEntry{})
+		copy(set[1:], set[:len(set)-1])
+		set[0] = hitmeEntry{tag: l, vector: v, kind: kind, valid: true}
+		h.sets[si] = set
+		return 0, false
+	}
+	victim := set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = hitmeEntry{tag: l, vector: v, kind: kind, valid: true}
+	h.evictions++
+	return victim.tag, true
+}
+
+// Invalidate drops a line's entry if present.
+func (h *HitME) Invalidate(l addr.LineAddr) bool {
+	si := h.setOf(l)
+	set := h.sets[si]
+	for i, e := range set {
+		if e.valid && e.tag == l {
+			copy(set[i:], set[i+1:])
+			h.sets[si] = set[:len(set)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of valid entries.
+func (h *HitME) Len() int {
+	n := 0
+	for _, set := range h.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// Capacity returns the maximum number of entries.
+func (h *HitME) Capacity() int { return len(h.sets) * hitmeWays }
+
+// Clear drops every entry and zeroes counters.
+func (h *HitME) Clear() {
+	for i := range h.sets {
+		h.sets[i] = nil
+	}
+	h.hits, h.misses, h.allocs, h.evictions = 0, 0, 0, 0
+}
+
+// Stats returns hit/miss/alloc/eviction counters.
+func (h *HitME) Stats() (hits, misses, allocs, evictions uint64) {
+	return h.hits, h.misses, h.allocs, h.evictions
+}

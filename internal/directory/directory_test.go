@@ -1,0 +1,244 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"haswellep/internal/addr"
+)
+
+func TestMemStateStrings(t *testing.T) {
+	cases := map[MemState]string{
+		RemoteInvalid: "remote-invalid",
+		SharedRemote:  "shared",
+		SnoopAll:      "snoop-all",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d = %q, want %q", s, got, want)
+		}
+	}
+	if MemState(9).String() != "MemState(9)" {
+		t.Error("unknown state string")
+	}
+}
+
+func TestInMemoryDefaults(t *testing.T) {
+	d := NewInMemory()
+	if d.State(123) != RemoteInvalid {
+		t.Error("untouched line must be remote-invalid")
+	}
+	if d.Len() != 0 || d.Writes() != 0 {
+		t.Error("fresh directory not empty")
+	}
+}
+
+func TestInMemorySetState(t *testing.T) {
+	d := NewInMemory()
+	d.SetState(1, SnoopAll)
+	if d.State(1) != SnoopAll || d.Len() != 1 || d.Writes() != 1 {
+		t.Error("SetState failed")
+	}
+	d.SetState(1, SnoopAll) // no-op must not count a write
+	if d.Writes() != 1 {
+		t.Error("idempotent SetState counted a write")
+	}
+	d.SetState(1, RemoteInvalid)
+	if d.Len() != 0 || d.Writes() != 2 {
+		t.Error("reset to remote-invalid must drop the entry and count")
+	}
+	d.SetState(2, SharedRemote)
+	d.Clear()
+	if d.Len() != 0 || d.State(2) != RemoteInvalid || d.Writes() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestPresenceVector(t *testing.T) {
+	var v PresenceVector
+	v = v.With(0).With(3).With(7)
+	if !v.Has(0) || !v.Has(3) || !v.Has(7) || v.Has(1) {
+		t.Error("Has wrong")
+	}
+	if v.Count() != 3 {
+		t.Errorf("Count = %d", v.Count())
+	}
+	if nodes := v.Nodes(); len(nodes) != 3 || nodes[0] != 0 || nodes[1] != 3 || nodes[2] != 7 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	v = v.Without(3)
+	if v.Has(3) || v.Count() != 2 {
+		t.Error("Without failed")
+	}
+}
+
+func TestPresenceVectorProperties(t *testing.T) {
+	f := func(bits uint8, n uint8) bool {
+		v := PresenceVector(bits)
+		node := int(n % 8)
+		w := v.With(node)
+		if !w.Has(node) {
+			return false
+		}
+		x := w.Without(node)
+		if x.Has(node) {
+			return false
+		}
+		// Count equals number of listed nodes.
+		return v.Count() == len(v.Nodes())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryKindString(t *testing.T) {
+	if EntryShared.String() != "shared" || EntryOwned.String() != "owned" {
+		t.Error("entry kind names wrong")
+	}
+}
+
+func TestHitMECapacity(t *testing.T) {
+	h := NewHitME()
+	// 14 KiB at 2 bytes per entry = 7168 entries (Section IV-D's "very
+	// small" directory cache).
+	if h.Capacity() != 7168 {
+		t.Errorf("capacity = %d, want 7168", h.Capacity())
+	}
+	if h.Len() != 0 {
+		t.Error("fresh cache not empty")
+	}
+}
+
+func TestHitMELookupAllocate(t *testing.T) {
+	h := NewHitME()
+	if _, _, ok := h.Lookup(1); ok {
+		t.Error("lookup in empty cache hit")
+	}
+	h.Allocate(1, PresenceVector(0).With(2), EntryShared)
+	v, kind, ok := h.Lookup(1)
+	if !ok || !v.Has(2) || kind != EntryShared {
+		t.Error("allocated entry not found")
+	}
+	// Update in place.
+	h.Allocate(1, v.With(3), EntryOwned)
+	v2, kind2, _ := h.Lookup(1)
+	if !v2.Has(3) || kind2 != EntryOwned {
+		t.Error("in-place allocate failed")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	hits, misses, allocs, _ := h.Stats()
+	if hits != 2 || misses != 1 || allocs != 1 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, allocs)
+	}
+}
+
+func TestHitMEPeek(t *testing.T) {
+	h := NewHitME()
+	h.Allocate(5, PresenceVector(0).With(1), EntryShared)
+	if _, _, ok := h.Peek(5); !ok {
+		t.Error("Peek missed")
+	}
+	hits, misses, _, _ := h.Stats()
+	if hits != 0 || misses != 0 {
+		t.Error("Peek must not count")
+	}
+}
+
+func TestHitMEInvalidate(t *testing.T) {
+	h := NewHitME()
+	h.Allocate(5, 1, EntryShared)
+	if !h.Invalidate(5) {
+		t.Error("invalidate missed present entry")
+	}
+	if h.Invalidate(5) {
+		t.Error("double invalidate hit")
+	}
+	if h.Len() != 0 {
+		t.Error("entry survived invalidate")
+	}
+}
+
+func TestHitMEEviction(t *testing.T) {
+	h := NewHitME()
+	// Overfill by a wide margin; evictions must occur and Len stays at
+	// capacity.
+	n := h.Capacity() * 2
+	for i := 0; i < n; i++ {
+		h.Allocate(addr.LineAddr(i), 1, EntryShared)
+	}
+	if h.Len() != h.Capacity() {
+		t.Errorf("Len = %d, want %d", h.Len(), h.Capacity())
+	}
+	_, _, _, evictions := h.Stats()
+	if evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestHitMEEvictionReportsVictim(t *testing.T) {
+	h := NewHitME()
+	// Fill one set by brute force: allocate many lines, track which are
+	// reported evicted, and verify an evicted line misses afterwards.
+	evicted := map[addr.LineAddr]bool{}
+	for i := 0; i < h.Capacity()*3; i++ {
+		if victim, ev := h.Allocate(addr.LineAddr(i), 1, EntryShared); ev {
+			evicted[victim] = true
+			delete(evicted, addr.LineAddr(i))
+		}
+	}
+	checked := 0
+	for l := range evicted {
+		if _, _, ok := h.Peek(l); ok {
+			t.Fatalf("evicted line %d still present", l)
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no evictions observed")
+	}
+}
+
+func TestHitMELRUWithinSet(t *testing.T) {
+	h := NewHitME()
+	// Find 9 lines mapping to the same set (8 ways): the first allocated
+	// line must be the eviction victim unless touched.
+	target := h.setOf(0)
+	var same []addr.LineAddr
+	for l := addr.LineAddr(0); len(same) < 9; l++ {
+		if h.setOf(l) == target {
+			same = append(same, l)
+		}
+	}
+	for _, l := range same[:8] {
+		h.Allocate(l, 1, EntryShared)
+	}
+	// Refresh the oldest; the second-oldest becomes the victim.
+	h.Lookup(same[0])
+	victim, ev := h.Allocate(same[8], 1, EntryShared)
+	if !ev {
+		t.Fatal("ninth entry in a full set must evict")
+	}
+	if victim != same[1] {
+		t.Errorf("victim = %d, want %d (LRU after refresh)", victim, same[1])
+	}
+}
+
+func TestHitMEClear(t *testing.T) {
+	h := NewHitME()
+	h.Allocate(1, 1, EntryShared)
+	h.Lookup(1)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	hits, misses, allocs, evictions := h.Stats()
+	if hits+misses+allocs+evictions != 0 {
+		t.Error("Clear left stats")
+	}
+}

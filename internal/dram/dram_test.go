@@ -1,0 +1,126 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"haswellep/internal/units"
+)
+
+func TestPeakBandwidths(t *testing.T) {
+	// DDR4-2133 x 8 bytes = 17.064 GB/s per channel, two channels per IMC.
+	if got := DDR4_2133.PeakChannelBandwidth().GBps(); math.Abs(got-17.064) > 0.001 {
+		t.Errorf("channel peak = %v", got)
+	}
+	if got := DDR4_2133.PeakBandwidth().GBps(); math.Abs(got-34.128) > 0.001 {
+		t.Errorf("IMC peak = %v", got)
+	}
+	// Four channels per socket = 68.3 GB/s (Section V-A).
+	if got := 2 * DDR4_2133.PeakBandwidth().GBps(); math.Abs(got-68.256) > 0.01 {
+		t.Errorf("socket peak = %v", got)
+	}
+}
+
+func TestNewControllerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config must panic")
+		}
+	}()
+	NewController(Config{})
+}
+
+func TestOpenPageHitRateShape(t *testing.T) {
+	c := NewController(DDR4_2133)
+	openCap := int64(DDR4_2133.BanksPerChannel) * int64(DDR4_2133.Channels) * DDR4_2133.RowBufferBytes
+	if openCap != 256*units.KiB {
+		t.Fatalf("open capacity = %d, want 256 KiB (footnote 7's threshold)", openCap)
+	}
+	small := c.OpenPageHitRate(64 * units.KiB)
+	atCap := c.OpenPageHitRate(openCap)
+	large := c.OpenPageHitRate(64 * units.MiB)
+	if small != atCap {
+		t.Error("hit rate must be flat below the open-row capacity")
+	}
+	if large >= atCap {
+		t.Error("hit rate must fall beyond the open-row capacity")
+	}
+	if large < 0.1 || small > 0.95 {
+		t.Errorf("hit rates out of plausible range: small=%v large=%v", small, large)
+	}
+	if got := c.OpenPageHitRate(0); got != large && got > 0.2 {
+		t.Errorf("unknown footprint must assume no locality, got %v", got)
+	}
+}
+
+func TestOpenPageHitRateMonotone(t *testing.T) {
+	c := NewController(DDR4_2133)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		if x == 0 {
+			x = 1
+		}
+		return c.OpenPageHitRate(x) >= c.OpenPageHitRate(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTime(t *testing.T) {
+	c := NewController(DDR4_2133)
+	small := c.AccessTime(32 * units.KiB)
+	large := c.AccessTime(256 * units.MiB)
+	if small >= large {
+		t.Errorf("small-footprint access (%v) must beat large (%v)", small, large)
+	}
+	// The open-page dip is the footnote-7 effect: tens of ns.
+	dip := large.Nanoseconds() - small.Nanoseconds()
+	if dip < 10 || dip > 40 {
+		t.Errorf("open-page dip = %.1f ns, expected 10-40", dip)
+	}
+	// Large-footprint latency feeds the 96.4 ns local memory total; the
+	// DRAM part must stay in the DDR4 ballpark.
+	if l := large.Nanoseconds(); l < 55 || l > 85 {
+		t.Errorf("large-footprint DRAM latency = %.1f ns", l)
+	}
+}
+
+func TestSustainedBandwidths(t *testing.T) {
+	c := NewController(DDR4_2133)
+	read := c.SustainedReadBandwidth().GBps()
+	// Two sustained IMCs must land near the paper's 63 GB/s socket read.
+	if socket := 2 * read; socket < 61 || socket > 65 {
+		t.Errorf("sustained socket read = %v", socket)
+	}
+	write := c.SustainedWriteBandwidth().GBps()
+	// Halved by RFO+WB this must land near the paper's 26.5 GB/s.
+	if w := 2 * write / 2; w < 25 || w > 28 {
+		t.Errorf("delivered socket write = %v", w)
+	}
+	if write >= read {
+		t.Error("write bus efficiency must trail read efficiency")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewController(DDR4_2133)
+	c.RecordRead()
+	c.RecordRead()
+	c.RecordWrite()
+	r, w := c.Stats()
+	if r != 2 || w != 1 {
+		t.Errorf("stats = %d/%d", r, w)
+	}
+	c.ResetStats()
+	if r, w := c.Stats(); r != 0 || w != 0 {
+		t.Error("ResetStats failed")
+	}
+	if c.Config().Channels != 2 {
+		t.Error("Config accessor wrong")
+	}
+}

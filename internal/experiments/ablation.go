@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/report"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// The ablation experiments probe the design choices DESIGN.md calls out:
+// what the in-memory directory buys a home-snooped protocol, what the HitME
+// directory cache's size buys COD mode, and how snoop traffic scales with
+// the node count — the motivation for the DAS protocol [4] the paper
+// describes in Section IV-A.
+
+// AblationDirectoryResult compares plain home snooping against home
+// snooping with DAS directory support on the two-socket system.
+type AblationDirectoryResult struct {
+	Table *report.Table
+	// LocalMemNs / RemoteL3Ns / SnoopsPerMiss per row: [plain, directory].
+	LocalMemNs    [2]float64
+	RemoteL3Ns    [2]float64
+	SnoopsPerMiss [2]float64
+}
+
+// AblationDirectory measures what [16, Section 2.5]'s advice ("the
+// directory should not be used in typical two-socket systems") trades away:
+// the directory removes the snoop-response wait on local memory (the
+// +12% home-snoop penalty of Section VI-B) and most QPI snoop traffic, at
+// the price of directory maintenance and stale-state broadcasts.
+func AblationDirectory() AblationDirectoryResult {
+	res := AblationDirectoryResult{}
+	for i, force := range []bool{false, true} {
+		cfg := machine.TestSystem(machine.HomeSnoop)
+		cfg.ForceDirectory = force
+		m := machine.MustNew(cfg)
+		e := mesif.New(m)
+		p := placement.New(e)
+
+		// Local memory latency.
+		r := m.MustAlloc(0, SizeMem)
+		p.Modified(0, r)
+		p.FlushAll(0, r)
+		e.ResetStats()
+		stat := bench.Latency(e, 0, r)
+		res.LocalMemNs[i] = stat.MeanNs
+		st := e.Stats()
+		res.SnoopsPerMiss[i] = float64(st.SnoopsSent) / float64(stat.N)
+
+		// Remote L3 (exclusive).
+		m.Reset()
+		r2 := m.MustAlloc(1, SizeL3n)
+		p.Exclusive(12, r2)
+		res.RemoteL3Ns[i] = bench.Latency(e, 0, r2).MeanNs
+	}
+
+	tbl := report.NewTable(
+		"Ablation: DAS directory on the two-socket home-snoop system",
+		"metric", "home snoop", "home snoop + directory")
+	tbl.AddRow("local memory latency (ns)", fmtNs(res.LocalMemNs[0]), fmtNs(res.LocalMemNs[1]))
+	tbl.AddRow("remote L3 latency (ns)", fmtNs(res.RemoteL3Ns[0]), fmtNs(res.RemoteL3Ns[1]))
+	tbl.AddRow("snoops per local memory read", fmt.Sprintf("%.2f", res.SnoopsPerMiss[0]), fmt.Sprintf("%.2f", res.SnoopsPerMiss[1]))
+	res.Table = tbl
+	return res
+}
+
+// AblationHitMEResult records the DRAM-response fraction of the Figure 7
+// scenario per directory cache size and dataset size.
+type AblationHitMEResult struct {
+	Table *report.Table
+	// Fraction[sizeIdx][dsIdx]: DRAM-response fraction.
+	Fraction [][]float64
+	// CacheBytes and DataSizes index the matrix.
+	CacheBytes []int64
+	DataSizes  []int64
+}
+
+// AblationHitME sweeps the directory cache capacity and repeats the
+// Figure 7 scenario (node0 reads lines shared between the home node and a
+// third node): the dataset size up to which the home agent can keep
+// forwarding from memory scales with the cache size, and without a cache
+// every access pays the broadcast.
+func AblationHitME() AblationHitMEResult {
+	res := AblationHitMEResult{
+		CacheBytes: []int64{0, 3584, 14 * units.KiB, 56 * units.KiB, 224 * units.KiB},
+		DataSizes:  []int64{64 * units.KiB, 256 * units.KiB, 1 * units.MiB, 4 * units.MiB},
+	}
+	headers := []string{"HitME capacity"}
+	for _, ds := range res.DataSizes {
+		headers = append(headers, units.HumanBytes(ds))
+	}
+	tbl := report.NewTable(
+		"Ablation: DRAM-response fraction of the Figure 7 scenario vs directory cache size",
+		headers...)
+
+	for _, bytes := range res.CacheBytes {
+		cfg := machine.TestSystem(machine.COD)
+		if bytes == 0 {
+			cfg.DisableHitME = true
+		} else {
+			cfg.HitMEBytes = bytes
+		}
+		m := machine.MustNew(cfg)
+		e := mesif.New(m)
+		p := placement.New(e)
+
+		label := units.HumanBytes(bytes)
+		if bytes == 0 {
+			label = "disabled"
+		}
+		row := []string{label}
+		var fracs []float64
+		for _, ds := range res.DataSizes {
+			m.Reset()
+			r := m.MustAlloc(1, ds)
+			p.Shared(r, 6, 12) // home node1 places, node2 takes F
+			stat := bench.Latency(e, 0, r)
+			frac := float64(stat.BySource[mesif.SrcMemoryForward]+stat.BySource[mesif.SrcMemory]) / float64(stat.N)
+			fracs = append(fracs, frac)
+			row = append(row, fmt.Sprintf("%.2f", frac))
+		}
+		res.Fraction = append(res.Fraction, fracs)
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	return res
+}
+
+// AblationSnoopTrafficResult records snoop messages per memory access as
+// the system grows.
+type AblationSnoopTrafficResult struct {
+	Table *report.Table
+	// Snoops[cfgIdx][socketIdx] = snoops per local-memory read;
+	// QPISnoops likewise for link-crossing snoops.
+	Snoops    [][]float64
+	QPISnoops [][]float64
+	Sockets   []int
+}
+
+// AblationSnoopTraffic measures snoop messages per local memory read for
+// one to four sockets under source snooping, home snooping, and home
+// snooping with directory — the scalability argument behind the DAS
+// protocol (Section IV-A: "broadcasts quickly become expensive for an
+// increasing number of nodes").
+func AblationSnoopTraffic() AblationSnoopTrafficResult {
+	res := AblationSnoopTrafficResult{Sockets: []int{1, 2, 4}}
+	type cfgSpec struct {
+		name  string
+		mode  machine.SnoopMode
+		force bool
+	}
+	cfgs := []cfgSpec{
+		{"source snoop", machine.SourceSnoop, false},
+		{"home snoop", machine.HomeSnoop, false},
+		{"home snoop + directory", machine.HomeSnoop, true},
+	}
+	headers := []string{"configuration"}
+	for _, s := range res.Sockets {
+		headers = append(headers, fmt.Sprintf("%d socket(s)", s))
+	}
+	tbl := report.NewTable(
+		"Ablation: snoops per local memory read (QPI-crossing snoops in parentheses)",
+		headers...)
+
+	for _, spec := range cfgs {
+		var snoops, qpi []float64
+		row := []string{spec.name}
+		for _, sockets := range res.Sockets {
+			cfg := machine.TestSystem(spec.mode)
+			cfg.Sockets = sockets
+			cfg.ForceDirectory = spec.force
+			m := machine.MustNew(cfg)
+			e := mesif.New(m)
+			p := placement.New(e)
+			r := m.MustAlloc(0, 4*units.MiB)
+			p.Modified(0, r)
+			p.FlushAll(0, r)
+			e.ResetStats()
+			stat := bench.Latency(e, 0, r)
+			st := e.Stats()
+			perAccess := float64(st.SnoopsSent) / float64(stat.N)
+			qpiPer := float64(st.SnoopsQPI) / float64(stat.N)
+			snoops = append(snoops, perAccess)
+			qpi = append(qpi, qpiPer)
+			row = append(row, fmt.Sprintf("%.2f (%.2f)", perAccess, qpiPer))
+		}
+		res.Snoops = append(res.Snoops, snoops)
+		res.QPISnoops = append(res.QPISnoops, qpi)
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	return res
+}
+
+// AblationDieVariants measures the local L3 latency on each die variant:
+// the single-ring 8-core die has shorter average stop distances than the
+// partitioned 12- and 18-core dies (Section III-B's scalability remark).
+func AblationDieVariants() *report.Table {
+	tbl := report.NewTable(
+		"Ablation: local L3 latency per die variant (source snoop)",
+		"die", "cores", "L3 latency (ns)")
+	for _, v := range []topology.DieVariant{topology.Die8, topology.Die12, topology.Die18} {
+		cfg := machine.TestSystem(machine.SourceSnoop)
+		cfg.Die = v
+		m := machine.MustNew(cfg)
+		e := mesif.New(m)
+		p := placement.New(e)
+		r := m.MustAlloc(0, SizeL3n)
+		p.Exclusive(0, r)
+		stat := bench.Latency(e, 0, r)
+		tbl.AddRow(v.String(), fmt.Sprintf("%d", v.Cores()), fmtNs(stat.MeanNs))
+	}
+	return tbl
+}

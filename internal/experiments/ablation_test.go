@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sscan parses one float from a table cell.
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// TestAblationDirectory: DAS directory support removes the home-snoop
+// local-memory penalty (Section VI-B's +12%) and the QPI snoop traffic for
+// private data — the trade [16, Section 2.5] describes.
+func TestAblationDirectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	res := AblationDirectory()
+	plain, dir := res.LocalMemNs[0], res.LocalMemNs[1]
+	if dir >= plain-5 {
+		t.Errorf("directory must remove the snoop wait: %.1f vs %.1f ns", dir, plain)
+	}
+	// With the directory the local-memory latency returns to (roughly)
+	// the source-snoop level of 96.4 ns.
+	if dir < 92 || dir > 101 {
+		t.Errorf("directory-assisted local memory = %.1f ns, want ~96", dir)
+	}
+	if res.SnoopsPerMiss[1] >= res.SnoopsPerMiss[0] {
+		t.Errorf("directory must cut snoops per access: %.2f vs %.2f",
+			res.SnoopsPerMiss[1], res.SnoopsPerMiss[0])
+	}
+	if res.SnoopsPerMiss[0] < 0.99 {
+		t.Errorf("plain home snoop must snoop the peer on every miss, got %.2f", res.SnoopsPerMiss[0])
+	}
+}
+
+// TestAblationHitME: the dataset size the directory cache can cover scales
+// with its capacity; without a cache the memory-forward disappears.
+func TestAblationHitME(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	res := AblationHitME()
+	// Disabled: no DRAM responses anywhere (every line broadcasts to the
+	// forward holder).
+	for j, f := range res.Fraction[0] {
+		if f > 0.02 {
+			t.Errorf("disabled cache: DRAM fraction %.2f at %d bytes", f, res.DataSizes[j])
+		}
+	}
+	// Bigger caches cover no less at every dataset size.
+	for i := 2; i < len(res.Fraction); i++ {
+		for j := range res.DataSizes {
+			if res.Fraction[i][j]+0.01 < res.Fraction[i-1][j] {
+				t.Errorf("coverage not monotone in cache size at (%d,%d): %.2f < %.2f",
+					i, j, res.Fraction[i][j], res.Fraction[i-1][j])
+			}
+		}
+	}
+	// The real 14 KiB cache covers 256 KiB working sets (the paper's
+	// footnote-6 counter readings) but not 4 MiB.
+	if res.Fraction[2][1] < 0.9 {
+		t.Errorf("14 KiB cache must cover 256 KiB sets, fraction %.2f", res.Fraction[2][1])
+	}
+	if res.Fraction[2][3] > 0.1 {
+		t.Errorf("14 KiB cache must not cover 4 MiB sets, fraction %.2f", res.Fraction[2][3])
+	}
+}
+
+// TestAblationSnoopTraffic: broadcasts scale with the node count, the
+// directory flattens them — the DAS motivation.
+func TestAblationSnoopTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	res := AblationSnoopTraffic()
+	for i, name := range []string{"source snoop", "home snoop"} {
+		if res.Snoops[i][0] != 0 {
+			t.Errorf("%s: single socket must not snoop, got %.2f", name, res.Snoops[i][0])
+		}
+		if res.Snoops[i][2] < 2.9 {
+			t.Errorf("%s: four sockets must broadcast to three peers, got %.2f", name, res.Snoops[i][2])
+		}
+		if res.Snoops[i][2] <= res.Snoops[i][1] {
+			t.Errorf("%s: snoops must grow with sockets", name)
+		}
+	}
+	// Directory: private data never broadcasts, at any scale.
+	for j := range res.Sockets {
+		if res.Snoops[2][j] > 0.01 {
+			t.Errorf("directory config snooped %.2f times at %d sockets", res.Snoops[2][j], res.Sockets[j])
+		}
+	}
+}
+
+// TestAblationDieVariants: bigger dies mean longer average ring paths.
+func TestAblationDieVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	tbl := AblationDieVariants()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Parse the latency column and check monotonicity.
+	var prev float64
+	for i, row := range tbl.Rows {
+		var v float64
+		if _, err := sscan(row[2], &v); err != nil {
+			t.Fatalf("bad latency cell %q", row[2])
+		}
+		if i > 0 && v <= prev {
+			t.Errorf("L3 latency must grow with die size: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}

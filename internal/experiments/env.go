@@ -1,0 +1,91 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections VI–VIII): each Table*/Fig* function builds the
+// machine in the required coherence configuration, runs the placement and
+// measurement the paper describes, and returns the results in report form
+// together with paper-vs-measured comparisons.
+//
+// The experiment ids match DESIGN.md's index: table1–table8, fig4–fig10.
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Env is one experiment's machine instance.
+type Env struct {
+	Mode machine.SnoopMode
+	M    *machine.Machine
+	E    *mesif.Engine
+	P    *placement.Placer
+
+	// lastAlloc is the most recent Alloc result (see lastRegion).
+	lastAlloc addr.Region
+}
+
+// NewEnv builds a fresh test-system machine in the given mode.
+func NewEnv(mode machine.SnoopMode) *Env {
+	m := machine.MustNew(machine.TestSystem(mode))
+	e := mesif.New(m)
+	return &Env{Mode: mode, M: m, E: e, P: placement.New(e)}
+}
+
+// FirstCore returns the first core of a NUMA node, the core the paper's
+// measurements use for placement and measurement in each node.
+func (env *Env) FirstCore(node int) topology.CoreID {
+	return env.M.Topo.CoresOfNode(topology.NodeID(node))[0]
+}
+
+// SecondCore returns the second core of a NUMA node.
+func (env *Env) SecondCore(node int) topology.CoreID {
+	return env.M.Topo.CoresOfNode(topology.NodeID(node))[1]
+}
+
+// Alloc reserves a fresh buffer homed on the node.
+func (env *Env) Alloc(node int, size int64) addr.Region {
+	env.lastAlloc = env.M.MustAlloc(topology.NodeID(node), size)
+	return env.lastAlloc
+}
+
+// Fresh resets all cached state (placements stay valid).
+func (env *Env) Fresh() {
+	env.M.Reset()
+	env.E.ResetStats()
+}
+
+// Standard dataset sizes the point measurements use: comfortably inside the
+// target level for the modeled geometries.
+const (
+	SizeL1  = 16 * units.KiB
+	SizeL2  = 160 * units.KiB
+	SizeL3  = 8 * units.MiB
+	SizeL3n = 4 * units.MiB // per-COD-node L3 working set
+	SizeMem = 16 * units.MiB
+)
+
+// latencyOf is the common "place, then measure from core" helper; it resets
+// the machine first so experiments are independent.
+func (env *Env) latencyOf(core topology.CoreID, r addr.Region, place func()) bench.LatencyStat {
+	env.Fresh()
+	place()
+	return bench.Latency(env.E, core, r)
+}
+
+// fmtNs formats a nanosecond value like the paper's tables.
+func fmtNs(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtGB formats a GB/s value like the paper's tables.
+func fmtGB(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Source aliases used by the figure code.
+const (
+	srcMemory        = mesif.SrcMemory
+	srcMemoryForward = mesif.SrcMemoryForward
+)

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"haswellep/internal/machine"
+)
+
+// TestLoadedLatency: the extension curve starts at the unloaded latencies
+// of Table III and rises monotonically toward saturation.
+func TestLoadedLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow extension test")
+	}
+	fig := LoadedLatency()
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) < 6 {
+			t.Fatalf("%s: too few points", s.Name)
+		}
+		base := s.Points[0].Y
+		if base < 85 || base > 115 {
+			t.Errorf("%s: unloaded latency = %.1f, out of Table III range", s.Name, base)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y-1e-9 {
+				t.Fatalf("%s: curve not monotone", s.Name)
+			}
+		}
+		last := s.Points[len(s.Points)-1].Y
+		if last < base+80 {
+			t.Errorf("%s: saturated latency %.1f too flat", s.Name, last)
+		}
+	}
+}
+
+// TestWorkloadStudy: the archetypes reproduce the qualitative Figure 10
+// split — NUMA-local work gains under COD, contended work loses, and home
+// snooping costs a little everywhere local.
+func TestWorkloadStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow extension test")
+	}
+	res := WorkloadStudy()
+	get := func(name string, mode machine.SnoopMode) float64 {
+		rel, ok := res.MakespanRel[name]
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		return rel[mode]
+	}
+	if get("numa-local-stream", machine.COD) >= 1.0 {
+		t.Error("NUMA-local streaming must gain under COD")
+	}
+	if get("random-chase", machine.COD) >= 1.0 {
+		t.Error("local random chasing must gain under COD")
+	}
+	if get("migratory-locks", machine.COD) <= 1.05 {
+		t.Error("migratory lines must lose noticeably under COD")
+	}
+	if get("numa-local-stream", machine.HomeSnoop) <= 1.0 {
+		t.Error("home snoop must cost local streaming")
+	}
+	t.Log("\n" + res.Table.String())
+}
+
+// TestNodeMatrix: the MLC-style matrices satisfy the NUMA sanity
+// properties in both the default and COD configurations.
+func TestNodeMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow extension test")
+	}
+	def := NodeMatrix(machine.SourceSnoop)
+	if len(def.LatencyNs) != 2 {
+		t.Fatalf("default matrix = %dx", len(def.LatencyNs))
+	}
+	if !def.DiagonalDominant(0) {
+		t.Error("local memory must be fastest per node")
+	}
+	if !def.Symmetric(5) {
+		t.Error("the dual-socket machine must be near-symmetric")
+	}
+	if d := def.LatencyNs[0][0]; d < 92 || d > 101 {
+		t.Errorf("local latency = %.1f, want ~96.4", d)
+	}
+	if r := def.LatencyNs[0][1]; r < 135 || r > 152 {
+		t.Errorf("remote latency = %.1f, want ~146", r)
+	}
+
+	cod := NodeMatrix(machine.COD)
+	if len(cod.LatencyNs) != 4 {
+		t.Fatalf("COD matrix = %dx", len(cod.LatencyNs))
+	}
+	// The asymmetric die makes node1's ring-0 measuring core reach
+	// node0's IMC ~3 ns faster than its own (Section VI-C); allow that.
+	if !cod.DiagonalDominant(5) {
+		t.Error("COD local memory must be fastest per node (up to the ring asymmetry)")
+	}
+	// Distance ordering per row: on-chip neighbor < cross-socket.
+	if !(cod.LatencyNs[0][1] < cod.LatencyNs[0][2]) {
+		t.Errorf("node0 row ordering: %.1f vs %.1f", cod.LatencyNs[0][1], cod.LatencyNs[0][2])
+	}
+	// Bandwidth diagonal beats off-diagonal everywhere.
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if a != b && cod.GBps[a][a] <= cod.GBps[a][b] {
+				t.Errorf("bandwidth diagonal not dominant at (%d,%d)", a, b)
+			}
+		}
+	}
+}

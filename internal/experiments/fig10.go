@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/apps"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+)
+
+// Fig10Result holds the reproduction of Figure 10: relative runtimes of the
+// application models under each coherence configuration (default = 1.0).
+type Fig10Result struct {
+	Table *report.Table
+	// Runtime[app][mode] is the runtime relative to the default
+	// configuration.
+	Runtime map[string]map[machine.SnoopMode]float64
+	// Characterizations per mode (for inspection).
+	Chars       map[machine.SnoopMode]apps.Characterization
+	Comparisons []report.Comparison
+}
+
+// Fig10 reproduces Figure 10 ("coherence protocol configuration vs
+// application performance"): the machine is characterized in each mode and
+// every application profile's runtime follows from the measured
+// micro-characteristics.
+func Fig10() Fig10Result {
+	modes := []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD}
+	res := Fig10Result{
+		Runtime: map[string]map[machine.SnoopMode]float64{},
+		Chars:   map[machine.SnoopMode]apps.Characterization{},
+	}
+	for _, mode := range modes {
+		res.Chars[mode] = apps.Characterize(mode)
+	}
+	base := res.Chars[machine.SourceSnoop]
+
+	tbl := report.NewTable(
+		"Figure 10: runtime relative to the default configuration (lower is better)",
+		"application", "suite", "default", "early snoop disabled", "COD mode")
+	for _, p := range apps.Profiles() {
+		row := map[machine.SnoopMode]float64{}
+		for _, mode := range modes {
+			row[mode] = p.RelativeRuntime(base, res.Chars[mode])
+		}
+		res.Runtime[p.Name] = row
+		tbl.AddRow(p.Name, p.Suite.String(),
+			fmtRel(row[machine.SourceSnoop]),
+			fmtRel(row[machine.HomeSnoop]),
+			fmtRel(row[machine.COD]))
+	}
+	res.Table = tbl
+
+	// Published anchors (Section VIII).
+	res.Comparisons = []report.Comparison{
+		{Label: "Fig10 371.applu331 COD relative runtime", Paper: 1.23,
+			Measured: res.Runtime["371.applu331"][machine.COD], Unit: "x"},
+		{Label: "Fig10 371.applu331 home snoop relative runtime", Paper: 0.95,
+			Measured: res.Runtime["371.applu331"][machine.HomeSnoop], Unit: "x"},
+		{Label: "Fig10 362.fma3d home snoop relative runtime", Paper: 0.95,
+			Measured: res.Runtime["362.fma3d"][machine.HomeSnoop], Unit: "x"},
+	}
+	return res
+}
+
+// fmtRel formats a relative runtime.
+func fmtRel(v float64) string { return fmt.Sprintf("%.3f", v) }

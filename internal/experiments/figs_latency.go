@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// SweepSizes are the dataset sizes of the latency/bandwidth figures: 16 KiB
+// to 32 MiB with half-step points to resolve the capacity knees (L1 32 KiB,
+// L2 256 KiB, L3 30/15 MiB per socket/node).
+func SweepSizes() []int64 {
+	var sizes []int64
+	for s := int64(16 * units.KiB); s <= 32*units.MiB; s *= 2 {
+		sizes = append(sizes, s)
+		if s < 32*units.MiB {
+			sizes = append(sizes, s+s/2)
+		}
+	}
+	return sizes
+}
+
+// curveSpec describes one figure curve: a measuring core and a placement.
+type curveSpec struct {
+	name  string
+	core  topology.CoreID
+	place func(env *Env, size int64) addr.Region
+}
+
+// sweepCurves measures every curve over the sweep sizes on a fresh machine
+// per point.
+func sweepCurves(mode machine.SnoopMode, sizes []int64, curves []curveSpec, title, ylabel string) *report.Figure {
+	fig := &report.Figure{Title: title, XLabel: "data set size (bytes)", YLabel: ylabel}
+	for _, c := range curves {
+		env := NewEnv(mode)
+		s := report.Series{Name: c.name}
+		pts := bench.Sweep(env.E, sizes, func(size int64) (addr.Region, topology.CoreID) {
+			return c.place(env, size), c.core
+		})
+		for _, p := range pts {
+			s.Add(float64(p.Size), p.Stat.MeanNs)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// placeState builds a placement closure: data homed on node, put into the
+// given state by the placer cores.
+func placeExclusive(node int, core topology.CoreID) func(*Env, int64) addr.Region {
+	return func(env *Env, size int64) addr.Region {
+		r := env.Alloc(node, size)
+		env.P.Exclusive(core, r)
+		return r
+	}
+}
+
+func placeModified(node int, core topology.CoreID) func(*Env, int64) addr.Region {
+	return func(env *Env, size int64) addr.Region {
+		r := env.Alloc(node, size)
+		env.P.Modified(core, r)
+		return r
+	}
+}
+
+func placeShared(node int, cores ...topology.CoreID) func(*Env, int64) addr.Region {
+	return func(env *Env, size int64) addr.Region {
+		r := env.Alloc(node, size)
+		env.P.Shared(r, cores...)
+		return r
+	}
+}
+
+// Fig4 reproduces Figure 4: memory read latency in the default (source
+// snoop) configuration — local hierarchy, within-node core-to-core
+// transfers, and cross-socket transfers, per coherence state.
+func Fig4() *report.Figure {
+	curves := []curveSpec{
+		{"local", 0, placeExclusive(0, 0)},
+		{"within NUMA node, modified", 0, placeModified(0, 1)},
+		{"within NUMA node, exclusive", 0, placeExclusive(0, 1)},
+		{"within NUMA node, shared", 0, placeShared(0, 1, 2)},
+		{"other NUMA node (1 hop QPI), modified", 0, placeModified(1, 12)},
+		{"other NUMA node (1 hop QPI), exclusive", 0, placeExclusive(1, 12)},
+		{"other NUMA node (1 hop QPI), shared", 0, placeShared(1, 12, 13)},
+	}
+	return sweepCurves(machine.SourceSnoop, SweepSizes(), curves,
+		"Figure 4: memory read latency, default configuration (source snoop)", "latency (ns)")
+}
+
+// Fig5 reproduces Figure 5: source snoop vs home snoop for cached data in
+// state exclusive.
+func Fig5() *report.Figure {
+	sizes := SweepSizes()
+	curves := []curveSpec{
+		{"local", 0, placeExclusive(0, 0)},
+		{"other NUMA node (1 hop QPI)", 0, placeExclusive(1, 12)},
+	}
+	src := sweepCurves(machine.SourceSnoop, sizes, curves, "", "")
+	home := sweepCurves(machine.HomeSnoop, sizes, curves, "", "")
+	fig := &report.Figure{
+		Title:  "Figure 5: memory read latency, source snoop vs home snoop, state exclusive",
+		XLabel: "data set size (bytes)", YLabel: "latency (ns)",
+	}
+	for i, s := range src.Series {
+		s.Name = "source snoop: " + curves[i].name
+		fig.Series = append(fig.Series, s)
+	}
+	for i, s := range home.Series {
+		s.Name = "home snoop: " + curves[i].name
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig6 reproduces Figure 6: COD-mode read latency over all node distances,
+// for modified (6a) and exclusive (6b) cache lines. The measurements use
+// the first core in every node; the 3-hop series reads node3's data from
+// node1 (core 6), all others read from core 0 in node0.
+func Fig6() (modified, exclusive *report.Figure) {
+	sizes := SweepSizes()
+	mk := func(state string, place func(node int, core topology.CoreID) func(*Env, int64) addr.Region) *report.Figure {
+		curves := []curveSpec{
+			{"local", 0, place(0, 0)},
+			{"within NUMA node", 0, place(0, 1)},
+			{"other NUMA node (1 hop on-chip)", 0, place(1, 6)},
+			{"other NUMA node (1 hop QPI)", 0, place(2, 12)},
+			{"other NUMA node (2 hops)", 0, place(3, 18)},
+			{"other NUMA node (3 hops)", 6, place(3, 18)},
+		}
+		return sweepCurves(machine.COD, sizes, curves,
+			"Figure 6: memory read latency in COD mode, state "+state, "latency (ns)")
+	}
+	return mk("modified", placeModified), mk("exclusive", placeExclusive)
+}
+
+// Fig7 reproduces Figure 7: accesses from node0 to data that has been used
+// by two cores, demonstrating the HitME directory cache: for small data
+// sets the home agent forwards the valid memory copy (directory cache hit,
+// DRAM response), for larger sets the entries are evicted and the snoop-all
+// broadcasts reach the forward-holding node instead. The companion figure
+// reports the fraction of loads answered by DRAM (the paper's
+// MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM counter readings).
+func Fig7() (latency, dramFraction *report.Figure) {
+	// Sizes focused on the directory-cache transition region.
+	var sizes []int64
+	for s := int64(16 * units.KiB); s <= 8*units.MiB; s *= 2 {
+		sizes = append(sizes, s)
+		if s < 8*units.MiB {
+			sizes = append(sizes, s+s/2)
+		}
+	}
+	combos := []struct {
+		name      string
+		home, fwd int
+	}{
+		{"home=node0 (local), F in node2", 0, 2},
+		{"home=node1 (on-chip), F in node2", 1, 2},
+		{"home=node2 (1 hop QPI), F in node1", 2, 1},
+		{"home=node3 (2 hops), F in node1", 3, 1},
+	}
+	latency = &report.Figure{
+		Title:  "Figure 7: read latency from node0, data shared by two cores (COD)",
+		XLabel: "data set size (bytes)", YLabel: "latency (ns)",
+	}
+	dramFraction = &report.Figure{
+		Title:  "Figure 7 (counters): fraction of loads serviced by DRAM of the home node",
+		XLabel: "data set size (bytes)", YLabel: "DRAM response fraction",
+	}
+	for _, combo := range combos {
+		env := NewEnv(machine.COD)
+		lat := report.Series{Name: combo.name}
+		frac := report.Series{Name: combo.name}
+		pts := bench.Sweep(env.E, sizes, func(size int64) (addr.Region, topology.CoreID) {
+			r := env.Alloc(combo.home, size)
+			placer, reader := sharerCores(env, combo.fwd, combo.home)
+			env.P.Shared(r, placer, reader)
+			return r, 0
+		})
+		for _, p := range pts {
+			lat.Add(float64(p.Size), p.Stat.MeanNs)
+			dram := p.Stat.BySource[srcMemoryForward] + p.Stat.BySource[srcMemory]
+			frac.Add(float64(p.Size), float64(dram)/float64(p.Stat.N))
+		}
+		latency.Series = append(latency.Series, lat)
+		dramFraction.Series = append(dramFraction.Series, frac)
+	}
+	return latency, dramFraction
+}

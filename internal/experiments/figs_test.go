@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"haswellep/internal/report"
+	"haswellep/internal/units"
+)
+
+// yAt returns a series' value at the given x (dataset size).
+func yAt(s report.Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// findSeries locates a series by name.
+func findSeries(t *testing.T, fig *report.Figure, name string) report.Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %q", name, fig.Title)
+	return report.Series{}
+}
+
+// expectNear asserts a curve point within tolerance percent.
+func expectNear(t *testing.T, fig *report.Figure, series string, size int64, want, tolPct float64) {
+	t.Helper()
+	s := findSeries(t, fig, series)
+	got, ok := yAt(s, float64(size))
+	if !ok {
+		t.Fatalf("%s: no point at %d", series, size)
+	}
+	if dev := math.Abs(got-want) / want * 100; dev > tolPct {
+		t.Errorf("%s @ %s = %.1f, want %.1f (+/-%.0f%%)", series, units.HumanBytes(size), got, want, tolPct)
+	}
+}
+
+// TestFig4Shape pins the plateaus of the default-configuration latency
+// sweep: the local hierarchy's four levels and the per-state transfer
+// levels of Section VI-A.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	fig := Fig4()
+
+	// Local hierarchy plateaus.
+	expectNear(t, fig, "local", 16*units.KiB, 1.6, 5)
+	expectNear(t, fig, "local", 128*units.KiB, 4.8, 8)
+	expectNear(t, fig, "local", 8*units.MiB, 21.2, 8)
+	// 32 MiB sits just past the 30 MiB L3: the curve must have turned
+	// upward decisively toward the 96.4 ns memory level.
+	local := findSeries(t, fig, "local")
+	l3v, _ := yAt(local, float64(8*units.MiB))
+	knee, _ := yAt(local, float64(32*units.MiB))
+	if knee < 1.7*l3v || knee > 1.15*96.4 {
+		t.Errorf("local @ 32MiB = %.1f; must sit on the L3->memory upturn", knee)
+	}
+
+	// Within-node per-state levels.
+	expectNear(t, fig, "within NUMA node, modified", 16*units.KiB, 53, 6)
+	expectNear(t, fig, "within NUMA node, modified", 128*units.KiB, 49, 8)
+	expectNear(t, fig, "within NUMA node, modified", 8*units.MiB, 22, 10)
+	expectNear(t, fig, "within NUMA node, exclusive", 16*units.KiB, 44.4, 6)
+	expectNear(t, fig, "within NUMA node, exclusive", 8*units.MiB, 44.4, 8)
+	expectNear(t, fig, "within NUMA node, shared", 8*units.MiB, 21.2, 8)
+
+	// Cross-socket levels.
+	expectNear(t, fig, "other NUMA node (1 hop QPI), modified", 16*units.KiB, 113, 8)
+	expectNear(t, fig, "other NUMA node (1 hop QPI), modified", 8*units.MiB, 86, 8)
+	expectNear(t, fig, "other NUMA node (1 hop QPI), exclusive", 8*units.MiB, 104, 8)
+}
+
+// TestFig5Shape: home snooping raises local memory and remote cache
+// latency; remote memory is unaffected (Section VI-B).
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	fig := Fig5()
+	srcLocal := findSeries(t, fig, "source snoop: local")
+	homeLocal := findSeries(t, fig, "home snoop: local")
+	// Cached region identical; memory region +12%.
+	l3s, _ := yAt(srcLocal, float64(8*units.MiB))
+	l3h, _ := yAt(homeLocal, float64(8*units.MiB))
+	if math.Abs(l3s-l3h) > 0.5 {
+		t.Errorf("local L3 must not depend on the snoop mode: %.1f vs %.1f", l3s, l3h)
+	}
+	ms, _ := yAt(srcLocal, float64(32*units.MiB))
+	mh, _ := yAt(homeLocal, float64(32*units.MiB))
+	if mh <= ms*1.05 {
+		t.Errorf("home snoop memory tail must be ~12%% slower: %.1f vs %.1f", mh, ms)
+	}
+
+	srcRemote := findSeries(t, fig, "source snoop: other NUMA node (1 hop QPI)")
+	homeRemote := findSeries(t, fig, "home snoop: other NUMA node (1 hop QPI)")
+	rs, _ := yAt(srcRemote, float64(4*units.MiB))
+	rh, _ := yAt(homeRemote, float64(4*units.MiB))
+	if rh <= rs+5 {
+		t.Errorf("home snoop remote cache must be ~11 ns slower: %.1f vs %.1f", rh, rs)
+	}
+}
+
+// TestFig8Shape pins the bandwidth plateaus of Section VII-A.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	fig := Fig8()
+	expectNear(t, fig, "local, AVX", 16*units.KiB, 127.2, 3)
+	expectNear(t, fig, "local, SSE", 16*units.KiB, 77.1, 3)
+	expectNear(t, fig, "local, AVX", 128*units.KiB, 69.1, 8)
+	expectNear(t, fig, "local, SSE", 128*units.KiB, 48.2, 8)
+	expectNear(t, fig, "local, AVX", 8*units.MiB, 26.2, 8)
+	expectNear(t, fig, "within NUMA node, modified", 16*units.KiB, 7.8, 8)
+	expectNear(t, fig, "within NUMA node, modified", 128*units.KiB, 10.6, 10)
+	expectNear(t, fig, "within NUMA node, exclusive", 8*units.MiB, 15.0, 8)
+	expectNear(t, fig, "other NUMA node (1 hop QPI), modified", 8*units.MiB, 9.1, 8)
+	expectNear(t, fig, "other NUMA node (1 hop QPI), modified", 16*units.KiB, 6.7, 8)
+}
+
+// TestFig9Shape: the forward-location effect on shared-line bandwidth.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	fig := Fig9()
+	// F in own node: L1-resident shared data streams at L1 speed.
+	expectNear(t, fig, "shared, forward copy in own node", 16*units.KiB, 127.2, 5)
+	// F on the other socket: the same hits drop to L3 bandwidth.
+	own := findSeries(t, fig, "shared, forward copy in own node")
+	other := findSeries(t, fig, "shared, forward copy in other node")
+	a, _ := yAt(own, float64(16*units.KiB))
+	b, _ := yAt(other, float64(16*units.KiB))
+	if b > a/3 {
+		t.Errorf("F-elsewhere must throttle L1 hits to L3 speed: %.1f vs %.1f", b, a)
+	}
+	if b < 15 || b > 32 {
+		t.Errorf("throttled stream = %.1f GB/s, want ~L3 bandwidth", b)
+	}
+	// Remote shared reads run at the remote-L3 level.
+	expectNear(t, fig, "shared, remote L3", 1*units.MiB, 9.1, 10)
+}
+
+// TestFig7Shape: directory-cache hits vanish as the working set outgrows
+// the 14 KiB HitME capacity.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	_, frac := Fig7()
+	for _, s := range frac.Series {
+		small, ok1 := yAt(s, float64(64*units.KiB))
+		large, ok2 := yAt(s, float64(8*units.MiB))
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: missing points", s.Name)
+		}
+		if s.Name == "home=node0 (local), F in node2" {
+			// The requester's own node is the home: its L3 keeps a
+			// shared copy and serves directly — no DRAM responses at
+			// any size (the paper's fast local-home case).
+			if small > 0.05 {
+				t.Errorf("%s: local home must serve from L3, DRAM fraction %.2f", s.Name, small)
+			}
+			continue
+		}
+		if small < 0.9 {
+			t.Errorf("%s: small-set DRAM fraction = %.2f, want ~1", s.Name, small)
+		}
+		if large > 0.1 {
+			t.Errorf("%s: large-set DRAM fraction = %.2f, want ~0", s.Name, large)
+		}
+	}
+}
+
+// TestFig6Shape: the six distance levels separate cleanly in COD mode.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure test")
+	}
+	mod, _ := Fig6()
+	at := func(name string) float64 {
+		v, ok := yAt(findSeries(t, mod, name), float64(4*units.MiB))
+		if !ok {
+			t.Fatalf("%s: missing 4MiB point", name)
+		}
+		return v
+	}
+	local := at("local")
+	within := at("within NUMA node")
+	onchip := at("other NUMA node (1 hop on-chip)")
+	qpi := at("other NUMA node (1 hop QPI)")
+	twoHop := at("other NUMA node (2 hops)")
+	if !(local <= within && within < onchip && onchip < qpi && qpi <= twoHop+1) {
+		t.Errorf("distance ordering violated: %.1f %.1f %.1f %.1f %.1f",
+			local, within, onchip, qpi, twoHop)
+	}
+}

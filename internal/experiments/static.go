@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/cache"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+	"haswellep/internal/units"
+)
+
+// Table1 reproduces Table I: the Sandy Bridge vs Haswell micro-architecture
+// comparison the simulator's core/uncore parameters derive from.
+func Table1() *report.Table {
+	t := report.NewTable("Table I: comparison of Sandy Bridge and Haswell micro-architecture",
+		"Micro-architecture", "Sandy Bridge", "Haswell")
+	for _, row := range machine.ArchComparison() {
+		t.AddRow(row.Parameter, row.SandyBridge, row.Haswell)
+	}
+	return t
+}
+
+// Table2 reproduces Table II: the test system configuration, rendered from
+// the live simulated machine rather than a hard-coded list.
+func Table2() *report.Table {
+	m := machine.MustNew(machine.TestSystem(machine.SourceSnoop))
+	t := report.NewTable("Table II: test system", "parameter", "value")
+	t.AddRow("Processors", fmt.Sprintf("%d x Intel Xeon E5-2680 v3 class (%v)", m.Cfg.Sockets, m.Topo.Die.Variant))
+	t.AddRow("Cores", fmt.Sprintf("%d per socket, %d total", m.Topo.Die.Cores(), m.Topo.Cores()))
+	t.AddRow("Core clock", "2.5 GHz nominal (Turbo Boost disabled)")
+	t.AddRow("AVX base clock", "2.1 GHz")
+	t.AddRow("L1D", fmt.Sprintf("%s, %d-way, per core", units.HumanBytes(cache.L1DGeometry.SizeBytes), cache.L1DGeometry.Ways))
+	t.AddRow("L2", fmt.Sprintf("%s, %d-way, per core", units.HumanBytes(cache.L2Geometry.SizeBytes), cache.L2Geometry.Ways))
+	t.AddRow("L3", fmt.Sprintf("%s per slice, %d-way, %d slices per socket (%s per socket)",
+		units.HumanBytes(cache.L3SliceGeometry.SizeBytes), cache.L3SliceGeometry.Ways,
+		m.Topo.Die.Slices(), units.HumanBytes(cache.L3SliceGeometry.SizeBytes*int64(m.Topo.Die.Slices()))))
+	dram := m.Cfg.DRAM
+	t.AddRow("Memory", fmt.Sprintf("%d x DDR4-%d channels per socket (%.1f GB/s per socket)",
+		dram.Channels*m.Topo.Die.IMCs(), int(dram.DataRateMTs),
+		float64(m.Topo.Die.IMCs())*dram.PeakBandwidth().GBps()))
+	qpi := m.Cfg.QPI
+	t.AddRow("QPI", fmt.Sprintf("%d links at %.1f GT/s (%.1f GB/s per direction combined)",
+		qpi.Links, qpi.GTs, qpi.TotalBandwidthPerDirection().GBps()))
+	t.AddRow("Coherence configurations", "source snoop (default) / home snoop (Early Snoop disabled) / Cluster-on-Die")
+	return t
+}

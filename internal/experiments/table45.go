@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+	"haswellep/internal/topology"
+)
+
+// MatrixResult is a 4x4 COD node-matrix experiment (Tables IV and V).
+type MatrixResult struct {
+	Table       *report.Table
+	Values      [4][4]float64
+	Comparisons []report.Comparison
+}
+
+// table4Paper is Table IV: L3 latency (ns) from a core in node0 to lines
+// with multiple shared copies; rows = node with the forward copy, columns =
+// home node (which also keeps a shared copy).
+var table4Paper = [4][4]float64{
+	{18.0, 18.0, 18.0, 18.0},
+	{18.0, 57.2, 170, 177},
+	{18.0, 166, 90.0, 166},
+	{18.0, 169, 162, 96.0},
+}
+
+// table5Paper is Table V: memory latency (ns) from a core in node0 to data
+// that was shared by multiple cores and then evicted from the L3 caches;
+// rows = node that had the forward copy, columns = home node.
+var table5Paper = [4][4]float64{
+	{89.6, 182, 222, 236},
+	{168, 96.0, 222, 236},
+	{168, 182, 141, 236},
+	{168, 182, 222, 147},
+}
+
+// sharerCores picks the two placement cores for a (forward, home) cell:
+// the exclusive-state placer lives in the home node, the second reader —
+// who receives the forward copy — in the forward node. Core 0 is reserved
+// for measuring, so node0 contributes its second core.
+func sharerCores(env *Env, fwd, home int) (placer, reader topology.CoreID) {
+	pick := func(node int, avoid ...topology.CoreID) topology.CoreID {
+		for _, c := range env.M.Topo.CoresOfNode(topology.NodeID(node)) {
+			bad := c == 0 // core 0 measures
+			for _, a := range avoid {
+				bad = bad || c == a
+			}
+			if !bad {
+				return c
+			}
+		}
+		panic("experiments: node has no spare core for placement")
+	}
+	placer = pick(home)
+	reader = pick(fwd, placer)
+	return placer, reader
+}
+
+// Table4 reproduces Table IV: the COD L3 latency matrix for shared lines.
+// The paper's values hold for data sets above 2.5 MiB, where directory
+// cache hits have become negligible; the equivalent precondition here is an
+// explicit directory-cache eviction after placement.
+func Table4() MatrixResult {
+	env := NewEnv(machine.COD)
+	res := MatrixResult{}
+	for fwd := 0; fwd < 4; fwd++ {
+		for home := 0; home < 4; home++ {
+			env.Fresh()
+			r := env.Alloc(home, SizeL3n)
+			placer, reader := sharerCores(env, fwd, home)
+			env.P.Shared(r, placer, reader)
+			env.E.EvictDirectoryCache(r)
+			stat := bench.Latency(env.E, 0, r)
+			res.Values[fwd][home] = stat.MeanNs
+		}
+	}
+	res.Table = matrixTable("Table IV: L3 latency (ns), core in node0 reads shared lines; rows=forward node, cols=home node", res.Values)
+	res.Comparisons = matrixComparisons("T4", res.Values, table4Paper)
+	return res
+}
+
+// Table5 reproduces Table V: the COD memory latency matrix for previously
+// shared, since-evicted data. The paper uses >15 MiB working sets so both
+// the L3 copies and the HitME entries have been replaced; the equivalent
+// preconditions here are explicit capacity evictions with identical
+// semantics (silent clean L3 eviction leaves the in-memory directory in
+// snoop-all — the broadcasts of the off-diagonal cells).
+func Table5() MatrixResult {
+	env := NewEnv(machine.COD)
+	res := MatrixResult{}
+	for fwd := 0; fwd < 4; fwd++ {
+		for home := 0; home < 4; home++ {
+			env.Fresh()
+			r := env.Alloc(home, SizeMem)
+			placer, reader := sharerCores(env, fwd, home)
+			env.P.Shared(r, placer, reader)
+			env.E.EvictCached(r)
+			env.E.EvictDirectoryCache(r)
+			stat := bench.Latency(env.E, 0, r)
+			res.Values[fwd][home] = stat.MeanNs
+		}
+	}
+	res.Table = matrixTable("Table V: memory latency (ns), core in node0 reads formerly shared data; rows=node that had forward copy, cols=home node", res.Values)
+	res.Comparisons = matrixComparisons("T5", res.Values, table5Paper)
+	return res
+}
+
+func matrixTable(title string, v [4][4]float64) *report.Table {
+	t := report.NewTable(title, "fwd\\home", "node0", "node1", "node2", "node3")
+	for f := 0; f < 4; f++ {
+		t.AddRow(fmt.Sprintf("node%d", f), fmtNs(v[f][0]), fmtNs(v[f][1]), fmtNs(v[f][2]), fmtNs(v[f][3]))
+	}
+	return t
+}
+
+func matrixComparisons(tag string, got, paper [4][4]float64) []report.Comparison {
+	var out []report.Comparison
+	for f := 0; f < 4; f++ {
+		for h := 0; h < 4; h++ {
+			out = append(out, report.Comparison{
+				Label:    fmt.Sprintf("%s fwd=node%d home=node%d", tag, f, h),
+				Paper:    paper[f][h],
+				Measured: got[f][h],
+				Unit:     "ns",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Package interconnect models the transport links of the simulated machine:
+// the bi-directional on-die rings (traversal costs are parameterized here,
+// hop counts come from package topology) and the QPI links connecting the
+// sockets.
+//
+// The test system of the paper (Table II) connects its two sockets with two
+// QPI links at 9.6 GT/s; each link provides 38.4 GB/s bi-directional
+// bandwidth, so the socket pair has 38.4 GB/s of payload bandwidth per
+// direction across both links.
+package interconnect
+
+import "haswellep/internal/units"
+
+// QPIConfig describes the inter-socket links.
+type QPIConfig struct {
+	// Links is the number of QPI links between each socket pair.
+	Links int
+	// GTs is the link speed in giga-transfers per second.
+	GTs float64
+	// BytesPerTransfer is the payload width per transfer per direction.
+	// QPI moves 2 bytes per transfer per direction at full width.
+	BytesPerTransfer float64
+}
+
+// QPI96 is the paper's configuration: two 9.6 GT/s links.
+var QPI96 = QPIConfig{Links: 2, GTs: 9.6, BytesPerTransfer: 2}
+
+// LinkBandwidthPerDirection returns one link's raw bandwidth per direction
+// (19.2 GB/s at 9.6 GT/s).
+func (c QPIConfig) LinkBandwidthPerDirection() units.Bandwidth {
+	return units.Bandwidth(c.GTs * 1e9 * c.BytesPerTransfer)
+}
+
+// TotalBandwidthPerDirection returns the combined per-direction bandwidth of
+// all links (38.4 GB/s for the test system).
+func (c QPIConfig) TotalBandwidthPerDirection() units.Bandwidth {
+	return units.Bandwidth(float64(c.Links)) * c.LinkBandwidthPerDirection()
+}
+
+// ProtocolEfficiency is the fraction of raw QPI bandwidth available to
+// cache-line payload after flit headers, CRC, and protocol messages.
+const ProtocolEfficiency = 0.797
+
+// UsableBandwidthPerDirection returns the payload bandwidth per direction.
+func (c QPIConfig) UsableBandwidthPerDirection() units.Bandwidth {
+	return units.Bandwidth(float64(c.TotalBandwidthPerDirection()) * ProtocolEfficiency)
+}
+
+// RingConfig describes one on-die ring's transport characteristics.
+type RingConfig struct {
+	// BytesPerCycle is the payload width of the ring per direction.
+	BytesPerCycle int
+	// Clock is the ring (uncore) clock.
+	Clock units.Frequency
+}
+
+// HaswellRing is the 32-byte-per-cycle bi-directional ring of Haswell-EP at
+// the nominal uncore clock.
+var HaswellRing = RingConfig{BytesPerCycle: 32, Clock: units.UncoreClock}
+
+// BandwidthPerDirection returns one ring direction's raw bandwidth.
+func (r RingConfig) BandwidthPerDirection() units.Bandwidth {
+	return units.Bandwidth(float64(r.BytesPerCycle) * float64(r.Clock))
+}

@@ -1,0 +1,36 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQPIBandwidths(t *testing.T) {
+	// 9.6 GT/s x 2 bytes = 19.2 GB/s per link and direction; two links =
+	// 38.4 GB/s per direction (Section V-A).
+	if got := QPI96.LinkBandwidthPerDirection().GBps(); math.Abs(got-19.2) > 1e-9 {
+		t.Errorf("link bandwidth = %v", got)
+	}
+	if got := QPI96.TotalBandwidthPerDirection().GBps(); math.Abs(got-38.4) > 1e-9 {
+		t.Errorf("total bandwidth = %v", got)
+	}
+}
+
+func TestQPIUsableBandwidth(t *testing.T) {
+	// Payload capacity must reproduce the paper's 30.6 GB/s saturated
+	// remote read under home snooping (Table VII).
+	got := QPI96.UsableBandwidthPerDirection().GBps()
+	if got < 30 || got > 31.2 {
+		t.Errorf("usable bandwidth = %v, want ~30.6", got)
+	}
+	if ProtocolEfficiency <= 0 || ProtocolEfficiency >= 1 {
+		t.Error("protocol efficiency out of range")
+	}
+}
+
+func TestRingBandwidth(t *testing.T) {
+	// 32 bytes per uncore cycle at 2.5 GHz = 80 GB/s per direction.
+	if got := HaswellRing.BandwidthPerDirection().GBps(); math.Abs(got-80) > 1e-6 {
+		t.Errorf("ring bandwidth = %v", got)
+	}
+}

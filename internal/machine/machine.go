@@ -1,0 +1,249 @@
+package machine
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/dram"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// nodeStride is the address-space stride between NUMA nodes' memory: the
+// physical address encodes the home node, mirroring a contiguous per-node
+// memory map (64 GiB per node).
+const nodeStride = addr.PAddr(64) * addr.PAddr(units.GiB)
+
+// HomeAgent is the coherence controller of one memory controller: DRAM
+// channels plus — in COD mode — the in-memory directory and the HitME
+// directory cache.
+type HomeAgent struct {
+	Agent topology.AgentID
+	DRAM  *dram.Controller
+	Dir   *directory.InMemory
+	HitME *directory.HitME
+}
+
+// Machine is the assembled simulated system.
+type Machine struct {
+	Cfg  Config
+	Topo *topology.System
+
+	// Cores holds the private caches of every core, indexed by global
+	// CoreID.
+	Cores []*cache.CoreCaches
+	// L3 holds every L3 slice, indexed by global SliceID.
+	L3 []*cache.L3Slice
+	// HAs holds every home agent, indexed by global AgentID.
+	HAs []*HomeAgent
+
+	// next allocation offset per NUMA node.
+	allocOffset []addr.PAddr
+}
+
+// New assembles a machine from the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.NewSystem(cfg.Sockets, cfg.Die, cfg.Mode == COD)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Topo: topo}
+	for c := 0; c < topo.Cores(); c++ {
+		m.Cores = append(m.Cores, cache.NewCoreCaches(topo.LocalCore(topology.CoreID(c))))
+	}
+	for s := 0; s < topo.Slices(); s++ {
+		m.L3 = append(m.L3, cache.NewL3Slice(topo.LocalSlice(topology.SliceID(s))))
+	}
+	for a := 0; a < topo.Agents(); a++ {
+		ha := &HomeAgent{
+			Agent: topology.AgentID(a),
+			DRAM:  dram.NewController(cfg.DRAM),
+		}
+		if cfg.DirectoryEnabled() {
+			ha.Dir = directory.NewInMemory()
+			if !cfg.DisableHitME {
+				if cfg.HitMEBytes > 0 {
+					ha.HitME = directory.NewHitMESized(cfg.HitMEBytes)
+				} else {
+					ha.HitME = directory.NewHitME()
+				}
+			}
+		}
+		m.HAs = append(m.HAs, ha)
+	}
+	m.allocOffset = make([]addr.PAddr, topo.Nodes())
+	return m, nil
+}
+
+// MustNew is New but panics on configuration errors; for tests and examples
+// with static configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Reset drops all cached state — every private cache, L3 slice, directory
+// and statistic — returning the machine to power-on state while keeping
+// allocations valid.
+func (m *Machine) Reset() {
+	for _, cc := range m.Cores {
+		cc.L1D.Clear()
+		cc.L2.Clear()
+	}
+	for _, sl := range m.L3 {
+		sl.Clear()
+	}
+	for _, ha := range m.HAs {
+		ha.DRAM.ResetStats()
+		if ha.Dir != nil {
+			ha.Dir.Clear()
+		}
+		if ha.HitME != nil {
+			ha.HitME.Clear()
+		}
+	}
+}
+
+// AllocOnNode reserves size bytes of line-aligned memory homed on the given
+// NUMA node (the simulator's equivalent of libnuma placement, Section V-B).
+func (m *Machine) AllocOnNode(node topology.NodeID, size int64) (addr.Region, error) {
+	if int(node) < 0 || int(node) >= m.Topo.Nodes() {
+		return addr.Region{}, fmt.Errorf("machine: node %d out of range (0..%d)", node, m.Topo.Nodes()-1)
+	}
+	if size <= 0 {
+		return addr.Region{}, fmt.Errorf("machine: allocation size must be positive, got %d", size)
+	}
+	aligned := (addr.PAddr(size) + addr.PAddr(addr.LineSize-1)) &^ addr.PAddr(addr.LineSize-1)
+	off := m.allocOffset[node]
+	if off+aligned > nodeStride {
+		return addr.Region{}, fmt.Errorf("machine: node %d out of simulated memory", node)
+	}
+	base := nodeStride*addr.PAddr(node+1) + off
+	m.allocOffset[node] = off + aligned
+	return addr.Region{Base: base, Size: int64(aligned)}, nil
+}
+
+// MustAlloc is AllocOnNode but panics on error.
+func (m *Machine) MustAlloc(node topology.NodeID, size int64) addr.Region {
+	r, err := m.AllocOnNode(node, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// HomeNode returns the NUMA node whose memory holds the line.
+func (m *Machine) HomeNode(l addr.LineAddr) topology.NodeID {
+	n := topology.NodeID(l.Addr()/nodeStride) - 1
+	if int(n) < 0 || int(n) >= m.Topo.Nodes() {
+		panic(fmt.Sprintf("machine: line %#x outside any node's memory", l))
+	}
+	return n
+}
+
+// HomeAgentOf returns the home agent responsible for the line. In COD mode
+// each node's memory is owned by its cluster's memory controller; in the
+// default configuration a socket's memory is interleaved line-wise over
+// both of its memory controllers (all four channels — Figure 1).
+func (m *Machine) HomeAgentOf(l addr.LineAddr) topology.AgentID {
+	node := m.HomeNode(l)
+	if m.Cfg.Mode == COD {
+		return m.Topo.AgentOfNode(node)
+	}
+	sock := m.Topo.SocketOfNode(node)
+	imcs := m.Topo.Die.IMCs()
+	return topology.AgentID(sock*imcs + int(uint64(l)%uint64(imcs)))
+}
+
+// HA returns the home agent object for a line.
+func (m *Machine) HA(l addr.LineAddr) *HomeAgent {
+	return m.HAs[m.HomeAgentOf(l)]
+}
+
+// ResponsibleCA returns the L3 slice (caching agent) that serves the line
+// for the given core: the address hash selects among the slices of the
+// core's NUMA node (Section IV-A).
+func (m *Machine) ResponsibleCA(core topology.CoreID, l addr.LineAddr) topology.SliceID {
+	slices := m.Topo.SlicesOfNode(m.Topo.NodeOfCore(core))
+	return slices[addr.SliceHash(l, len(slices))]
+}
+
+// CAForNode returns the slice serving the line within an arbitrary node.
+func (m *Machine) CAForNode(node topology.NodeID, l addr.LineAddr) topology.SliceID {
+	slices := m.Topo.SlicesOfNode(node)
+	return slices[addr.SliceHash(l, len(slices))]
+}
+
+// Slice returns the L3 slice object.
+func (m *Machine) Slice(s topology.SliceID) *cache.L3Slice { return m.L3[s] }
+
+// Core returns a core's private caches.
+func (m *Machine) Core(c topology.CoreID) *cache.CoreCaches { return m.Cores[c] }
+
+// --- ring stop resolution and leg costing -------------------------------
+
+// stopOfCore returns the ring stop of a core on its die.
+func (m *Machine) stopOfCore(c topology.CoreID) topology.Stop {
+	return m.Topo.Die.CBoStop(m.Topo.LocalCore(c))
+}
+
+// stopOfSlice returns the ring stop of a slice on its die.
+func (m *Machine) stopOfSlice(s topology.SliceID) topology.Stop {
+	return m.Topo.Die.CBoStop(m.Topo.LocalSlice(s))
+}
+
+// stopOfAgent returns the ring stop of a home agent on its die.
+func (m *Machine) stopOfAgent(a topology.AgentID) topology.Stop {
+	return m.Topo.Die.IMCStop(m.Topo.LocalAgent(a))
+}
+
+// Endpoint identifies a transaction endpoint for leg costing.
+type Endpoint struct {
+	socket int
+	stop   topology.Stop
+}
+
+// CoreEndpoint returns the endpoint of a core.
+func (m *Machine) CoreEndpoint(c topology.CoreID) Endpoint {
+	return Endpoint{socket: m.Topo.SocketOfCore(c), stop: m.stopOfCore(c)}
+}
+
+// SliceEndpoint returns the endpoint of an L3 slice / caching agent.
+func (m *Machine) SliceEndpoint(s topology.SliceID) Endpoint {
+	return Endpoint{socket: m.Topo.SocketOfSlice(s), stop: m.stopOfSlice(s)}
+}
+
+// AgentEndpoint returns the endpoint of a home agent.
+func (m *Machine) AgentEndpoint(a topology.AgentID) Endpoint {
+	return Endpoint{socket: m.Topo.SocketOfAgent(a), stop: m.stopOfAgent(a)}
+}
+
+// Socket returns the endpoint's socket.
+func (e Endpoint) Socket() int { return e.socket }
+
+// Leg returns the transport cost of one message from one endpoint to
+// another: ring hops (and bridge crossings) on the source die, a QPI
+// traversal when the sockets differ, and ring hops on the destination die.
+func (m *Machine) Leg(from, to Endpoint) units.Time {
+	lat := m.Cfg.Lat
+	if from.socket == to.socket {
+		return lat.PathCost(m.Topo.Die.HopPath(from.stop, to.stop))
+	}
+	qpi := m.Topo.Die.QPIStop()
+	out := lat.PathCost(m.Topo.Die.HopPath(from.stop, qpi))
+	in := lat.PathCost(m.Topo.Die.HopPath(qpi, to.stop))
+	return out + ns(lat.QPITransit) + in
+}
+
+// String describes the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s, coherence: %v", m.Topo.String(), m.Cfg.Mode)
+}

@@ -1,0 +1,225 @@
+package mesif_test
+
+import (
+	"fmt"
+	"testing"
+
+	"haswellep/internal/bench"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/placement"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// calibScenario is one paper-reference latency measurement.
+type calibScenario struct {
+	name    string
+	mode    machine.SnoopMode
+	paperNs float64
+	tolPct  float64
+	run     func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string)
+}
+
+const (
+	l1Size  = 16 * units.KiB
+	l2Size  = 160 * units.KiB
+	l3Size  = 8 * units.MiB
+	memSize = 16 * units.MiB
+)
+
+// measure places and measures one scenario on a fresh machine.
+func runScenario(t *testing.T, sc calibScenario) (got float64, info string) {
+	t.Helper()
+	m := machine.MustNew(machine.TestSystem(sc.mode))
+	e := mesif.New(m)
+	p := placement.New(e)
+	stat, extra := sc.run(e, p)
+	return stat.MeanNs, extra
+}
+
+// core returns the first core of a NUMA node in the current mode.
+func firstCore(m *machine.Machine, node int) topology.CoreID {
+	return m.Topo.CoresOfNode(topology.NodeID(node))[0]
+}
+
+func calibScenarios() []calibScenario {
+	mk := func(name string, mode machine.SnoopMode, paperNs, tolPct float64,
+		run func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string)) calibScenario {
+		return calibScenario{name, mode, paperNs, tolPct, run}
+	}
+	src := machine.SourceSnoop
+	hs := machine.HomeSnoop
+	cod := machine.COD
+
+	return []calibScenario{
+		mk("local L1", src, 1.6, 3, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l1Size)
+			p.Exclusive(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("local L2", src, 4.8, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l2Size)
+			p.Exclusive(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("local L3 (E self)", src, 21.2, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l3Size)
+			p.Exclusive(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("L3 M other core (same node)", src, 21.2, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l3Size)
+			p.Modified(1, r)
+			st := bench.Latency(e, 0, r)
+			return st, fmt.Sprintf("dom=%v", st.DominantSource())
+		}),
+		mk("L3 E other core (same node, snoop)", src, 44.4, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l3Size)
+			p.Exclusive(1, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("M in other core L1 (same node)", src, 53, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l1Size)
+			p.Modified(1, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("M in other core L2 (same node)", src, 49, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l2Size)
+			p.Modified(1, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("shared in local L3", src, 21.2, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, l3Size)
+			p.Shared(r, 1, 2)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("remote L3 M (1 hop QPI)", src, 86, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, l3Size)
+			p.Modified(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("remote L3 E (1 hop QPI)", src, 104, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, l3Size)
+			p.Exclusive(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("M in remote core L1", src, 113, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, l1Size)
+			p.Modified(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("M in remote core L2", src, 109, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, l2Size)
+			p.Modified(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("local memory", src, 96.4, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, memSize)
+			p.Modified(0, r)
+			p.FlushAll(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("remote memory", src, 146, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, memSize)
+			p.Modified(12, r)
+			p.FlushAll(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+
+		// Home snoop deltas (Section VI-B).
+		mk("home snoop: local memory", hs, 108, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, memSize)
+			p.Modified(0, r)
+			p.FlushAll(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("home snoop: remote L3 E", hs, 115, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, l3Size)
+			p.Exclusive(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("home snoop: remote memory", hs, 148, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, memSize)
+			p.Modified(12, r)
+			p.FlushAll(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+
+		// COD mode (Section VI-C, Table III).
+		mk("COD: local L3 node0", cod, 18.0, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, 4*units.MiB)
+			p.Exclusive(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: local L3 core6 (node1, first ring)", cod, 20.0, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, 4*units.MiB)
+			p.Exclusive(6, r)
+			return bench.Latency(e, 6, r), ""
+		}),
+		mk("COD: local L3 core8 (node1, second ring)", cod, 18.4, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, 4*units.MiB)
+			p.Exclusive(8, r)
+			return bench.Latency(e, 8, r), ""
+		}),
+		mk("COD: local memory node0", cod, 89.6, 5, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(0, memSize)
+			p.Modified(0, r)
+			p.FlushAll(0, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: on-chip 2nd node L3 M (1 hop)", cod, 57.2, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, 4*units.MiB)
+			p.Modified(6, r)
+			st := bench.Latency(e, 0, r)
+			return st, fmt.Sprintf("dom=%v", st.DominantSource())
+		}),
+		mk("COD: on-chip 2nd node L3 E (1 hop)", cod, 73.6, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, 4*units.MiB)
+			p.Exclusive(6, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: remote L3 E 1 hop (node2)", cod, 113, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(2, 4*units.MiB)
+			p.Exclusive(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: remote L3 E 2 hops (node3)", cod, 118, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(3, 4*units.MiB)
+			p.Exclusive(18, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: memory node0->node1 (on-chip)", cod, 96.0, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(1, memSize)
+			p.Modified(6, r)
+			p.FlushAll(6, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: memory node0->node2 (1 hop QPI)", cod, 141, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(2, memSize)
+			p.Modified(12, r)
+			p.FlushAll(12, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+		mk("COD: memory node0->node3 (2 hops)", cod, 147, 6, func(e *mesif.Engine, p *placement.Placer) (bench.LatencyStat, string) {
+			r := e.M.MustAlloc(3, memSize)
+			p.Modified(18, r)
+			p.FlushAll(18, r)
+			return bench.Latency(e, 0, r), ""
+		}),
+	}
+}
+
+// TestCalibrationTable prints the measured-vs-paper table. It does not fail
+// on deviations — the hard reproduction assertions live in the experiments
+// package — but it is the canonical view of calibration quality.
+func TestCalibrationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration table is slow")
+	}
+	for _, sc := range calibScenarios() {
+		got, info := runScenario(t, sc)
+		dev := (got - sc.paperNs) / sc.paperNs * 100
+		t.Logf("%-42s paper=%7.1fns got=%7.1fns dev=%+6.1f%% %s", sc.name, sc.paperNs, got, dev, info)
+	}
+}

@@ -1,0 +1,303 @@
+// Package mesif implements the MESIF cache-coherence protocol of the
+// simulated Haswell-EP machine: the caching agents (one per L3 slice), the
+// home agents (one per memory controller), and the read / write / flush
+// transactions under the three snoop configurations the paper compares
+// (source snoop, home snoop, and Cluster-on-Die with directory support).
+//
+// The engine executes transactions against the live cache, directory, and
+// DRAM state of a machine.Machine and prices every step with the machine's
+// latency model and ring/QPI topology. The returned latency of an access is
+// the load-to-use time: the moment the data arrives at the requesting core.
+// Transaction completion bookkeeping (snoop-response collection at the home
+// agent) only gates the data when the protocol really withholds it — that
+// distinction is what separates source snooping from home snooping on local
+// memory (Section VI-B).
+//
+// An Engine is NOT safe for concurrent use: the simulated machine is one
+// shared state, and transactions mutate it. Multi-core workloads are
+// expressed as interleaved access sequences (see package workload), not as
+// goroutines.
+package mesif
+
+import (
+	"fmt"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Source states where the data of an access was obtained.
+type Source int
+
+// Data sources, ordered roughly by distance.
+const (
+	// SrcL1 is a hit in the requesting core's L1D.
+	SrcL1 Source = iota
+	// SrcL2 is a hit in the requesting core's L2.
+	SrcL2
+	// SrcL3 is a hit in the requesting node's L3 served without a core
+	// snoop.
+	SrcL3
+	// SrcL3CoreSnoop is a hit in the requesting node's L3 that required
+	// snooping a core of the node (clean response; data still from L3).
+	SrcL3CoreSnoop
+	// SrcCoreForward is a modified line forwarded from another core's
+	// private cache within the requesting node.
+	SrcCoreForward
+	// SrcPeerL3 is a line forwarded by another node's caching agent out
+	// of its L3.
+	SrcPeerL3
+	// SrcPeerL3CoreSnoop is a forward from another node's L3 that also
+	// required a clean core snoop inside that node.
+	SrcPeerL3CoreSnoop
+	// SrcPeerCore is a modified line forwarded from a core's private
+	// cache in another node.
+	SrcPeerCore
+	// SrcMemory is data provided by a home agent from DRAM.
+	SrcMemory
+	// SrcMemoryForward is data provided from DRAM by the home agent on
+	// the strength of a HitME directory-cache hit proving the line is
+	// only shared (COD mode, Section VI-C / Figure 7).
+	SrcMemoryForward
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcL3CoreSnoop:
+		return "L3+core-snoop"
+	case SrcCoreForward:
+		return "core-forward"
+	case SrcPeerL3:
+		return "peer-L3"
+	case SrcPeerL3CoreSnoop:
+		return "peer-L3+core-snoop"
+	case SrcPeerCore:
+		return "peer-core"
+	case SrcMemory:
+		return "memory"
+	case SrcMemoryForward:
+		return "memory-forward"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Access is the result of one transaction.
+type Access struct {
+	// Latency is the load-to-use time of the access.
+	Latency units.Time
+	// Source is where the data came from.
+	Source Source
+	// Broadcast reports that the home agent had to broadcast snoops
+	// because of a snoop-all directory state (COD mode).
+	Broadcast bool
+	// DirCacheHit reports a HitME directory-cache hit.
+	DirCacheHit bool
+	// RemoteDRAM mirrors the MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM
+	// performance counter: data came from DRAM of another NUMA node.
+	RemoteDRAM bool
+	// RemoteFwd mirrors ...:REMOTE_FWD: data was forwarded by another
+	// NUMA node's cache.
+	RemoteFwd bool
+	// FwdLevel is the private-cache level (1 or 2) a core-forward came
+	// from; 0 when the data did not come out of a core's private cache.
+	FwdLevel int
+}
+
+// Stats aggregates per-source access counts.
+type Stats struct {
+	BySource   map[Source]uint64
+	Reads      uint64
+	Writes     uint64
+	Flushes    uint64
+	Broadcasts uint64
+	DirHits    uint64
+	// SnoopsSent counts snoop messages issued to caching agents (by the
+	// requesting CA in source snoop mode, by the home agent otherwise).
+	SnoopsSent uint64
+	// SnoopsQPI counts the subset of snoops that crossed a QPI link.
+	SnoopsQPI uint64
+}
+
+// Engine executes MESIF transactions on a machine.
+type Engine struct {
+	M *machine.Machine
+	// WorkingSet is the resident footprint (bytes) of the access stream
+	// currently being issued; it feeds the DRAM open-page model. Zero
+	// means "large / no locality".
+	WorkingSet int64
+
+	stats Stats
+}
+
+// New builds an engine for the machine.
+func New(m *machine.Machine) *Engine {
+	return &Engine{M: m, stats: Stats{BySource: make(map[Source]uint64)}}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Engine) Stats() Stats {
+	out := e.stats
+	out.BySource = make(map[Source]uint64, len(e.stats.BySource))
+	for k, v := range e.stats.BySource {
+		out.BySource[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the statistics.
+func (e *Engine) ResetStats() {
+	e.stats = Stats{BySource: make(map[Source]uint64)}
+}
+
+// lat is shorthand for the machine's latency model.
+func (e *Engine) lat() machine.LatencyModel { return e.M.Cfg.Lat }
+
+// nsT converts nanoseconds to simulated time.
+func nsT(v float64) units.Time { return units.FromNanoseconds(v) }
+
+// record books an access into the statistics.
+func (e *Engine) record(a Access) Access {
+	e.stats.BySource[a.Source]++
+	if a.Broadcast {
+		e.stats.Broadcasts++
+	}
+	if a.DirCacheHit {
+		e.stats.DirHits++
+	}
+	return a
+}
+
+// --- cross-node lookup helpers -------------------------------------------
+
+// nodeEntry describes a node's L3 standing for a line.
+type nodeEntry struct {
+	node  topology.NodeID
+	slice topology.SliceID
+	line  cache.Line
+	ok    bool
+}
+
+// l3EntryOf returns node n's L3 entry for the line.
+func (e *Engine) l3EntryOf(n topology.NodeID, l addr.LineAddr) nodeEntry {
+	s := e.M.CAForNode(n, l)
+	ln, ok := e.M.Slice(s).Lookup(l)
+	return nodeEntry{node: n, slice: s, line: ln, ok: ok}
+}
+
+// forwarderAmong returns the peer node (excluding `exclude`) whose L3 holds
+// the line in a forwardable state (M, E, or F), if any. The MESIF protocol
+// guarantees at most one such node exists.
+func (e *Engine) forwarderAmong(l addr.LineAddr, exclude topology.NodeID) (nodeEntry, bool) {
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == exclude {
+			continue
+		}
+		ent := e.l3EntryOf(nn, l)
+		if ent.ok && ent.line.State.CanForward() {
+			return ent, true
+		}
+	}
+	return nodeEntry{}, false
+}
+
+// anyPeerHolds reports whether any node other than `exclude` caches the
+// line in any valid state.
+func (e *Engine) anyPeerHolds(l addr.LineAddr, exclude topology.NodeID) bool {
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == exclude {
+			continue
+		}
+		if ent := e.l3EntryOf(nn, l); ent.ok {
+			return true
+		}
+	}
+	return false
+}
+
+// sharerVector returns the presence vector of all nodes currently caching
+// the line.
+func (e *Engine) sharerVector(l addr.LineAddr) directory.PresenceVector {
+	var v directory.PresenceVector
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		if ent := e.l3EntryOf(topology.NodeID(n), l); ent.ok {
+			v = v.With(n)
+		}
+	}
+	return v
+}
+
+// forwardHolderNode returns the node whose L3 holds the line in state F
+// (or, failing that, E/M — the unique-owner states also forward), if any.
+func (e *Engine) forwardHolderNode(l addr.LineAddr) (topology.NodeID, bool) {
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		ent := e.l3EntryOf(nn, l)
+		if ent.ok && ent.line.State.CanForward() {
+			return nn, true
+		}
+	}
+	return 0, false
+}
+
+// countSnoop books snoop messages from an origin socket to a target node.
+func (e *Engine) countSnoop(fromSocket int, to topology.NodeID) {
+	e.stats.SnoopsSent++
+	if e.M.Topo.SocketOfNode(to) != fromSocket {
+		e.stats.SnoopsQPI++
+	}
+}
+
+// coreOfValidBit maps a core-valid bit (die-local core index) of a slice's
+// node to the global CoreID.
+func (e *Engine) coreOfValidBit(sl topology.SliceID, bit int) topology.CoreID {
+	sock := e.M.Topo.SocketOfSlice(sl)
+	return topology.CoreID(sock*e.M.Topo.Die.Cores() + bit)
+}
+
+// soleOtherValidCore inspects a line's core-valid bits and returns the
+// single core that must be snooped before the CA may serve the line:
+// exactly one bit set, belonging to a core other than the requester, on a
+// line in a unique state (E or M). With several bits set the line can only
+// be Shared in the cores, so no snoop is needed (Section VI-A).
+func (e *Engine) soleOtherValidCore(ent nodeEntry, requester topology.CoreID) (topology.CoreID, bool) {
+	if !ent.line.State.Unique() {
+		return 0, false
+	}
+	bits := ent.line.CoreValid
+	if bits == 0 || bits&(bits-1) != 0 {
+		return 0, false // zero or multiple sharers
+	}
+	// Exactly one bit: find it.
+	bit := 0
+	for bits>>uint(bit)&1 == 0 {
+		bit++
+	}
+	c := e.coreOfValidBit(ent.slice, bit)
+	if c == requester {
+		return 0, false
+	}
+	return c, true
+}
+
+// hitmeLookup performs a HitME lookup when the home agent has a directory
+// cache; machines built with DisableHitME have none and always miss.
+func (e *Engine) hitmeLookup(ha *machine.HomeAgent, l addr.LineAddr) (directory.PresenceVector, directory.EntryKind, bool) {
+	if ha.HitME == nil {
+		return 0, directory.EntryShared, false
+	}
+	return ha.HitME.Lookup(l)
+}

@@ -1,0 +1,112 @@
+package mesif_test
+
+import (
+	"strings"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// explainContains asserts the narration mentions every fragment.
+func explainContains(t *testing.T, e *mesif.Engine, core topology.CoreID, l addr.LineAddr, frags ...string) string {
+	t.Helper()
+	out := e.Explain(core, l)
+	for _, f := range frags {
+		if !strings.Contains(out, f) {
+			t.Errorf("explanation missing %q:\n%s", f, out)
+		}
+	}
+	return out
+}
+
+// TestExplainDoesNotMutate: Explain must be a pure observer.
+func TestExplainDoesNotMutate(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 1)
+	e.Read(6, l)
+	before := e.L3StateIn(1, l)
+	_ = e.Explain(0, l)
+	if e.L3StateIn(1, l) != before {
+		t.Error("Explain mutated L3 state")
+	}
+	// The access after Explain behaves as if Explain never happened.
+	acc := e.Read(0, l)
+	if acc.Source != mesif.SrcPeerL3 && acc.Source != mesif.SrcPeerL3CoreSnoop {
+		t.Errorf("post-Explain read = %v", acc.Source)
+	}
+}
+
+func TestExplainHitCases(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(0, l)
+	explainContains(t, e, 0, l, "L1 hit", "served in place")
+}
+
+func TestExplainStaleBit(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(1, l)
+	e.M.Core(1).InvalidateBoth(l)
+	explainContains(t, e, 0, l, "STALE", "44.4 ns")
+}
+
+func TestExplainModifiedForward(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Write(1, l)
+	explainContains(t, e, 0, l, "forwards M data", "core-to-core forward")
+}
+
+func TestExplainSourceSnoopMemory(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	explainContains(t, e, 0, l, "source snoop", "without waiting for snoop responses")
+}
+
+func TestExplainHomeSnoopMemory(t *testing.T) {
+	e := newEngine(t, machine.HomeSnoop)
+	l := lineOn(t, e, 0)
+	explainContains(t, e, 0, l, "home snoop", "after all snoop responses")
+}
+
+func TestExplainFReclaim(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(0, l)
+	e.Read(12, l) // F migrates away; core 0 keeps S
+	explainContains(t, e, 0, l, "reclaim F", "L3 round trip")
+}
+
+func TestExplainDirectoryPaths(t *testing.T) {
+	// HitME shared fast path.
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 1)
+	e.Read(6, l)
+	e.Read(12, l)
+	explainContains(t, e, 0, l, "HitME hit", "without a broadcast")
+
+	// Stale snoop-all.
+	r := addr.Region{Base: l.Addr(), Size: 64}
+	e.EvictCached(r)
+	e.EvictDirectoryCache(r)
+	explainContains(t, e, 0, l, "snoop-all", "STALE", "Table V")
+
+	// Remote-invalid fresh memory.
+	l2 := lineOn(t, e, 2)
+	explainContains(t, e, 0, l2, "remote-invalid")
+}
+
+func TestExplainThreeNode(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 1)
+	e.Read(6, l)  // home node caches
+	e.Read(12, l) // F to node2
+	r := addr.Region{Base: l.Addr(), Size: 64}
+	e.EvictDirectoryCache(r)
+	// Home node1's copy is S (not forwardable); node2 holds F.
+	explainContains(t, e, 0, l, "broadcast", "node2 forwards", "Table IV")
+}

@@ -1,0 +1,228 @@
+package mesif
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/topology"
+)
+
+// fillCore installs a line into the requesting core's L2 and L1 in the
+// given state, cascading evictions: a modified L1 victim falls back to the
+// L2, a modified L2 victim is written back to the node's L3 (which clears
+// the core-valid bit — Section VI-A), and clean victims are dropped
+// silently (leaving stale core-valid bits behind — the cause of the paper's
+// 44.4 ns exclusive-line penalty).
+func (e *Engine) fillCore(core topology.CoreID, l addr.LineAddr, st cache.State) {
+	cc := e.M.Core(core)
+	if v, ev := cc.L2.Insert(cache.Line{Addr: l, State: st}); ev {
+		e.handleL2Victim(core, v)
+	}
+	if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: st}); ev {
+		e.handleL1Victim(core, v)
+	}
+}
+
+// handleL1Victim processes a line evicted from an L1: modified data moves
+// to the L2 (possibly cascading), clean lines vanish silently.
+func (e *Engine) handleL1Victim(core topology.CoreID, v cache.Line) {
+	if v.State != cache.Modified {
+		return
+	}
+	cc := e.M.Core(core)
+	if cc.L2.Contains(v.Addr) {
+		cc.L2.Update(v.Addr, func(ln *cache.Line) { ln.State = cache.Modified })
+		return
+	}
+	if v2, ev := cc.L2.Insert(cache.Line{Addr: v.Addr, State: cache.Modified}); ev {
+		e.handleL2Victim(core, v2)
+	}
+}
+
+// handleL2Victim processes a line evicted from an L2. A modified victim is
+// written back into the node's L3 slice, marking the L3 copy Modified and
+// clearing the evicting core's valid bit; the inclusive L3 is guaranteed to
+// hold the line. Clean victims are dropped silently — their core-valid bits
+// intentionally remain set.
+func (e *Engine) handleL2Victim(core topology.CoreID, v cache.Line) {
+	// The line may still be in L1 (non-inclusive L1/L2); a pure L2
+	// eviction leaves the L1 copy alone on real hardware, but our fill
+	// order evicts L2 before filling L1, so treat the L2 victim on its
+	// own.
+	if v.State != cache.Modified {
+		return
+	}
+	node := e.M.Topo.NodeOfCore(core)
+	sl := e.M.CAForNode(node, v.Addr)
+	slice := e.M.Slice(sl)
+	if slice.Contains(v.Addr) {
+		localBit := e.M.Topo.LocalCore(core)
+		slice.Update(v.Addr, func(ln *cache.Line) {
+			ln.State = cache.Modified
+			ln.CoreValid &^= 1 << uint(localBit)
+		})
+		return
+	}
+	// The L3 lost the line already (capacity victim raced ahead in the
+	// eviction cascade): write the dirty data home.
+	e.dramWriteback(v.Addr, node)
+}
+
+// fillL3 installs a line into the requesting node's L3 slice, setting the
+// requester's core-valid bit, and processes the capacity victim: the
+// inclusive L3 back-invalidates any cores still holding the victim, dirty
+// victims are written back to their home, and clean victims leave silently
+// (leaving the in-memory directory stale — the mechanism behind Table V).
+func (e *Engine) fillL3(node topology.NodeID, l addr.LineAddr, st cache.State, core topology.CoreID) {
+	sl := e.M.CAForNode(node, l)
+	slice := e.M.Slice(sl)
+	entry := cache.Line{Addr: l, State: st}
+	if core >= 0 {
+		entry.CoreValid = 1 << uint(e.M.Topo.LocalCore(core))
+	}
+	victim, evicted := slice.Insert(entry)
+	if !evicted {
+		return
+	}
+	e.retireL3Victim(node, victim)
+}
+
+// retireL3Victim completes an L3 capacity eviction.
+func (e *Engine) retireL3Victim(node topology.NodeID, victim cache.Line) {
+	dirty := victim.State == cache.Modified
+	// Back-invalidate cores of this node still holding the line.
+	sock := e.M.Topo.SocketOfNode(node)
+	bits := victim.CoreValid
+	for bit := 0; bits != 0; bit++ {
+		if bits&(1<<uint(bit)) == 0 {
+			continue
+		}
+		bits &^= 1 << uint(bit)
+		c := topology.CoreID(sock*e.M.Topo.Die.Cores() + bit)
+		if st := e.M.Core(c).InvalidateBoth(victim.Addr); st == cache.Modified {
+			dirty = true
+		}
+	}
+	if dirty {
+		e.dramWriteback(victim.Addr, node)
+		return
+	}
+	// Clean eviction: silent. The home's directory, if any, keeps
+	// whatever state it had — possibly a stale snoop-all.
+}
+
+// dramWriteback writes a dirty line back to its home memory and updates
+// the in-memory directory: the writeback implies the (unique) owner gave
+// the line up, so a remote owner's writeback returns the directory to
+// remote-invalid and drops any HitME entry.
+func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
+	ha := e.M.HA(l)
+	ha.DRAM.RecordWrite()
+	if ha.Dir == nil {
+		return
+	}
+	home := e.M.HomeNode(l)
+	if fromNode != home {
+		ha.Dir.SetState(l, directory.RemoteInvalid)
+		if ha.HitME != nil {
+			ha.HitME.Invalidate(l)
+		}
+	}
+}
+
+// invalidateEverywhere removes the line from every cache in the system,
+// writing dirty data home, clearing core-valid bits, and resetting the
+// directory — the semantics of a coherent clflush reaching memory.
+func (e *Engine) invalidateEverywhere(l addr.LineAddr) {
+	dirty := false
+	var dirtyNode topology.NodeID
+	for c := 0; c < e.M.Topo.Cores(); c++ {
+		cid := topology.CoreID(c)
+		if st := e.M.Core(cid).InvalidateBoth(l); st == cache.Modified {
+			dirty = true
+			dirtyNode = e.M.Topo.NodeOfCore(cid)
+		}
+	}
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		sl := e.M.CAForNode(nn, l)
+		if ln, ok := e.M.Slice(sl).Invalidate(l); ok && ln.State == cache.Modified {
+			dirty = true
+			dirtyNode = nn
+		}
+	}
+	ha := e.M.HA(l)
+	if dirty {
+		_ = dirtyNode
+		ha.DRAM.RecordWrite()
+	}
+	if ha.Dir != nil {
+		ha.Dir.SetState(l, directory.RemoteInvalid)
+		if ha.HitME != nil {
+			ha.HitME.Invalidate(l)
+		}
+	}
+}
+
+// grantStateOnRead decides the MESIF state granted for a read miss serviced
+// by memory: Exclusive when no other node caches the line, Forward when
+// clean sharers exist but none of them holds the forward designation (the
+// new requester becomes the forwarder).
+func (e *Engine) grantStateOnRead(l addr.LineAddr, requester topology.NodeID) cache.State {
+	if e.anyPeerHolds(l, requester) {
+		return cache.Forward
+	}
+	return cache.Exclusive
+}
+
+// dirOnReadGrant updates the in-memory directory after the home agent
+// answers a read from memory (COD mode): granting a line to a caching
+// agent outside the home node makes the memory state snoop-all when the
+// grant is Exclusive (a silent modification could follow) and shared when
+// the grant is a clean shared copy.
+func (e *Engine) dirOnReadGrant(l addr.LineAddr, requester topology.NodeID, granted cache.State) {
+	ha := e.M.HA(l)
+	if ha.Dir == nil {
+		return
+	}
+	home := e.M.HomeNode(l)
+	if requester == home {
+		return // home-node copies are found by the mandatory local snoop
+	}
+	if granted.Unique() {
+		ha.Dir.SetState(l, directory.SnoopAll)
+	} else if ha.Dir.State(l) == directory.RemoteInvalid {
+		ha.Dir.SetState(l, directory.SharedRemote)
+	}
+}
+
+// allocateHitME applies the AllocateShared policy [5] after a cache-to-cache
+// forward: when a caching agent forwards a line to a requester outside the
+// home node, the home agent enters the line into its directory cache and
+// pins the in-memory directory to snoop-all. Shared forwards produce
+// EntryShared entries (memory stays valid); dirty forwards produce
+// EntryOwned entries naming the new owner.
+func (e *Engine) allocateHitME(l addr.LineAddr, requester topology.NodeID, kind directory.EntryKind) {
+	ha := e.M.HA(l)
+	if ha.Dir == nil {
+		return
+	}
+	home := e.M.HomeNode(l)
+	if requester == home {
+		return
+	}
+	if ha.HitME == nil {
+		// Directory without directory cache (DisableHitME ablation):
+		// the in-memory state still goes conservative.
+		ha.Dir.SetState(l, directory.SnoopAll)
+		return
+	}
+	var v directory.PresenceVector
+	if kind == directory.EntryOwned {
+		v = v.With(int(requester))
+	} else {
+		v = e.sharerVector(l).With(int(requester))
+	}
+	ha.HitME.Allocate(l, v, kind)
+	ha.Dir.SetState(l, directory.SnoopAll)
+}

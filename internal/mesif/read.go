@@ -1,0 +1,587 @@
+package mesif
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Read performs a demand load of one cache line by the given core and
+// returns the access result. All cache, directory and DRAM state is
+// mutated exactly as the protocol prescribes, so consecutive reads observe
+// the state changes earlier reads caused (a modified line is only forwarded
+// from the owning core once, etc.).
+func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
+	e.stats.Reads++
+	lat := e.lat()
+	cc := e.M.Core(core)
+	rn := e.M.Topo.NodeOfCore(core)
+
+	// L1 hit.
+	if st := cc.L1D.StateOf(l); st.Valid() {
+		if st == cache.Shared {
+			if acc, ok := e.sharedReclaim(core, rn, l); ok {
+				return e.record(acc)
+			}
+		}
+		cc.L1D.Touch(l)
+		return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+	}
+	// L2 hit; refill the L1.
+	if st := cc.L2.StateOf(l); st.Valid() {
+		if st == cache.Shared {
+			if acc, ok := e.sharedReclaim(core, rn, l); ok {
+				return e.record(acc)
+			}
+		}
+		cc.L2.Touch(l)
+		if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: st}); ev {
+			e.handleL1Victim(core, v)
+		}
+		return e.record(Access{Latency: nsT(lat.L2Hit), Source: SrcL2})
+	}
+
+	// Private miss: the request travels to the node's responsible CA.
+	ca := e.M.ResponsibleCA(core, l)
+	tReq := nsT(lat.RequestLaunch) + e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca))
+
+	if ent := e.l3EntryOf(rn, l); ent.ok {
+		return e.record(e.l3Hit(core, rn, l, ent, tReq))
+	}
+
+	tMiss := tReq + nsT(lat.TagPipe)
+	switch {
+	case e.M.Cfg.Mode == machine.SourceSnoop:
+		return e.record(e.sourceSnoopMiss(core, rn, l, tMiss))
+	case e.M.HA(l).Dir != nil:
+		// Home snooping with DAS directory support: COD mode, or any
+		// home-snooped configuration with ForceDirectory set.
+		return e.record(e.codMiss(core, rn, l, tMiss))
+	default:
+		return e.record(e.homeSnoopMiss(core, rn, l, tMiss))
+	}
+}
+
+// sharedReclaim handles the paper's Section VI-C / Table IV observation:
+// a read hit on a Shared line in the private caches still notifies the
+// responsible caching agent when the line's forward copy lives in another
+// node, so the node can reclaim the forward state. The access costs a full
+// L3 round trip and migrates the F designation to the requester's node.
+func (e *Engine) sharedReclaim(core topology.CoreID, rn topology.NodeID, l addr.LineAddr) (Access, bool) {
+	fwNode, ok := e.forwardHolderNode(l)
+	if !ok || fwNode == rn {
+		return Access{}, false
+	}
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	t := nsT(lat.RequestLaunch) +
+		e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca)) +
+		nsT(lat.L3Pipe) +
+		e.M.Leg(e.M.SliceEndpoint(ca), e.M.CoreEndpoint(core))
+	// Reclaim: this node's L3 copy becomes the forwarder, the old
+	// forwarder demotes to Shared.
+	old := e.l3EntryOf(fwNode, l)
+	if old.ok {
+		e.M.Slice(old.slice).Update(l, func(ln *cache.Line) { ln.State = cache.Shared })
+	}
+	mine := e.l3EntryOf(rn, l)
+	if mine.ok {
+		e.M.Slice(mine.slice).Update(l, func(ln *cache.Line) {
+			if ln.State == cache.Shared {
+				ln.State = cache.Forward
+			}
+		})
+	}
+	e.M.Core(core).L1D.Touch(l)
+	return Access{Latency: t, Source: SrcL3}, true
+}
+
+// l3Hit services a request that hits in the requesting node's L3.
+func (e *Engine) l3Hit(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, ent nodeEntry, tReq units.Time) Access {
+	lat := e.lat()
+	slice := e.M.Slice(ent.slice)
+	legBack := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
+	base := tReq + nsT(lat.L3Pipe) + legBack
+
+	acc := Access{Latency: base, Source: SrcL3}
+	grant := cache.Shared
+
+	if y, need := e.soleOtherValidCore(ent, core); need {
+		// The line is Exclusive/Modified with exactly one core-valid
+		// bit set for another core: that core may hold a newer copy
+		// and must be snooped (the 44.4 ns case when the bit is stale
+		// after a silent eviction, Section VI-A).
+		rt := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(y)) +
+			e.M.Leg(e.M.CoreEndpoint(y), e.M.SliceEndpoint(ent.slice)) +
+			nsT(lat.SnoopPipe)
+		lvl, st := e.M.Core(y).HighestLevelState(l)
+		switch {
+		case st == cache.Modified && lvl == 1:
+			acc = Access{Latency: base + rt + nsT(lat.FwdL1Extra), Source: SrcCoreForward, FwdLevel: 1}
+		case st == cache.Modified:
+			acc = Access{Latency: base + rt + nsT(lat.FwdL2Extra), Source: SrcCoreForward, FwdLevel: 2}
+		default:
+			acc = Access{Latency: base + rt, Source: SrcL3CoreSnoop}
+		}
+		if st == cache.Modified {
+			// Forwarded dirty data: the L3 absorbs the new version,
+			// both cores end up with shared copies.
+			e.M.Core(y).Downgrade(l, cache.Shared)
+			slice.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
+		} else if st.Valid() {
+			e.M.Core(y).Downgrade(l, cache.Shared)
+		}
+		// When the snooped core no longer holds a copy (silent
+		// eviction), the stale core-valid bit remains set and the
+		// requester receives a Shared copy: from now on multiple bits
+		// are set and later readers are served without a snoop — the
+		// reason shared lines read at plain L3 latency (Section VI-A).
+	} else if ent.line.State.Unique() {
+		// No other core holds the line; an E line may be handed out
+		// exclusively again.
+		bits := ent.line.CoreValid &^ (1 << uint(e.M.Topo.LocalCore(core)))
+		if bits == 0 && ent.line.State == cache.Exclusive {
+			grant = cache.Exclusive
+		}
+	}
+
+	slice.Touch(l)
+	slice.SetCoreValid(l, e.M.Topo.LocalCore(core), true)
+	e.fillCore(core, l, grant)
+	return acc
+}
+
+// peerService executes the peer-node side of a cross-node request: the
+// peer CA's lookup, an intra-node core snoop when its core-valid bits
+// demand one, the forward itself, and all peer-side state transitions.
+// It returns the service time at the peer and the data source class.
+func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
+	lat := e.lat()
+	cost := nsT(lat.L3Pipe) + nsT(lat.NodeTransferPipe)
+	src := SrcPeerL3
+	fwdLevel := 0
+	dirty := ent.line.State == cache.Modified
+
+	if y, need := e.soleOtherValidCore(ent, topology.CoreID(-1)); need {
+		rt := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(y)) +
+			e.M.Leg(e.M.CoreEndpoint(y), e.M.SliceEndpoint(ent.slice)) +
+			nsT(lat.PeerSnoopPipe)
+		lvl, st := e.M.Core(y).HighestLevelState(ent.line.Addr)
+		switch {
+		case st == cache.Modified && lvl == 1:
+			cost += rt + nsT(lat.FwdL1Extra)
+			src = SrcPeerCore
+			fwdLevel = 1
+			dirty = true
+		case st == cache.Modified:
+			cost += rt + nsT(lat.FwdL2Extra)
+			src = SrcPeerCore
+			fwdLevel = 2
+			dirty = true
+		default:
+			cost += rt
+			src = SrcPeerL3CoreSnoop
+		}
+	}
+
+	// Peer-side transitions: every copy in the peer node demotes to
+	// Shared; forwarded dirty data is implicitly written back to the
+	// home (QPI RspFwdS semantics), so the line is clean afterwards.
+	slice := e.M.Slice(ent.slice)
+	sock := e.M.Topo.SocketOfSlice(ent.slice)
+	bits := ent.line.CoreValid
+	for bit := 0; bits != 0; bit++ {
+		if bits&(1<<uint(bit)) == 0 {
+			continue
+		}
+		bits &^= 1 << uint(bit)
+		c := topology.CoreID(sock*e.M.Topo.Die.Cores() + bit)
+		if e.M.Core(c).HasValid(ent.line.Addr) {
+			e.M.Core(c).Downgrade(ent.line.Addr, cache.Shared)
+		} else {
+			slice.SetCoreValid(ent.line.Addr, bit, false)
+		}
+	}
+	slice.Update(ent.line.Addr, func(ln *cache.Line) { ln.State = cache.Shared })
+	if dirty {
+		e.M.HA(ent.line.Addr).DRAM.RecordWrite()
+	}
+	return cost, src, fwdLevel
+}
+
+// dirAfterForward records a cross-node cache-to-cache forward in the COD
+// directory structures: AllocateShared when the requester is outside the
+// home node, a plain shared note otherwise.
+func (e *Engine) dirAfterForward(l addr.LineAddr, rn topology.NodeID) {
+	ha := e.M.HA(l)
+	if ha.Dir == nil {
+		return
+	}
+	home := e.M.HomeNode(l)
+	if rn != home {
+		e.allocateHitME(l, rn, directory.EntryShared)
+		return
+	}
+	// The requester is the home node; remote sharers remain.
+	if e.anyPeerHolds(l, home) && ha.Dir.State(l) == directory.RemoteInvalid {
+		ha.Dir.SetState(l, directory.SharedRemote)
+	}
+}
+
+// fillAfterForward installs the forwarded line at the requester: the node's
+// L3 takes the forward designation (MESIF hands F to the newest sharer),
+// the core receives a Shared copy.
+func (e *Engine) fillAfterForward(core topology.CoreID, rn topology.NodeID, l addr.LineAddr) {
+	e.fillL3(rn, l, cache.Forward, core)
+	e.fillCore(core, l, cache.Shared)
+}
+
+// sourceSnoopMiss resolves an L3 miss in source snoop mode: the requesting
+// CA broadcasts snoops to the peer CAs and to the home agent in parallel;
+// a peer holding M/E/F forwards directly, otherwise the home agent sends
+// the memory copy without waiting for the snoop responses (speculative
+// data return — the reason local memory stays at 96.4 ns here while home
+// snooping pays 108 ns).
+func (e *Engine) sourceSnoopMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, tMiss units.Time) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	// The requesting CA broadcasts to every peer node's CA.
+	srcSock := e.M.Topo.SocketOfNode(rn)
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		if nn := topology.NodeID(n); nn != rn {
+			e.countSnoop(srcSock, nn)
+		}
+	}
+
+	if fw, ok := e.forwarderAmong(l, rn); ok {
+		legTo := e.M.Leg(e.M.SliceEndpoint(ca), e.M.SliceEndpoint(fw.slice))
+		service, src, flv := e.peerService(fw)
+		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
+		e.fillAfterForward(core, rn, l)
+		e.dirAfterForward(l, rn)
+		return Access{
+			Latency:   tMiss + legTo + service + legData,
+			Source:    src,
+			RemoteFwd: true,
+			FwdLevel:  flv,
+		}
+	}
+
+	// Memory provides the data.
+	agent := e.M.HomeAgentOf(l)
+	ha := e.M.HAs[agent]
+	legCH := e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent))
+	dramT := ha.DRAM.AccessTime(e.WorkingSet)
+	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
+	ha.DRAM.RecordRead()
+
+	grant := e.grantStateOnRead(l, rn)
+	coreState := cache.Shared
+	if grant == cache.Exclusive {
+		coreState = cache.Exclusive
+	}
+	e.fillL3(rn, l, grant, core)
+	e.fillCore(core, l, coreState)
+	return Access{
+		Latency:    tMiss + legCH + nsT(lat.HAPipe) + dramT + legHC,
+		Source:     SrcMemory,
+		RemoteDRAM: e.M.HomeNode(l) != rn,
+	}
+}
+
+// homeSnoopMiss resolves an L3 miss in home snoop mode: the CA forwards the
+// request to the home agent, which snoops the peer caching agents and only
+// releases memory data once the snoop responses are in.
+func (e *Engine) homeSnoopMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, tMiss units.Time) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	agent := e.M.HomeAgentOf(l)
+	ha := e.M.HAs[agent]
+	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
+	// The home agent snoops every node except the requester's.
+	haSock := e.M.Topo.SocketOfAgent(agent)
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		if nn := topology.NodeID(n); nn != rn {
+			e.countSnoop(haSock, nn)
+		}
+	}
+
+	if fw, ok := e.forwarderAmong(l, rn); ok {
+		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
+		service, src, flv := e.peerService(fw)
+		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
+		e.fillAfterForward(core, rn, l)
+		e.dirAfterForward(l, rn)
+		return Access{
+			Latency:   tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData,
+			Source:    src,
+			RemoteFwd: true,
+			FwdLevel:  flv,
+		}
+	}
+
+	// No forwarder: memory data is released after the snoop responses.
+	dramT := ha.DRAM.AccessTime(e.WorkingSet)
+	snoopWait := e.snoopResponseWait(agent, rn)
+	wait := dramT
+	if snoopWait > wait {
+		wait = snoopWait
+	}
+	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
+	ha.DRAM.RecordRead()
+
+	grant := e.grantStateOnRead(l, rn)
+	coreState := cache.Shared
+	if grant == cache.Exclusive {
+		coreState = cache.Exclusive
+	}
+	e.fillL3(rn, l, grant, core)
+	e.fillCore(core, l, coreState)
+	return Access{
+		Latency:    tHA + wait + legHC,
+		Source:     SrcMemory,
+		RemoteDRAM: e.M.HomeNode(l) != rn,
+	}
+}
+
+// snoopResponseWait returns how long the home agent waits, from the moment
+// it starts processing, for the snoop responses of every peer node except
+// the requester's, plus conflict resolution.
+func (e *Engine) snoopResponseWait(agent topology.AgentID, rn topology.NodeID) units.Time {
+	lat := e.lat()
+	var worst units.Time
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == rn {
+			continue
+		}
+		caN := e.M.CAForNode(nn, 0) // representative slice for leg costing
+		rt := nsT(lat.HASnoopLaunch) +
+			e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(caN)) +
+			nsT(lat.TagPipe) +
+			e.M.Leg(e.M.SliceEndpoint(caN), e.M.AgentEndpoint(agent))
+		if rt > worst {
+			worst = rt
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return worst + nsT(lat.HAResolve)
+}
+
+// codMiss resolves an L3 miss in Cluster-on-Die mode: home snooping with
+// the HitME directory cache and the in-memory directory (Section IV-D).
+func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, tMiss units.Time) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	agent := e.M.HomeAgentOf(l)
+	ha := e.M.HAs[agent]
+	hn := e.M.HomeNode(l)
+	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
+	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
+
+	// The local snoop in the home node is carried out independent of the
+	// directory state [5]; if the home node's L3 can forward, that data
+	// is on its way regardless of what the directory says.
+	var localFw *nodeEntry
+	if hn != rn {
+		if ent := e.l3EntryOf(hn, l); ent.ok && ent.line.State.CanForward() {
+			localFw = &ent
+		}
+	}
+	localArrival := func() (units.Time, Source, int) {
+		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(localFw.slice))
+		service, src, flv := e.peerService(*localFw)
+		legData := e.M.Leg(e.M.SliceEndpoint(localFw.slice), e.M.CoreEndpoint(core))
+		return tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData, src, flv
+	}
+
+	// The mandatory local snoop at the home node.
+	haSock := e.M.Topo.SocketOfAgent(agent)
+	if hn != rn {
+		e.countSnoop(haSock, hn)
+	}
+
+	// 1) HitME directory cache.
+	if v, kind, hit := e.hitmeLookup(ha, l); hit {
+		if kind == directory.EntryOwned {
+			if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
+				if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && ent.line.State.CanForward() {
+					e.countSnoop(haSock, topology.NodeID(owner[0]))
+					legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
+					service, src, flv := e.peerService(ent)
+					legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
+					e.fillAfterForward(core, rn, l)
+					e.allocateHitME(l, rn, directory.EntryShared)
+					return Access{
+						Latency:     tHA + nsT(lat.DirCachePipe) + nsT(lat.HASnoopLaunch) + legTo + service + legData,
+						Source:      src,
+						DirCacheHit: true,
+						RemoteFwd:   true,
+						FwdLevel:    flv,
+					}
+				}
+			}
+			// Stale owned entry: fall through to the in-memory
+			// directory below after dropping it.
+			if ha.HitME != nil {
+				ha.HitME.Invalidate(l)
+			}
+		} else {
+			// Shared entry: the memory copy is valid; the home agent
+			// forwards it without snooping (Section VI-C, Figure 7),
+			// unless its own node's L3 answers faster.
+			memT := tHA + nsT(lat.DirCachePipe) + ha.DRAM.AccessTime(e.WorkingSet) + legHC
+			if localFw != nil {
+				lt, src, flv := localArrival()
+				if lt < memT {
+					e.fillAfterForward(core, rn, l)
+					e.dirAfterForward(l, rn)
+					return Access{Latency: lt, Source: src, DirCacheHit: true, RemoteFwd: true, FwdLevel: flv}
+				}
+			}
+			ha.DRAM.RecordRead()
+			e.fillL3(rn, l, cache.Shared, core)
+			e.fillCore(core, l, cache.Shared)
+			if rn != hn && ha.HitME != nil {
+				ha.HitME.Allocate(l, v.With(int(rn)), directory.EntryShared)
+			}
+			return Access{
+				Latency:     memT,
+				Source:      SrcMemoryForward,
+				DirCacheHit: true,
+				RemoteDRAM:  hn != rn,
+			}
+		}
+	}
+
+	// 2) HitME miss: the in-memory directory bits arrive with the DRAM
+	// access.
+	dramT := ha.DRAM.AccessTime(e.WorkingSet)
+	tDir := tHA + dramT
+	dirState := ha.Dir.State(l)
+
+	if dirState == directory.SnoopAll {
+		// Broadcast to every node except the requester's and the home
+		// node (whose CA was already snooped locally).
+		for n := 0; n < e.M.Topo.Nodes(); n++ {
+			if nn := topology.NodeID(n); nn != rn && nn != hn {
+				e.countSnoop(haSock, nn)
+			}
+		}
+		if fw, ok := e.forwarderAmongExcept(l, rn, hn); ok {
+			legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
+			service, src, flv := e.peerService(fw)
+			legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
+			arrival := tDir + nsT(lat.HASnoopLaunch) + legTo + service + legData
+			if localFw != nil {
+				lt, lsrc, lflv := localArrival()
+				if lt < arrival {
+					e.fillAfterForward(core, rn, l)
+					e.dirAfterForward(l, rn)
+					return Access{Latency: lt, Source: lsrc, Broadcast: true, RemoteFwd: true, FwdLevel: lflv}
+				}
+			}
+			e.fillAfterForward(core, rn, l)
+			e.dirAfterForward(l, rn)
+			return Access{Latency: arrival, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
+		}
+		if localFw != nil {
+			// Only the home node's own L3 has the line; the local
+			// snoop forwards it while the (stale) broadcast drains.
+			lt, src, flv := localArrival()
+			e.fillAfterForward(core, rn, l)
+			e.dirAfterForward(l, rn)
+			return Access{Latency: lt, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
+		}
+		// Stale snoop-all (silent L3 evictions, Table V): the home
+		// agent broadcast for nothing and must collect every response
+		// before releasing the memory copy.
+		wait := e.snoopResponseWaitExcept(agent, rn, hn)
+		ha.DRAM.RecordRead()
+		grant := e.grantStateOnRead(l, rn)
+		coreState := cache.Shared
+		if grant == cache.Exclusive {
+			coreState = cache.Exclusive
+		}
+		e.fillL3(rn, l, grant, core)
+		e.fillCore(core, l, coreState)
+		e.dirOnReadGrant(l, rn, grant)
+		return Access{
+			Latency:    tDir + wait + legHC,
+			Source:     SrcMemory,
+			Broadcast:  true,
+			RemoteDRAM: hn != rn,
+		}
+	}
+
+	// remote-invalid or shared: the memory copy is valid and no remote
+	// snoops are required; only the home node's local snoop competes.
+	memT := tDir + legHC
+	if localFw != nil {
+		lt, src, flv := localArrival()
+		if lt < memT {
+			e.fillAfterForward(core, rn, l)
+			e.dirAfterForward(l, rn)
+			return Access{Latency: lt, Source: src, RemoteFwd: true, FwdLevel: flv}
+		}
+	}
+	ha.DRAM.RecordRead()
+	grant := e.grantStateOnRead(l, rn)
+	coreState := cache.Shared
+	if grant == cache.Exclusive {
+		coreState = cache.Exclusive
+	}
+	e.fillL3(rn, l, grant, core)
+	e.fillCore(core, l, coreState)
+	e.dirOnReadGrant(l, rn, grant)
+	return Access{
+		Latency:    memT,
+		Source:     SrcMemory,
+		RemoteDRAM: hn != rn,
+	}
+}
+
+// forwarderAmongExcept is forwarderAmong with two excluded nodes.
+func (e *Engine) forwarderAmongExcept(l addr.LineAddr, a, b topology.NodeID) (nodeEntry, bool) {
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == a || nn == b {
+			continue
+		}
+		ent := e.l3EntryOf(nn, l)
+		if ent.ok && ent.line.State.CanForward() {
+			return ent, true
+		}
+	}
+	return nodeEntry{}, false
+}
+
+// snoopResponseWaitExcept is snoopResponseWait with the home node also
+// excluded (its local snoop is accounted separately in COD mode).
+func (e *Engine) snoopResponseWaitExcept(agent topology.AgentID, rn, hn topology.NodeID) units.Time {
+	lat := e.lat()
+	var worst units.Time
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == rn || nn == hn {
+			continue
+		}
+		caN := e.M.CAForNode(nn, 0)
+		rt := nsT(lat.HASnoopLaunch) +
+			e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(caN)) +
+			nsT(lat.TagPipe) +
+			e.M.Leg(e.M.SliceEndpoint(caN), e.M.AgentEndpoint(agent))
+		if rt > worst {
+			worst = rt
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return worst + nsT(lat.HAResolve)
+}

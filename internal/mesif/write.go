@@ -1,0 +1,339 @@
+package mesif
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// Write performs a store to one cache line by the given core: a hit in
+// state M writes in place, a hit in state E upgrades silently (leaving the
+// L3's state and core-valid bits untouched — the source of the stale-bit
+// snoops Section VI-A analyzes), and anything else issues a read-for-
+// ownership that invalidates every other copy in the system.
+func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
+	e.stats.Writes++
+	lat := e.lat()
+	cc := e.M.Core(core)
+	rn := e.M.Topo.NodeOfCore(core)
+
+	if st := cc.L1D.StateOf(l); st.Valid() {
+		switch st {
+		case cache.Modified:
+			cc.L1D.Touch(l)
+			return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+		case cache.Exclusive:
+			// Silent E->M upgrade; the L3 is not informed.
+			cc.L1D.Touch(l)
+			cc.L1D.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
+			cc.L2.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
+			return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+		default:
+			return e.record(e.upgradeShared(core, rn, l, nsT(lat.L1Hit)))
+		}
+	}
+	if st := cc.L2.StateOf(l); st.Valid() {
+		switch st {
+		case cache.Modified, cache.Exclusive:
+			cc.L2.Touch(l)
+			cc.L2.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
+			if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: cache.Modified}); ev {
+				e.handleL1Victim(core, v)
+			}
+			return e.record(Access{Latency: nsT(lat.L2Hit), Source: SrcL2})
+		default:
+			return e.record(e.upgradeShared(core, rn, l, nsT(lat.L2Hit)))
+		}
+	}
+	return e.record(e.rfoMiss(core, rn, l))
+}
+
+// upgradeShared turns a Shared copy into an exclusive Modified one: the CA
+// is asked for ownership and every other copy in the system is invalidated.
+// The store retires once ownership is granted, which takes at least an L3
+// round trip plus — when other nodes hold the line — the invalidation
+// acknowledgements.
+func (e *Engine) upgradeShared(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, hitCost units.Time) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	t := nsT(lat.RequestLaunch) +
+		e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca)) +
+		nsT(lat.L3Pipe) +
+		e.M.Leg(e.M.SliceEndpoint(ca), e.M.CoreEndpoint(core))
+	if e.anyPeerHolds(l, rn) {
+		t += e.invalidationWait(rn, l)
+	}
+	e.takeOwnership(core, rn, l, false)
+	_ = hitCost
+	return Access{Latency: t, Source: SrcL3}
+}
+
+// rfoMiss fetches a line for writing that the core does not hold at all.
+// The data path is the same as a read miss; all other copies are
+// invalidated and the requester ends up with the only (Modified) copy.
+func (e *Engine) rfoMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAddr) Access {
+	lat := e.lat()
+	cc := e.M.Core(core)
+	_ = cc
+	ca := e.M.ResponsibleCA(core, l)
+	tReq := nsT(lat.RequestLaunch) + e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca))
+
+	// A hit in the node's own L3 grants ownership after invalidating the
+	// other holders.
+	if ent := e.l3EntryOf(rn, l); ent.ok {
+		t := tReq + nsT(lat.L3Pipe) + e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
+		// A core of this node may hold a newer copy.
+		if y, need := e.soleOtherValidCore(ent, core); need {
+			rt := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(y)) +
+				e.M.Leg(e.M.CoreEndpoint(y), e.M.SliceEndpoint(ent.slice)) +
+				nsT(lat.SnoopPipe)
+			t += rt
+		}
+		if e.anyPeerHolds(l, rn) {
+			t += e.invalidationWait(rn, l)
+		}
+		e.takeOwnership(core, rn, l, false)
+		return Access{Latency: t, Source: SrcL3}
+	}
+
+	// Full miss: fetch with ownership. The data path mirrors the read
+	// miss of the active snoop mode; peer copies are torn down.
+	tMiss := tReq + nsT(lat.TagPipe)
+	var data Access
+	switch {
+	case e.M.Cfg.Mode == machine.SourceSnoop:
+		data = e.rfoDataPath(core, rn, l, tMiss, false)
+	case e.M.HA(l).Dir != nil:
+		data = e.rfoDataPathCOD(core, rn, l, tMiss)
+	default:
+		data = e.rfoDataPath(core, rn, l, tMiss, true)
+	}
+	e.takeOwnership(core, rn, l, true)
+	return data
+}
+
+// rfoDataPath computes the data-arrival latency of an RFO in the
+// source-snoop and home-snoop modes.
+func (e *Engine) rfoDataPath(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, tMiss units.Time, homeSnooped bool) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	agent := e.M.HomeAgentOf(l)
+	ha := e.M.HAs[agent]
+
+	if fw, ok := e.forwarderAmong(l, rn); ok {
+		var legTo units.Time
+		base := tMiss
+		if homeSnooped {
+			base += e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe) + nsT(lat.HASnoopLaunch)
+			legTo = e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
+		} else {
+			legTo = e.M.Leg(e.M.SliceEndpoint(ca), e.M.SliceEndpoint(fw.slice))
+		}
+		service, src, flv := e.peerService(fw)
+		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
+		return Access{Latency: base + legTo + service + legData, Source: src, RemoteFwd: true, FwdLevel: flv}
+	}
+
+	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
+	dramT := ha.DRAM.AccessTime(e.WorkingSet)
+	wait := dramT
+	if homeSnooped {
+		if sw := e.snoopResponseWait(agent, rn); sw > wait {
+			wait = sw
+		}
+	}
+	ha.DRAM.RecordRead()
+	return Access{
+		Latency:    tHA + wait + e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core)),
+		Source:     SrcMemory,
+		RemoteDRAM: e.M.HomeNode(l) != rn,
+	}
+}
+
+// rfoDataPathCOD computes the data-arrival latency of an RFO in COD mode.
+// Writes cannot use the memory-forward shortcut — ownership requires
+// invalidating every sharer — so a snoop-all line always broadcasts.
+func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, tMiss units.Time) Access {
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	agent := e.M.HomeAgentOf(l)
+	ha := e.M.HAs[agent]
+	hn := e.M.HomeNode(l)
+	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
+	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
+
+	// Directed snoop on a HitME hit.
+	if v, kind, hit := e.hitmeLookup(ha, l); hit && kind == directory.EntryOwned {
+		if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
+			if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && ent.line.State.CanForward() {
+				legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
+				service, src, flv := e.peerService(ent)
+				legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
+				return Access{
+					Latency:     tHA + nsT(lat.DirCachePipe) + nsT(lat.HASnoopLaunch) + legTo + service + legData,
+					Source:      src,
+					DirCacheHit: true,
+					RemoteFwd:   true,
+					FwdLevel:    flv,
+				}
+			}
+		}
+	}
+
+	dramT := ha.DRAM.AccessTime(e.WorkingSet)
+	tDir := tHA + dramT
+	dirState := ha.Dir.State(l)
+
+	// Local snoop at the home node.
+	if hn != rn {
+		if ent := e.l3EntryOf(hn, l); ent.ok && ent.line.State.CanForward() {
+			legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
+			service, src, flv := e.peerService(ent)
+			legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
+			t := tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData
+			if dirState == directory.SnoopAll {
+				// Ownership still needs the broadcast acks.
+				if w := e.snoopResponseWaitExcept(agent, rn, hn); tDir+w > t {
+					t = tDir + w
+				}
+			}
+			return Access{Latency: t, Source: src, Broadcast: dirState == directory.SnoopAll, FwdLevel: flv}
+		}
+	}
+
+	if dirState == directory.RemoteInvalid {
+		ha.DRAM.RecordRead()
+		return Access{Latency: tDir + legHC, Source: SrcMemory, RemoteDRAM: hn != rn}
+	}
+
+	// shared or snoop-all: invalidating broadcast.
+	if fw, ok := e.forwarderAmongExcept(l, rn, hn); ok {
+		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
+		service, src, flv := e.peerService(fw)
+		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
+		return Access{Latency: tDir + nsT(lat.HASnoopLaunch) + legTo + service + legData, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
+	}
+	wait := e.snoopResponseWaitExcept(agent, rn, hn)
+	ha.DRAM.RecordRead()
+	return Access{Latency: tDir + wait + legHC, Source: SrcMemory, Broadcast: true, RemoteDRAM: hn != rn}
+}
+
+// invalidationWait estimates the time to collect invalidation
+// acknowledgements from every node other than the requester's.
+func (e *Engine) invalidationWait(rn topology.NodeID, l addr.LineAddr) units.Time {
+	lat := e.lat()
+	ca := e.M.CAForNode(rn, l)
+	var worst units.Time
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == rn {
+			continue
+		}
+		if ent := e.l3EntryOf(nn, l); ent.ok {
+			rt := e.M.Leg(e.M.SliceEndpoint(ca), e.M.SliceEndpoint(ent.slice)) +
+				nsT(lat.TagPipe) +
+				e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.SliceEndpoint(ca))
+			if rt > worst {
+				worst = rt
+			}
+		}
+	}
+	return worst
+}
+
+// takeOwnership finalizes a store: every other copy in the system is
+// invalidated, the requesting core holds the line Modified, its node's L3
+// holds it with the core-valid bit set, and the COD directory reflects the
+// new owner. fromMiss notes whether peers had to be torn down by a full
+// RFO (which allocates an owned HitME entry for cross-node writes — the
+// migratory-line case the directory cache exists for).
+func (e *Engine) takeOwnership(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, fromMiss bool) {
+	peersHeld := false
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		nn := topology.NodeID(n)
+		if nn == rn {
+			continue
+		}
+		ent := e.l3EntryOf(nn, l)
+		if !ent.ok {
+			continue
+		}
+		peersHeld = true
+		// Tear down the peer node's copies; dirty data migrates to the
+		// new owner rather than to memory.
+		sock := e.M.Topo.SocketOfNode(nn)
+		bits := ent.line.CoreValid
+		for bit := 0; bits != 0; bit++ {
+			if bits&(1<<uint(bit)) == 0 {
+				continue
+			}
+			bits &^= 1 << uint(bit)
+			c := topology.CoreID(sock*e.M.Topo.Die.Cores() + bit)
+			e.M.Core(c).InvalidateBoth(l)
+		}
+		e.M.Slice(ent.slice).Invalidate(l)
+	}
+
+	// Invalidate other cores of the requester's own node.
+	if ent := e.l3EntryOf(rn, l); ent.ok {
+		sock := e.M.Topo.SocketOfNode(rn)
+		bits := ent.line.CoreValid
+		for bit := 0; bits != 0; bit++ {
+			if bits&(1<<uint(bit)) == 0 {
+				continue
+			}
+			bits &^= 1 << uint(bit)
+			c := topology.CoreID(sock*e.M.Topo.Die.Cores() + bit)
+			if c != core {
+				e.M.Core(c).InvalidateBoth(l)
+			}
+		}
+		e.M.Slice(ent.slice).Update(l, func(ln *cache.Line) {
+			ln.State = cache.Modified
+			ln.CoreValid = 1 << uint(e.M.Topo.LocalCore(core))
+		})
+	} else {
+		e.fillL3(rn, l, cache.Modified, core)
+	}
+	e.fillCore(core, l, cache.Modified)
+
+	// Directory bookkeeping.
+	ha := e.M.HA(l)
+	if ha.Dir == nil {
+		return
+	}
+	hn := e.M.HomeNode(l)
+	if rn == hn {
+		ha.Dir.SetState(l, directory.RemoteInvalid)
+		if ha.HitME != nil {
+			ha.HitME.Invalidate(l)
+		}
+		return
+	}
+	ha.Dir.SetState(l, directory.SnoopAll)
+	if fromMiss && peersHeld {
+		e.allocateHitME(l, rn, directory.EntryOwned)
+	} else if ha.HitME != nil {
+		ha.HitME.Invalidate(l)
+	}
+}
+
+// Flush performs a coherent clflush of the line issued by the given core:
+// every cached copy in the system is invalidated, dirty data is written
+// back to the home memory, and the directory returns to remote-invalid.
+func (e *Engine) Flush(core topology.CoreID, l addr.LineAddr) Access {
+	e.stats.Flushes++
+	lat := e.lat()
+	ca := e.M.ResponsibleCA(core, l)
+	agent := e.M.HomeAgentOf(l)
+	t := nsT(lat.RequestLaunch) +
+		e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca)) +
+		nsT(lat.L3Pipe) +
+		e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) +
+		nsT(lat.HAPipe)
+	e.invalidateEverywhere(l)
+	return e.record(Access{Latency: t, Source: SrcMemory})
+}

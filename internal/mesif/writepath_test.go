@@ -1,0 +1,185 @@
+package mesif_test
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// TestWriteHitModified: repeated stores to an owned line stay in the L1.
+func TestWriteHitModified(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Write(0, l)
+	acc := e.Write(0, l)
+	if acc.Source != mesif.SrcL1 || acc.Latency.Nanoseconds() != 1.6 {
+		t.Errorf("M-hit store = %+v", acc)
+	}
+}
+
+// TestUpgradeSharedCost: a store to a Shared line costs an ownership round
+// trip, and more when another socket holds a copy.
+func TestUpgradeSharedCost(t *testing.T) {
+	// Shared within the socket only.
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(1, l)
+	e.Read(0, l) // both cores share; copy is in core 0's L1 as S
+	if _, st := e.PrivateState(0, l); st != cache.Shared {
+		t.Fatalf("setup: core 0 state %v", st)
+	}
+	local := e.Write(0, l)
+	if local.Latency.Nanoseconds() < 10 {
+		t.Errorf("S-upgrade must cost an L3 trip, got %v", local.Latency)
+	}
+
+	// Shared across the sockets: invalidation acknowledgements add QPI time.
+	e2 := newEngine(t, machine.SourceSnoop)
+	l2 := lineOn(t, e2, 0)
+	e2.Read(12, l2)
+	e2.Read(0, l2)
+	cross := e2.Write(0, l2)
+	if cross.Latency <= local.Latency {
+		t.Errorf("cross-socket upgrade (%v) must exceed local (%v)", cross.Latency, local.Latency)
+	}
+	// The remote copies are gone.
+	if st := e2.L3StateIn(1, l2); st != cache.Invalid {
+		t.Error("remote copy survived the upgrade")
+	}
+}
+
+// TestRFOHitOwnL3: writing a line resident only in the node's L3 grants
+// ownership locally.
+func TestRFOHitOwnL3(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(0, l)
+	e.M.Core(0).InvalidateBoth(l) // silent eviction; line stays in L3
+	acc := e.Write(0, l)
+	if acc.Source != mesif.SrcL3 {
+		t.Errorf("RFO on own L3 = %v", acc.Source)
+	}
+	if _, st := e.PrivateState(0, l); st != cache.Modified {
+		t.Error("writer must own the line")
+	}
+	if st := e.L3StateIn(0, l); st != cache.Modified {
+		t.Error("L3 must track the ownership")
+	}
+}
+
+// TestRFOMissForwardsFromPeer: a store to another socket's modified line
+// pulls the dirty data across and leaves the writer as the only owner.
+func TestRFOMissForwardsFromPeer(t *testing.T) {
+	for _, mode := range []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD} {
+		e := newEngine(t, mode)
+		l := lineOn(t, e, 1)
+		owner := e.M.Topo.CoresOfNode(1)[0]
+		e.Write(owner, l)
+		acc := e.Write(0, l)
+		if acc.Source != mesif.SrcPeerCore {
+			t.Errorf("%v: RFO source = %v, want peer-core", mode, acc.Source)
+		}
+		if _, st := e.PrivateState(0, l); st != cache.Modified {
+			t.Errorf("%v: writer state wrong", mode)
+		}
+		if _, st := e.PrivateState(owner, l); st != cache.Invalid {
+			t.Errorf("%v: old owner survived", mode)
+		}
+		if e.L3StateIn(1, l) != cache.Invalid {
+			t.Errorf("%v: old node's L3 copy survived", mode)
+		}
+	}
+}
+
+// TestCODWriteRemoteInvalidFastPath: writing fresh memory of another node
+// needs no broadcast — the directory says remote-invalid.
+func TestCODWriteRemoteInvalidFastPath(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 1)
+	acc := e.Write(0, l)
+	if acc.Source != mesif.SrcMemory || acc.Broadcast {
+		t.Errorf("fresh RFO = %+v, want plain memory", acc)
+	}
+	if st := e.M.HA(l).Dir.State(l); st != directory.SnoopAll {
+		t.Errorf("directory after remote write = %v, want snoop-all", st)
+	}
+}
+
+// TestCODWriteSnoopAllBroadcasts: a store to a line with stale snoop-all
+// state pays the broadcast like Table V's reads.
+func TestCODWriteSnoopAllBroadcasts(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 1)
+	e.Read(6, l)
+	e.Read(12, l) // AllocateShared -> snoop-all
+	r := addr.Region{Base: l.Addr(), Size: 64}
+	e.EvictCached(r)
+	e.EvictDirectoryCache(r)
+	acc := e.Write(0, l)
+	if !acc.Broadcast {
+		t.Errorf("stale snoop-all write must broadcast, got %+v", acc)
+	}
+}
+
+// TestWriteToL2Resident: a store hitting the L2 (after L1 eviction)
+// refills the L1 with ownership.
+func TestWriteToL2Resident(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Write(0, l)
+	// Drop only the L1 copy; the L2 keeps M.
+	e.M.Core(0).L1D.Invalidate(l)
+	acc := e.Write(0, l)
+	if acc.Source != mesif.SrcL2 {
+		t.Errorf("L2-resident store = %v", acc.Source)
+	}
+	if lvl, st := e.PrivateState(0, l); lvl != 1 || st != cache.Modified {
+		t.Errorf("after refill: L%d %v", lvl, st)
+	}
+}
+
+// TestFlushCleanLine: flushing a clean line must not write memory.
+func TestFlushCleanLine(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	l := lineOn(t, e, 0)
+	e.Read(0, l) // clean E
+	_, w0 := e.M.HA(l).DRAM.Stats()
+	e.Flush(0, l)
+	if _, w1 := e.M.HA(l).DRAM.Stats(); w1 != w0 {
+		t.Error("clean flush must not write memory")
+	}
+}
+
+// TestWriteFillsEvictCascade: streaming writes through a small L1 push
+// dirty victims down without losing ownership anywhere.
+func TestWriteFillsEvictCascade(t *testing.T) {
+	e := newEngine(t, machine.SourceSnoop)
+	r, _ := e.M.AllocOnNode(0, 512*1024) // 2x the L2
+	for _, l := range r.Lines() {
+		e.Write(0, l)
+	}
+	node := topology.NodeID(0)
+	inCore, inL3M := 0, 0
+	for _, l := range r.Lines() {
+		if lvl, st := e.PrivateState(0, l); lvl != 0 {
+			if st != cache.Modified {
+				t.Fatalf("private copy of %#x degraded to %v", l, st)
+			}
+			inCore++
+			continue
+		}
+		if st := e.L3StateIn(node, l); st == cache.Modified {
+			inL3M++
+		} else {
+			t.Fatalf("dirty line %#x lost: L3 state %v", l, st)
+		}
+	}
+	if inCore == 0 || inL3M == 0 {
+		t.Errorf("expected a private/L3 split, got %d/%d", inCore, inL3M)
+	}
+}

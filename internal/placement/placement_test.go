@@ -1,0 +1,209 @@
+package placement
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+func setup(t *testing.T, mode machine.SnoopMode) (*mesif.Engine, *Placer) {
+	t.Helper()
+	e := mesif.New(machine.MustNew(machine.TestSystem(mode)))
+	return e, New(e)
+}
+
+func alloc(t *testing.T, e *mesif.Engine, node int, size int64) addr.Region {
+	t.Helper()
+	r, err := e.M.AllocOnNode(topology.NodeID(node), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestModifiedSmall: a small modified data set lives in the placer's L1.
+func TestModifiedSmall(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 8*units.KiB)
+	p.Modified(1, r)
+	for _, l := range r.Lines() {
+		lvl, st := e.PrivateState(1, l)
+		if lvl != 1 || st != cache.Modified {
+			t.Fatalf("line %#x: L%d %v, want L1 M", l, lvl, st)
+		}
+	}
+}
+
+// TestModifiedLarge: beyond the private caches the dirty lines land in the
+// L3 with the core-valid bit cleared by the writeback.
+func TestModifiedLarge(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 2*units.MiB)
+	p.Modified(1, r)
+	inL3M, clearedBits := 0, 0
+	node := e.M.Topo.NodeOfCore(1)
+	for _, l := range r.Lines() {
+		if lvl, _ := e.PrivateState(1, l); lvl != 0 {
+			continue // still private (the tail)
+		}
+		if st := e.L3StateIn(node, l); st == cache.Modified {
+			inL3M++
+			if e.CoreValidIn(node, l) == 0 {
+				clearedBits++
+			}
+		}
+	}
+	if inL3M < 20000 {
+		t.Fatalf("only %d lines settled in L3 as M", inL3M)
+	}
+	if clearedBits != inL3M {
+		t.Errorf("%d of %d L3-M lines kept a core-valid bit; writebacks must clear it", inL3M-clearedBits, inL3M)
+	}
+}
+
+// TestExclusive: write + flush + read leaves clean exclusive lines; beyond
+// the private caches the stale core-valid bit remains set.
+func TestExclusive(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 2*units.MiB)
+	p.Exclusive(1, r)
+	node := e.M.Topo.NodeOfCore(1)
+	staleBits := 0
+	for _, l := range r.Lines() {
+		st := e.L3StateIn(node, l)
+		if st != cache.Exclusive {
+			t.Fatalf("line %#x L3 state = %v, want E", l, st)
+		}
+		if lvl, _ := e.PrivateState(1, l); lvl == 0 && e.CoreValidIn(node, l) != 0 {
+			staleBits++
+		}
+	}
+	if staleBits < 20000 {
+		t.Errorf("stale core-valid bits on %d lines; silent eviction must leave them", staleBits)
+	}
+}
+
+// TestShared: exclusive at the first core, then read by the others; the
+// forward copy ends with the last reader's node.
+func TestShared(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 64*units.KiB)
+	p.Shared(r, 1, 12) // core 1 (socket 0) places, core 12 (socket 1) reads
+	for _, l := range r.Lines() {
+		if st := e.L3StateIn(0, l); st != cache.Shared {
+			t.Fatalf("socket0 L3 = %v, want S", st)
+		}
+		if st := e.L3StateIn(1, l); st != cache.Forward {
+			t.Fatalf("socket1 L3 = %v, want F (last reader)", st)
+		}
+	}
+}
+
+func TestSharedOrderMatters(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 64*units.KiB)
+	p.Shared(r, 12, 1) // reversed: F must end on socket 0
+	for _, l := range r.Lines() {
+		if st := e.L3StateIn(0, l); st != cache.Forward {
+			t.Fatalf("socket0 L3 = %v, want F", st)
+		}
+	}
+}
+
+func TestSharedEmptyCores(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, units.KiB)
+	p.Shared(r) // no cores: must be a no-op
+	if e.L3StateIn(0, r.Base.Line()) != cache.Invalid {
+		t.Error("Shared with no cores placed data")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	e, p := setup(t, machine.COD)
+	r := alloc(t, e, 0, 64*units.KiB)
+	p.Modified(1, r)
+	p.FlushAll(1, r)
+	for _, l := range r.Lines() {
+		if e.L3StateIn(0, l) != cache.Invalid {
+			t.Fatal("flush left an L3 copy")
+		}
+		if lvl, _ := e.PrivateState(1, l); lvl != 0 {
+			t.Fatal("flush left a private copy")
+		}
+	}
+}
+
+// TestEvictPrivateDirty: modified private lines move to the L3 (state M,
+// bit cleared).
+func TestEvictPrivateDirty(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 8*units.KiB)
+	p.Modified(1, r)
+	p.EvictPrivate(1, r)
+	node := e.M.Topo.NodeOfCore(1)
+	for _, l := range r.Lines() {
+		if lvl, _ := e.PrivateState(1, l); lvl != 0 {
+			t.Fatal("EvictPrivate left private copies")
+		}
+		if st := e.L3StateIn(node, l); st != cache.Modified {
+			t.Fatalf("L3 state = %v, want M", st)
+		}
+		if e.CoreValidIn(node, l) != 0 {
+			t.Fatal("writeback must clear the core-valid bit")
+		}
+	}
+}
+
+// TestEvictPrivateClean: clean lines vanish silently, leaving the stale
+// core-valid bit set.
+func TestEvictPrivateClean(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+	r := alloc(t, e, 0, 8*units.KiB)
+	p.Exclusive(1, r)
+	p.EvictPrivate(1, r)
+	node := e.M.Topo.NodeOfCore(1)
+	for _, l := range r.Lines() {
+		if st := e.L3StateIn(node, l); st != cache.Exclusive {
+			t.Fatalf("L3 state = %v, want E", st)
+		}
+		if e.CoreValidIn(node, l) == 0 {
+			t.Fatal("silent eviction must leave the core-valid bit")
+		}
+	}
+}
+
+// TestPlacementReproducesPaperStates is the end-to-end check of Section
+// V-B's recipes: after each recipe the measured first-access latency class
+// matches the paper's expectation.
+func TestPlacementReproducesPaperStates(t *testing.T) {
+	e, p := setup(t, machine.SourceSnoop)
+
+	// Modified in another core's L1 -> core forward.
+	r := alloc(t, e, 0, 8*units.KiB)
+	p.Modified(1, r)
+	if acc := e.Read(0, r.Base.Line()); acc.Source != mesif.SrcCoreForward {
+		t.Errorf("M-in-L1 read = %v, want core-forward", acc.Source)
+	}
+
+	// Exclusive placed by another core -> L3 with core snoop.
+	e.M.Reset()
+	r2 := alloc(t, e, 0, 2*units.MiB)
+	p.Exclusive(1, r2)
+	probe := r2.Base.Line()
+	// Pick a line whose copy has left core 1's private caches.
+	for _, l := range r2.Lines() {
+		if lvl, _ := e.PrivateState(1, l); lvl == 0 {
+			probe = l
+			break
+		}
+	}
+	if acc := e.Read(0, probe); acc.Source != mesif.SrcL3CoreSnoop {
+		t.Errorf("stale-E read = %v, want L3+core-snoop", acc.Source)
+	}
+}

@@ -1,0 +1,190 @@
+// Package report renders the reproduction's tables and figure series: ASCII
+// tables that mirror the paper's tables, CSV series for the figures, and
+// paper-vs-measured comparisons used by EXPERIMENTS.md and the reproduction
+// tests.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered-table model: a title, column headers, and rows of
+// preformatted cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable builds a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table in a fixed-width ASCII layout.
+func (t *Table) String() string {
+	ncols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64 // dataset size in bytes, core count, etc.
+	Y float64 // latency in ns or bandwidth in GB/s
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Figure is a set of curves sharing axes, mirroring one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV renders the figure as a wide CSV: the union of x values in the first
+// column, one column per series (empty cells where a series lacks a point).
+func (f *Figure) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&b, "%g", p.Y)
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Comparison is one paper-vs-measured check.
+type Comparison struct {
+	Label    string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// DeviationPct returns the relative deviation in percent.
+func (c Comparison) DeviationPct() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	return (c.Measured - c.Paper) / c.Paper * 100
+}
+
+// String renders the comparison as one aligned line.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%-52s paper=%8.1f%-5s measured=%8.1f%-5s dev=%+6.1f%%",
+		c.Label, c.Paper, c.Unit, c.Measured, c.Unit, c.DeviationPct())
+}
+
+// ComparisonSet renders a list of comparisons with a summary line.
+func ComparisonSet(title string, cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	worst := 0.0
+	for _, c := range cs {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+		if d := c.DeviationPct(); d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	fmt.Fprintf(&b, "worst deviation: %.1f%% over %d cells\n", worst, len(cs))
+	return b.String()
+}

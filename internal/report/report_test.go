@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "col1", "column2")
+	tbl.AddRow("a", "b")
+	tbl.AddRow("longer", "x")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col1") || !strings.Contains(lines[1], "column2") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Errorf("line count = %d", len(lines))
+	}
+	// Columns align: both data rows start col 2 at the same offset.
+	i3 := strings.Index(lines[3], "b")
+	i4 := strings.Index(lines[4], "x")
+	if i3 != i4 {
+		t.Errorf("misaligned columns: %d vs %d", i3, i4)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("1", "2", "3") // extra cell beyond headers
+	tbl.AddRow("4")
+	out := tbl.String()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "4") {
+		t.Errorf("ragged rows mishandled: %q", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := &Figure{Title: "t", XLabel: "size", YLabel: "ns"}
+	s1 := Series{Name: "a"}
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := Series{Name: "b,c"} // needs escaping
+	s2.Add(2, 99)
+	fig.Series = []Series{s1, s2}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != `size,a,"b,c"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10," {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20,99" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Error("plain string escaped")
+	}
+	if csvEscape(`has "quote"`) != `"has ""quote"""` {
+		t.Errorf("quote escaping = %q", csvEscape(`has "quote"`))
+	}
+}
+
+func TestComparison(t *testing.T) {
+	c := Comparison{Label: "x", Paper: 100, Measured: 105, Unit: "ns"}
+	if d := c.DeviationPct(); d != 5 {
+		t.Errorf("deviation = %v", d)
+	}
+	if !strings.Contains(c.String(), "+5.0%") {
+		t.Errorf("String = %q", c.String())
+	}
+	zero := Comparison{Paper: 0, Measured: 5}
+	if zero.DeviationPct() != 0 {
+		t.Error("zero paper value must not divide")
+	}
+}
+
+func TestComparisonSet(t *testing.T) {
+	out := ComparisonSet("set", []Comparison{
+		{Label: "a", Paper: 10, Measured: 11, Unit: "ns"},
+		{Label: "b", Paper: 10, Measured: 9.5, Unit: "ns"},
+	})
+	if !strings.Contains(out, "worst deviation: 10.0% over 2 cells") {
+		t.Errorf("summary missing: %q", out)
+	}
+}

@@ -1,0 +1,249 @@
+package topology
+
+import "fmt"
+
+// NodeID identifies a NUMA node of the running configuration. Without COD
+// each socket is one node (node i == socket i). With COD each socket is
+// split into two clusters; nodes are numbered node0, node1 on socket 0 and
+// node2, node3 on socket 1 — the numbering used throughout the paper's
+// Tables IV and V.
+type NodeID int
+
+// CoreID identifies a core globally across the system (socket-major:
+// socket 0 holds cores [0, coresPerDie), socket 1 the next block, ...).
+type CoreID int
+
+// SliceID identifies an L3 slice globally, numbered like cores.
+type SliceID int
+
+// AgentID identifies a home agent (memory controller) globally:
+// socket*imcsPerDie + die-local IMC index.
+type AgentID int
+
+// System is the machine-level topology: a number of identical dies
+// (sockets) fully connected by QPI, optionally partitioned by COD.
+type System struct {
+	Sockets int
+	Die     *Die
+	COD     bool
+
+	nodes     int
+	nodeHop   [][]int // node-to-node distance in "hops" (paper's metric)
+	nodeCores [][]CoreID
+	nodeSlice [][]SliceID
+	nodeIMC   []AgentID
+}
+
+// NewSystem builds a system of n identical sockets of the given die variant.
+// cod enables Cluster-on-Die partitioning (only meaningful for dual-ring
+// dies; it is rejected for the single-ring 8-core die).
+func NewSystem(sockets int, v DieVariant, cod bool) (*System, error) {
+	if sockets < 1 {
+		return nil, fmt.Errorf("topology: need at least one socket, got %d", sockets)
+	}
+	die := NewDie(v)
+	if cod && die.Rings() < 2 {
+		return nil, fmt.Errorf("topology: COD mode requires a dual-ring die, %v has %d ring(s)", v, die.Rings())
+	}
+	if cod && die.IMCs() < 2 {
+		return nil, fmt.Errorf("topology: COD mode requires two memory controllers per die")
+	}
+	s := &System{Sockets: sockets, Die: die, COD: cod}
+	s.build()
+	return s, nil
+}
+
+// clustersPerSocket returns how many NUMA nodes one socket exposes.
+func (s *System) clustersPerSocket() int {
+	if s.COD {
+		return 2
+	}
+	return 1
+}
+
+// build computes node membership and the node-hop matrix.
+func (s *System) build() {
+	cps := s.clustersPerSocket()
+	s.nodes = s.Sockets * cps
+	s.nodeCores = make([][]CoreID, s.nodes)
+	s.nodeSlice = make([][]SliceID, s.nodes)
+	s.nodeIMC = make([]AgentID, s.nodes)
+	perDie := s.Die.Cores()
+	for sock := 0; sock < s.Sockets; sock++ {
+		base := sock * perDie
+		if !s.COD {
+			n := NodeID(sock)
+			for c := 0; c < perDie; c++ {
+				s.nodeCores[n] = append(s.nodeCores[n], CoreID(base+c))
+				s.nodeSlice[n] = append(s.nodeSlice[n], SliceID(base+c))
+			}
+			// Single-node sockets interleave over all IMCs; we record
+			// IMC0 as the representative home agent stop (the memory map
+			// in package machine interleaves across both).
+			s.nodeIMC[n] = AgentID(sock * s.Die.IMCs())
+			continue
+		}
+		// COD: the clusters contain an equal number of cores
+		// (Section III-B). On the 12-core die node0 gets cores 0-5
+		// (all on ring 0) and node1 gets cores 6-11 (6,7 on ring 0 and
+		// 8-11 on ring 1) — the asymmetry Section VI-C analyzes.
+		half := perDie / 2
+		n0 := NodeID(sock * 2)
+		n1 := n0 + 1
+		for c := 0; c < half; c++ {
+			s.nodeCores[n0] = append(s.nodeCores[n0], CoreID(base+c))
+			s.nodeSlice[n0] = append(s.nodeSlice[n0], SliceID(base+c))
+		}
+		for c := half; c < perDie; c++ {
+			s.nodeCores[n1] = append(s.nodeCores[n1], CoreID(base+c))
+			s.nodeSlice[n1] = append(s.nodeSlice[n1], SliceID(base+c))
+		}
+		s.nodeIMC[n0] = AgentID(sock * s.Die.IMCs()) // IMC0: ring 0
+		s.nodeIMC[n1] = AgentID(sock*s.Die.IMCs() + 1)
+	}
+	s.nodeHop = s.hopMatrix()
+}
+
+// hopMatrix computes the paper's node-distance metric via BFS over the node
+// graph: on-chip cluster pairs are adjacent, and the QPI link connects the
+// first cluster of each socket pair (the QPI agent sits on ring 0). This
+// yields the distances of Section VI-C: node0-node2 = 1 hop,
+// node0-node3 = node1-node2 = 2 hops, node1-node3 = 3 hops.
+func (s *System) hopMatrix() [][]int {
+	n := s.nodes
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	cps := s.clustersPerSocket()
+	for sock := 0; sock < s.Sockets; sock++ {
+		if cps == 2 {
+			a, b := sock*2, sock*2+1
+			adj[a][b], adj[b][a] = true, true
+		}
+	}
+	for s0 := 0; s0 < s.Sockets; s0++ {
+		for s1 := s0 + 1; s1 < s.Sockets; s1++ {
+			a, b := s0*cps, s1*cps // QPI-attached clusters
+			adj[a][b], adj[b][a] = true, true
+		}
+	}
+	m := make([][]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if adj[u][v] && dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		m[src] = dist
+	}
+	return m
+}
+
+// Nodes returns the number of NUMA nodes the configuration exposes.
+func (s *System) Nodes() int { return s.nodes }
+
+// Cores returns the total number of cores in the system.
+func (s *System) Cores() int { return s.Sockets * s.Die.Cores() }
+
+// Slices returns the total number of L3 slices in the system.
+func (s *System) Slices() int { return s.Sockets * s.Die.Slices() }
+
+// Agents returns the total number of home agents in the system.
+func (s *System) Agents() int { return s.Sockets * s.Die.IMCs() }
+
+// SocketOfCore returns the socket a core belongs to.
+func (s *System) SocketOfCore(c CoreID) int { return int(c) / s.Die.Cores() }
+
+// SocketOfSlice returns the socket a slice belongs to.
+func (s *System) SocketOfSlice(sl SliceID) int { return int(sl) / s.Die.Slices() }
+
+// SocketOfAgent returns the socket a home agent belongs to.
+func (s *System) SocketOfAgent(a AgentID) int { return int(a) / s.Die.IMCs() }
+
+// LocalCore returns the die-local index of a core.
+func (s *System) LocalCore(c CoreID) int { return int(c) % s.Die.Cores() }
+
+// LocalSlice returns the die-local index of a slice.
+func (s *System) LocalSlice(sl SliceID) int { return int(sl) % s.Die.Slices() }
+
+// LocalAgent returns the die-local IMC index of a home agent.
+func (s *System) LocalAgent(a AgentID) int { return int(a) % s.Die.IMCs() }
+
+// NodeOfCore returns the NUMA node of a core.
+func (s *System) NodeOfCore(c CoreID) NodeID {
+	sock := s.SocketOfCore(c)
+	if !s.COD {
+		return NodeID(sock)
+	}
+	if s.LocalCore(c) < s.Die.Cores()/2 {
+		return NodeID(sock * 2)
+	}
+	return NodeID(sock*2 + 1)
+}
+
+// NodeOfSlice returns the NUMA node owning an L3 slice.
+func (s *System) NodeOfSlice(sl SliceID) NodeID {
+	return s.NodeOfCore(CoreID(sl))
+}
+
+// NodeOfAgent returns the NUMA node of a home agent. Without COD both IMCs
+// of a socket belong to the socket's single node.
+func (s *System) NodeOfAgent(a AgentID) NodeID {
+	sock := s.SocketOfAgent(a)
+	if !s.COD {
+		return NodeID(sock)
+	}
+	return NodeID(sock*2 + s.LocalAgent(a))
+}
+
+// CoresOfNode returns the cores of a node, ascending.
+func (s *System) CoresOfNode(n NodeID) []CoreID {
+	out := make([]CoreID, len(s.nodeCores[n]))
+	copy(out, s.nodeCores[n])
+	return out
+}
+
+// SlicesOfNode returns the L3 slices of a node, ascending.
+func (s *System) SlicesOfNode(n NodeID) []SliceID {
+	out := make([]SliceID, len(s.nodeSlice[n]))
+	copy(out, s.nodeSlice[n])
+	return out
+}
+
+// AgentOfNode returns the home agent that owns a node's memory. Without COD
+// this is the socket's first IMC; the memory map interleaves over both.
+func (s *System) AgentOfNode(n NodeID) AgentID { return s.nodeIMC[n] }
+
+// SocketOfNode returns the socket a node resides on.
+func (s *System) SocketOfNode(n NodeID) int { return int(n) / s.clustersPerSocket() }
+
+// NodeHops returns the paper's node-distance metric between two nodes:
+// 0 for the same node, and the BFS distance over {on-chip cluster links,
+// QPI links} otherwise. For the default (non-COD) dual-socket system the
+// distance between the sockets is 1.
+func (s *System) NodeHops(a, b NodeID) int { return s.nodeHop[a][b] }
+
+// SameSocket reports whether two nodes share a die.
+func (s *System) SameSocket(a, b NodeID) bool { return s.SocketOfNode(a) == s.SocketOfNode(b) }
+
+// String summarizes the system topology.
+func (s *System) String() string {
+	mode := "default (1 NUMA node per socket)"
+	if s.COD {
+		mode = "Cluster-on-Die (2 NUMA nodes per socket)"
+	}
+	return fmt.Sprintf("%d× %v, %s, %d cores, %d NUMA nodes",
+		s.Sockets, s.Die.Variant, mode, s.Cores(), s.Nodes())
+}

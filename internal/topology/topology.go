@@ -1,0 +1,303 @@
+// Package topology models the physical on-chip and inter-socket layout of a
+// Haswell-EP system: bi-directional rings with core/L3-slice stops, memory
+// controllers, QPI and PCIe agents, the buffered queues bridging the two
+// rings of the larger dies, and the Cluster-on-Die (COD) partitioning that
+// exposes each die as two NUMA nodes.
+//
+// The layout follows Section III-B and Figure 1 of the paper: the 12-core
+// die has eight cores, eight L3 slices, one memory controller, the QPI
+// interface and the PCIe controller on the first ring, and the remaining
+// four cores, four slices, and the second memory controller on the second
+// ring. The two rings are connected via two bi-directional queues.
+package topology
+
+import "fmt"
+
+// DieVariant selects one of the three Haswell-EP die layouts.
+type DieVariant int
+
+// Die variants (Section III-B, [16, Section 1.1]).
+const (
+	// Die8 is the eight-core die with a single bi-directional ring.
+	Die8 DieVariant = iota
+	// Die12 is the 12-core die: 8 cores on ring 0, 4 on ring 1.
+	Die12
+	// Die18 is the 18-core die: 8 cores on ring 0, 10 on ring 1.
+	Die18
+)
+
+// String names the die variant.
+func (v DieVariant) String() string {
+	switch v {
+	case Die8:
+		return "8-core die"
+	case Die12:
+		return "12-core die"
+	case Die18:
+		return "18-core die"
+	default:
+		return fmt.Sprintf("DieVariant(%d)", int(v))
+	}
+}
+
+// Cores returns the number of cores on the die variant.
+func (v DieVariant) Cores() int {
+	switch v {
+	case Die8:
+		return 8
+	case Die12:
+		return 12
+	case Die18:
+		return 18
+	default:
+		return 0
+	}
+}
+
+// ringSplit returns how many core/slice stops sit on each ring.
+func (v DieVariant) ringSplit() []int {
+	switch v {
+	case Die8:
+		return []int{8}
+	case Die12:
+		return []int{8, 4}
+	case Die18:
+		return []int{8, 10}
+	default:
+		return nil
+	}
+}
+
+// StopKind classifies a ring stop.
+type StopKind int
+
+// Ring stop kinds.
+const (
+	// KindCBo is a combined core + L3-slice stop (core i and slice i share
+	// one ring station, as on the real die).
+	KindCBo StopKind = iota
+	// KindIMC is an integrated memory controller (home agent) stop.
+	KindIMC
+	// KindQPI is the QPI link agent stop.
+	KindQPI
+	// KindPCIe is the PCIe controller stop.
+	KindPCIe
+	// KindBridge is one of the two buffered queues connecting the rings.
+	KindBridge
+)
+
+// String names the stop kind.
+func (k StopKind) String() string {
+	switch k {
+	case KindCBo:
+		return "CBo"
+	case KindIMC:
+		return "IMC"
+	case KindQPI:
+		return "QPI"
+	case KindPCIe:
+		return "PCIe"
+	case KindBridge:
+		return "Bridge"
+	default:
+		return fmt.Sprintf("StopKind(%d)", int(k))
+	}
+}
+
+// Stop is one station on a ring.
+type Stop struct {
+	Kind StopKind
+	// Index is the die-local identifier of the unit at this stop:
+	// core/slice number for KindCBo, IMC number for KindIMC, bridge number
+	// for KindBridge. Unused (-1) otherwise.
+	Index int
+	// Ring is the ring the stop sits on (0 or 1).
+	Ring int
+	// Pos is the position of the stop around its ring.
+	Pos int
+}
+
+// Die is the uncore layout of one processor package.
+type Die struct {
+	Variant DieVariant
+	// rings[r] lists the stops of ring r in cycle order.
+	rings [][]Stop
+	// Lookup tables from unit id to stop.
+	cboStop    []Stop // per core/slice id
+	imcStop    []Stop // per IMC id
+	qpiStop    Stop
+	bridgeStop [][2]Stop // [bridge id][ring]
+}
+
+// NewDie builds the ring layout for the given variant.
+//
+// Ring 0 of every variant carries the QPI agent, the PCIe agent, eight
+// core/slice stops (CBo 0-7), IMC 0, and — on the dual-ring dies — the two
+// ring-bridge queues. Ring 1 of the dual-ring dies carries the remaining
+// CBos, IMC 1, and the peer side of the two bridges. The bridges are placed
+// on opposite sides of the rings so traffic can take the shorter direction.
+func NewDie(v DieVariant) *Die {
+	split := v.ringSplit()
+	if split == nil {
+		panic(fmt.Sprintf("topology: unknown die variant %d", int(v)))
+	}
+	d := &Die{Variant: v}
+	d.cboStop = make([]Stop, v.Cores())
+
+	dual := len(split) > 1
+
+	// Ring 0: QPI, PCIe, CBo 0..3, [BridgeA], IMC0, CBo 4..7, [BridgeB].
+	var r0 []Stop
+	add := func(ring int, s Stop) Stop {
+		s.Ring = ring
+		if ring == 0 {
+			s.Pos = len(r0)
+			r0 = append(r0, s)
+		}
+		return s
+	}
+	d.qpiStop = add(0, Stop{Kind: KindQPI, Index: -1})
+	add(0, Stop{Kind: KindPCIe, Index: -1})
+	for c := 0; c < 4; c++ {
+		d.cboStop[c] = add(0, Stop{Kind: KindCBo, Index: c})
+	}
+	var brA0 Stop
+	if dual {
+		brA0 = add(0, Stop{Kind: KindBridge, Index: 0})
+	}
+	imc0 := add(0, Stop{Kind: KindIMC, Index: 0})
+	d.imcStop = append(d.imcStop, imc0)
+	for c := 4; c < 8; c++ {
+		d.cboStop[c] = add(0, Stop{Kind: KindCBo, Index: c})
+	}
+	var brB0 Stop
+	if dual {
+		brB0 = add(0, Stop{Kind: KindBridge, Index: 1})
+	}
+	d.rings = append(d.rings, r0)
+
+	if dual {
+		// Ring 1: BridgeA, CBo 8.., IMC1, remaining CBos, BridgeB.
+		var r1 []Stop
+		add1 := func(s Stop) Stop {
+			s.Ring = 1
+			s.Pos = len(r1)
+			r1 = append(r1, s)
+			return s
+		}
+		brA1 := add1(Stop{Kind: KindBridge, Index: 0})
+		n1 := split[1]
+		half := n1 / 2
+		for i := 0; i < half; i++ {
+			c := 8 + i
+			d.cboStop[c] = add1(Stop{Kind: KindCBo, Index: c})
+		}
+		imc1 := add1(Stop{Kind: KindIMC, Index: 1})
+		d.imcStop = append(d.imcStop, imc1)
+		for i := half; i < n1; i++ {
+			c := 8 + i
+			d.cboStop[c] = add1(Stop{Kind: KindCBo, Index: c})
+		}
+		brB1 := add1(Stop{Kind: KindBridge, Index: 1})
+		d.rings = append(d.rings, r1)
+		d.bridgeStop = [][2]Stop{{brA0, brA1}, {brB0, brB1}}
+	}
+	return d
+}
+
+// Cores returns the number of cores (== L3 slices) on the die.
+func (d *Die) Cores() int { return len(d.cboStop) }
+
+// Slices returns the number of L3 slices on the die.
+func (d *Die) Slices() int { return len(d.cboStop) }
+
+// IMCs returns the number of memory controllers on the die.
+func (d *Die) IMCs() int { return len(d.imcStop) }
+
+// Rings returns the number of rings on the die.
+func (d *Die) Rings() int { return len(d.rings) }
+
+// RingStops returns a copy of the stops of ring r in cycle order.
+func (d *Die) RingStops(r int) []Stop {
+	out := make([]Stop, len(d.rings[r]))
+	copy(out, d.rings[r])
+	return out
+}
+
+// CBoStop returns the ring stop of core/slice id.
+func (d *Die) CBoStop(id int) Stop { return d.cboStop[id] }
+
+// IMCStop returns the ring stop of memory controller id.
+func (d *Die) IMCStop(id int) Stop { return d.imcStop[id] }
+
+// QPIStop returns the QPI agent's ring stop.
+func (d *Die) QPIStop() Stop { return d.qpiStop }
+
+// RingOfCBo returns the ring a core/slice is attached to.
+func (d *Die) RingOfCBo(id int) int { return d.cboStop[id].Ring }
+
+// Path describes the on-die hop cost between two stops.
+type Path struct {
+	// RingHops is the total number of ring stations traversed, summed over
+	// every ring segment of the route (shorter ring direction).
+	RingHops int
+	// BridgeCrossings is how many times the route crosses between rings
+	// through a buffered queue (0 or 1 on these dies).
+	BridgeCrossings int
+}
+
+// Add returns the concatenation of two paths.
+func (p Path) Add(q Path) Path {
+	return Path{RingHops: p.RingHops + q.RingHops, BridgeCrossings: p.BridgeCrossings + q.BridgeCrossings}
+}
+
+// ringDistance returns the minimum hop count between two positions of a ring
+// with n stops, taking the shorter direction.
+func ringDistance(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// HopPath computes the cheapest on-die route between two stops. Routes within
+// one ring take the shorter ring direction; routes between rings pass through
+// whichever of the two bridge queues minimizes total ring hops.
+func (d *Die) HopPath(from, to Stop) Path {
+	if from.Ring == to.Ring {
+		n := len(d.rings[from.Ring])
+		return Path{RingHops: ringDistance(from.Pos, to.Pos, n)}
+	}
+	best := Path{RingHops: 1 << 30}
+	for _, br := range d.bridgeStop {
+		a := br[from.Ring]
+		b := br[to.Ring]
+		hops := ringDistance(from.Pos, a.Pos, len(d.rings[from.Ring])) +
+			ringDistance(b.Pos, to.Pos, len(d.rings[to.Ring]))
+		if hops < best.RingHops {
+			best = Path{RingHops: hops, BridgeCrossings: 1}
+		}
+	}
+	return best
+}
+
+// MeanCBoPath returns the average hop path from core stop `core` to the
+// given set of slice ids, assuming addresses distribute evenly over slices.
+func (d *Die) MeanCBoPath(core int, slices []int) (meanHops, meanCrossings float64) {
+	if len(slices) == 0 {
+		return 0, 0
+	}
+	from := d.cboStop[core]
+	var hops, crossings int
+	for _, s := range slices {
+		p := d.HopPath(from, d.cboStop[s])
+		hops += p.RingHops
+		crossings += p.BridgeCrossings
+	}
+	n := float64(len(slices))
+	return float64(hops) / n, float64(crossings) / n
+}

@@ -1,0 +1,333 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDieVariants(t *testing.T) {
+	cases := []struct {
+		v     DieVariant
+		cores int
+		rings int
+		imcs  int
+	}{
+		{Die8, 8, 1, 1},
+		{Die12, 12, 2, 2},
+		{Die18, 18, 2, 2},
+	}
+	for _, c := range cases {
+		d := NewDie(c.v)
+		if d.Cores() != c.cores {
+			t.Errorf("%v: cores = %d, want %d", c.v, d.Cores(), c.cores)
+		}
+		if d.Rings() != c.rings {
+			t.Errorf("%v: rings = %d, want %d", c.v, d.Rings(), c.rings)
+		}
+		if d.IMCs() != c.imcs {
+			t.Errorf("%v: IMCs = %d, want %d", c.v, d.IMCs(), c.imcs)
+		}
+		if d.Slices() != c.cores {
+			t.Errorf("%v: slices = %d, want %d", c.v, d.Slices(), c.cores)
+		}
+	}
+}
+
+func TestDieVariantStrings(t *testing.T) {
+	if Die12.String() != "12-core die" || Die8.String() != "8-core die" {
+		t.Error("die variant names wrong")
+	}
+	if DieVariant(99).Cores() != 0 {
+		t.Error("unknown variant must report zero cores")
+	}
+}
+
+// TestDie12RingMembership pins the paper's layout: CBos 0-7, QPI, PCIe,
+// IMC0 on ring 0; CBos 8-11 and IMC1 on ring 1 (Section III-B, Figure 1).
+func TestDie12RingMembership(t *testing.T) {
+	d := NewDie(Die12)
+	for c := 0; c < 8; c++ {
+		if d.RingOfCBo(c) != 0 {
+			t.Errorf("CBo %d on ring %d, want 0", c, d.RingOfCBo(c))
+		}
+	}
+	for c := 8; c < 12; c++ {
+		if d.RingOfCBo(c) != 1 {
+			t.Errorf("CBo %d on ring %d, want 1", c, d.RingOfCBo(c))
+		}
+	}
+	if d.IMCStop(0).Ring != 0 || d.IMCStop(1).Ring != 1 {
+		t.Error("IMC ring placement wrong")
+	}
+	if d.QPIStop().Ring != 0 {
+		t.Error("QPI agent must sit on ring 0")
+	}
+}
+
+func TestDieStopKinds(t *testing.T) {
+	d := NewDie(Die12)
+	kinds := map[StopKind]int{}
+	for r := 0; r < d.Rings(); r++ {
+		for _, s := range d.RingStops(r) {
+			kinds[s.Kind]++
+		}
+	}
+	if kinds[KindCBo] != 12 {
+		t.Errorf("CBo stops = %d, want 12", kinds[KindCBo])
+	}
+	if kinds[KindIMC] != 2 || kinds[KindQPI] != 1 || kinds[KindPCIe] != 1 {
+		t.Errorf("agent stop counts wrong: %v", kinds)
+	}
+	if kinds[KindBridge] != 4 { // two bridges, present on both rings
+		t.Errorf("bridge stops = %d, want 4", kinds[KindBridge])
+	}
+}
+
+func TestHopPathSameStop(t *testing.T) {
+	d := NewDie(Die12)
+	s := d.CBoStop(3)
+	p := d.HopPath(s, s)
+	if p.RingHops != 0 || p.BridgeCrossings != 0 {
+		t.Errorf("self path = %+v", p)
+	}
+}
+
+func TestHopPathSymmetry(t *testing.T) {
+	d := NewDie(Die12)
+	for a := 0; a < d.Cores(); a++ {
+		for b := 0; b < d.Cores(); b++ {
+			ab := d.HopPath(d.CBoStop(a), d.CBoStop(b))
+			ba := d.HopPath(d.CBoStop(b), d.CBoStop(a))
+			if ab != ba {
+				t.Fatalf("asymmetric path %d<->%d: %+v vs %+v", a, b, ab, ba)
+			}
+		}
+	}
+}
+
+func TestHopPathCrossRing(t *testing.T) {
+	d := NewDie(Die12)
+	p := d.HopPath(d.CBoStop(0), d.CBoStop(9))
+	if p.BridgeCrossings != 1 {
+		t.Errorf("ring0->ring1 path crossings = %d, want 1", p.BridgeCrossings)
+	}
+	if p.RingHops <= 0 {
+		t.Errorf("cross-ring hops = %d", p.RingHops)
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	cases := []struct {
+		a, b, n, want int
+	}{
+		{0, 0, 13, 0},
+		{0, 1, 13, 1},
+		{0, 12, 13, 1}, // wraps
+		{2, 9, 13, 6},
+		{0, 6, 13, 6},
+		{0, 7, 13, 6}, // shorter the other way
+	}
+	for _, c := range cases {
+		if got := ringDistance(c.a, c.b, c.n); got != c.want {
+			t.Errorf("ringDistance(%d,%d,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRingDistanceProperties(t *testing.T) {
+	f := func(a, b uint8) bool {
+		const n = 13
+		x, y := int(a)%n, int(b)%n
+		d := ringDistance(x, y, n)
+		return d == ringDistance(y, x, n) && d >= 0 && d <= n/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathAdd(t *testing.T) {
+	p := Path{RingHops: 2, BridgeCrossings: 1}.Add(Path{RingHops: 3})
+	if p.RingHops != 5 || p.BridgeCrossings != 1 {
+		t.Errorf("Add = %+v", p)
+	}
+}
+
+func TestMeanCBoPath(t *testing.T) {
+	d := NewDie(Die12)
+	hops, crossings := d.MeanCBoPath(0, []int{0, 1, 2, 3, 4, 5})
+	if hops <= 0 || hops > 6 {
+		t.Errorf("mean hops for node0 slices = %v", hops)
+	}
+	if crossings != 0 {
+		t.Errorf("node0 slices need no bridge, got %v crossings", crossings)
+	}
+	_, cr := d.MeanCBoPath(0, []int{8, 9, 10, 11})
+	if cr != 1 {
+		t.Errorf("ring-1 slices from core 0 need bridges, got %v", cr)
+	}
+	if h, c := d.MeanCBoPath(0, nil); h != 0 || c != 0 {
+		t.Error("empty slice list must be zero")
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	if _, err := NewSystem(0, Die12, false); err == nil {
+		t.Error("zero sockets must fail")
+	}
+	if _, err := NewSystem(2, Die8, true); err == nil {
+		t.Error("COD on 8-core die must fail")
+	}
+	if _, err := NewSystem(2, Die12, true); err != nil {
+		t.Errorf("valid COD system failed: %v", err)
+	}
+}
+
+func TestSystemDefaultNodes(t *testing.T) {
+	s, err := NewSystem(2, Die12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 2 || s.Cores() != 24 || s.Slices() != 24 || s.Agents() != 4 {
+		t.Fatalf("system sizes wrong: %v", s)
+	}
+	if s.NodeOfCore(0) != 0 || s.NodeOfCore(11) != 0 || s.NodeOfCore(12) != 1 {
+		t.Error("default node membership wrong")
+	}
+	if s.NodeHops(0, 1) != 1 || s.NodeHops(0, 0) != 0 {
+		t.Error("default hop matrix wrong")
+	}
+	if len(s.CoresOfNode(0)) != 12 || len(s.SlicesOfNode(1)) != 12 {
+		t.Error("node membership sizes wrong")
+	}
+}
+
+// TestSystemCODNodes pins Section VI-C's membership: node0 = cores 0-5,
+// node1 = cores 6-11 with cores 6,7 on ring 0 and 8-11 on ring 1.
+func TestSystemCODNodes(t *testing.T) {
+	s, err := NewSystem(2, Die12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 {
+		t.Fatalf("COD nodes = %d", s.Nodes())
+	}
+	for c := 0; c < 6; c++ {
+		if s.NodeOfCore(CoreID(c)) != 0 {
+			t.Errorf("core %d node = %d, want 0", c, s.NodeOfCore(CoreID(c)))
+		}
+	}
+	for c := 6; c < 12; c++ {
+		if s.NodeOfCore(CoreID(c)) != 1 {
+			t.Errorf("core %d node = %d, want 1", c, s.NodeOfCore(CoreID(c)))
+		}
+	}
+	if s.NodeOfCore(12) != 2 || s.NodeOfCore(18) != 3 {
+		t.Error("socket 1 node membership wrong")
+	}
+	if got := s.AgentOfNode(1); s.LocalAgent(got) != 1 {
+		t.Errorf("node1 agent = %d, want local IMC1", got)
+	}
+	if got := s.AgentOfNode(2); s.SocketOfAgent(got) != 1 || s.LocalAgent(got) != 0 {
+		t.Errorf("node2 agent = %d", got)
+	}
+}
+
+// TestCODHopMatrix pins the paper's node-distance metric: node0-node2 one
+// hop, node0-node3 and node1-node2 two hops, node1-node3 three hops.
+func TestCODHopMatrix(t *testing.T) {
+	s, _ := NewSystem(2, Die12, true)
+	want := [4][4]int{
+		{0, 1, 1, 2},
+		{1, 0, 2, 3},
+		{1, 2, 0, 1},
+		{2, 3, 1, 0},
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if got := s.NodeHops(NodeID(a), NodeID(b)); got != want[a][b] {
+				t.Errorf("NodeHops(%d,%d) = %d, want %d", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+func TestSameSocket(t *testing.T) {
+	s, _ := NewSystem(2, Die12, true)
+	if !s.SameSocket(0, 1) || s.SameSocket(1, 2) || !s.SameSocket(2, 3) {
+		t.Error("SameSocket wrong")
+	}
+}
+
+func TestNodeOfAgentDefault(t *testing.T) {
+	s, _ := NewSystem(2, Die12, false)
+	if s.NodeOfAgent(0) != 0 || s.NodeOfAgent(1) != 0 || s.NodeOfAgent(2) != 1 {
+		t.Error("default NodeOfAgent wrong")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	s, _ := NewSystem(2, Die12, true)
+	got := s.String()
+	want := "2× 12-core die, Cluster-on-Die (2 NUMA nodes per socket), 24 cores, 4 NUMA nodes"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestLocalIndexing(t *testing.T) {
+	s, _ := NewSystem(2, Die12, false)
+	if s.LocalCore(13) != 1 || s.SocketOfCore(13) != 1 {
+		t.Error("core indexing wrong")
+	}
+	if s.LocalSlice(23) != 11 || s.SocketOfSlice(23) != 1 {
+		t.Error("slice indexing wrong")
+	}
+	if s.LocalAgent(3) != 1 || s.SocketOfAgent(3) != 1 {
+		t.Error("agent indexing wrong")
+	}
+}
+
+// TestDie18COD: the 18-core die splits 9/9; node0 spans both rings (eight
+// CBos on ring 0 plus one on ring 1).
+func TestDie18COD(t *testing.T) {
+	s, err := NewSystem(2, Die18, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 || s.Cores() != 36 {
+		t.Fatalf("system = %v", s)
+	}
+	if len(s.CoresOfNode(0)) != 9 || len(s.CoresOfNode(1)) != 9 {
+		t.Error("COD split must be 9/9")
+	}
+	if s.NodeOfCore(8) != 0 || s.NodeOfCore(9) != 1 {
+		t.Error("split boundary wrong")
+	}
+	if s.NodeHops(1, 3) != 3 {
+		t.Error("hop metric must match the 12-core layout")
+	}
+}
+
+// TestFourSocketTopology: QPI connects the first cluster of every socket
+// pair; distances stay sane.
+func TestFourSocketTopology(t *testing.T) {
+	s, err := NewSystem(4, Die12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 || s.Cores() != 48 {
+		t.Fatalf("system = %v", s)
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := 1
+			if a == b {
+				want = 0
+			}
+			if got := s.NodeHops(NodeID(a), NodeID(b)); got != want {
+				t.Errorf("NodeHops(%d,%d) = %d, want %d (full mesh)", a, b, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package units provides the time, frequency, and size units shared by the
+// whole simulator.
+//
+// Simulated time is counted in integer picoseconds so that all latency
+// arithmetic is exact and deterministic. The nominal core clock of the
+// modeled machine is 2.5 GHz (400 ps per core cycle), matching the fixed
+// frequency the paper's benchmarks run at (Turbo Boost disabled).
+package units
+
+import "fmt"
+
+// Time is a duration or instant of simulated time in picoseconds.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns t as a floating point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 10*Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.1fns", t.Nanoseconds())
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	}
+}
+
+// FromNanoseconds converts a floating point nanosecond quantity to Time,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time {
+	if ns < 0 {
+		return Time(ns*float64(Nanosecond) - 0.5)
+	}
+	return Time(ns*float64(Nanosecond) + 0.5)
+}
+
+// Frequency is a clock rate in Hz.
+type Frequency float64
+
+// Common frequency units.
+const (
+	Hertz     Frequency = 1
+	Kilohertz Frequency = 1e3
+	Megahertz Frequency = 1e6
+	Gigahertz Frequency = 1e9
+)
+
+// Nominal clocks of the modeled test system (Table II of the paper).
+const (
+	// CoreClock is the fixed core frequency used by all measurements
+	// (Turbo Boost disabled, nominal 2.5 GHz).
+	CoreClock Frequency = 2.5 * Gigahertz
+	// AVXBaseClock is the reduced base frequency for 256-bit workloads.
+	AVXBaseClock Frequency = 2.1 * Gigahertz
+	// UncoreClock is the nominal uncore (ring, L3, CA/HA) frequency.
+	UncoreClock Frequency = 2.5 * Gigahertz
+	// DDRClock is the DDR4-2133 data rate in transfers per second.
+	DDRClock Frequency = 2.133 * Gigahertz
+)
+
+// Period returns the duration of one cycle at frequency f.
+func (f Frequency) Period() Time {
+	if f <= 0 {
+		return 0
+	}
+	return Time(float64(Second)/float64(f) + 0.5)
+}
+
+// Cycles converts a cycle count at frequency f to simulated Time.
+func (f Frequency) Cycles(n float64) Time {
+	return Time(n*float64(Second)/float64(f) + 0.5)
+}
+
+// CyclesIn returns the (fractional) number of cycles of f that fit in t.
+func (f Frequency) CyclesIn(t Time) float64 {
+	return float64(t) * float64(f) / float64(Second)
+}
+
+// CoreCycles converts core-clock cycles to Time (400 ps per cycle).
+func CoreCycles(n float64) Time { return CoreClock.Cycles(n) }
+
+// Size units in bytes.
+const (
+	Byte int64 = 1
+	KiB        = 1024 * Byte
+	MiB        = 1024 * KiB
+	GiB        = 1024 * MiB
+)
+
+// CacheLineSize is the line size of every cache in the modeled machine.
+const CacheLineSize int64 = 64
+
+// Bandwidth is a transfer rate in bytes per second.
+type Bandwidth float64
+
+// GBps expresses b in 1e9 bytes per second, the unit the paper reports.
+func (b Bandwidth) GBps() float64 { return float64(b) / 1e9 }
+
+// BandwidthFromGBps builds a Bandwidth from a GB/s (1e9 B/s) quantity.
+func BandwidthFromGBps(gbps float64) Bandwidth { return Bandwidth(gbps * 1e9) }
+
+// String formats the bandwidth in GB/s.
+func (b Bandwidth) String() string { return fmt.Sprintf("%.1fGB/s", b.GBps()) }
+
+// Per returns the bandwidth of moving n bytes in t.
+func Per(n int64, t Time) Bandwidth {
+	if t <= 0 {
+		return 0
+	}
+	return Bandwidth(float64(n) / (float64(t) / float64(Second)))
+}
+
+// TimeToMove returns how long moving n bytes takes at bandwidth b.
+func (b Bandwidth) TimeToMove(n int64) Time {
+	if b <= 0 {
+		return 0
+	}
+	return Time(float64(n)/float64(b)*float64(Second) + 0.5)
+}
+
+// HumanBytes renders a byte count with binary units (KiB/MiB/GiB).
+func HumanBytes(n int64) string {
+	switch {
+	case n >= GiB && n%GiB == 0:
+		return fmt.Sprintf("%dGiB", n/GiB)
+	case n >= MiB && n%MiB == 0:
+		return fmt.Sprintf("%dMiB", n/MiB)
+	case n >= KiB && n%KiB == 0:
+		return fmt.Sprintf("%dKiB", n/KiB)
+	case n >= GiB:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(KiB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,178 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("Nanosecond = %d ps", int64(Nanosecond))
+	}
+	if Second != 1e12*Picosecond {
+		t.Fatalf("Second = %d ps", int64(Second))
+	}
+}
+
+func TestTimeNanoseconds(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want float64
+	}{
+		{0, 0},
+		{Nanosecond, 1},
+		{1600 * Picosecond, 1.6},
+		{96400 * Picosecond, 96.4},
+		{Microsecond, 1000},
+	}
+	for _, c := range cases {
+		if got := c.in.Nanoseconds(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("(%d).Nanoseconds() = %v, want %v", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{400 * Picosecond, "400ps"},
+		{21200 * Picosecond, "21.2ns"},
+		{96 * Nanosecond, "96.0ns"},
+		{3 * Microsecond, "3.0us"},
+		{25 * Millisecond, "25.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromNanoseconds(t *testing.T) {
+	if got := FromNanoseconds(1.6); got != 1600*Picosecond {
+		t.Errorf("FromNanoseconds(1.6) = %d", int64(got))
+	}
+	if got := FromNanoseconds(0); got != 0 {
+		t.Errorf("FromNanoseconds(0) = %d", int64(got))
+	}
+	if got := FromNanoseconds(-2); got != -2*Nanosecond {
+		t.Errorf("FromNanoseconds(-2) = %d", int64(got))
+	}
+}
+
+func TestFromNanosecondsRoundTrip(t *testing.T) {
+	f := func(ps int32) bool {
+		tm := Time(ps)
+		return FromNanoseconds(tm.Nanoseconds()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequencyPeriod(t *testing.T) {
+	if got := CoreClock.Period(); got != 400*Picosecond {
+		t.Errorf("2.5 GHz period = %v, want 400ps", got)
+	}
+	if got := Frequency(0).Period(); got != 0 {
+		t.Errorf("zero frequency period = %v", got)
+	}
+	if got := (1 * Gigahertz).Period(); got != Nanosecond {
+		t.Errorf("1 GHz period = %v", got)
+	}
+}
+
+func TestFrequencyCycles(t *testing.T) {
+	if got := CoreCycles(4); got != 1600*Picosecond {
+		t.Errorf("4 core cycles = %v, want 1.6ns", got)
+	}
+	if got := CoreCycles(12); got != 4800*Picosecond {
+		t.Errorf("12 core cycles = %v, want 4.8ns", got)
+	}
+	if got := CoreClock.CyclesIn(1600 * Picosecond); math.Abs(got-4) > 1e-9 {
+		t.Errorf("cycles in 1.6ns = %v, want 4", got)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1<<30 {
+		t.Fatal("size constants wrong")
+	}
+	if CacheLineSize != 64 {
+		t.Fatalf("CacheLineSize = %d", CacheLineSize)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	b := BandwidthFromGBps(38.4)
+	if math.Abs(b.GBps()-38.4) > 1e-9 {
+		t.Errorf("GBps round trip: %v", b.GBps())
+	}
+	if got := b.String(); got != "38.4GB/s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPer(t *testing.T) {
+	// 64 bytes in 2 ns = 32 GB/s.
+	if got := Per(64, 2*Nanosecond).GBps(); math.Abs(got-32) > 1e-9 {
+		t.Errorf("Per(64B, 2ns) = %v GB/s", got)
+	}
+	if got := Per(64, 0); got != 0 {
+		t.Errorf("Per with zero time = %v", got)
+	}
+}
+
+func TestTimeToMove(t *testing.T) {
+	b := BandwidthFromGBps(32)
+	if got := b.TimeToMove(64); got != 2*Nanosecond {
+		t.Errorf("TimeToMove(64) at 32 GB/s = %v", got)
+	}
+	if got := Bandwidth(0).TimeToMove(64); got != 0 {
+		t.Errorf("TimeToMove at zero bandwidth = %v", got)
+	}
+}
+
+func TestPerAndTimeToMoveInverse(t *testing.T) {
+	f := func(n uint16) bool {
+		bytes := int64(n) + 1
+		b := BandwidthFromGBps(10)
+		tm := b.TimeToMove(bytes)
+		back := Per(bytes, tm)
+		return math.Abs(back.GBps()-10) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{32 * KiB, "32KiB"},
+		{2560 * KiB, "2560KiB"},
+		{8 * MiB, "8MiB"},
+		{3 * GiB, "3GiB"},
+		{1536, "1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNominalClocks(t *testing.T) {
+	if CoreClock != 2.5*Gigahertz {
+		t.Error("core clock must be the paper's fixed 2.5 GHz")
+	}
+	if AVXBaseClock != 2.1*Gigahertz {
+		t.Error("AVX base clock must be 2.1 GHz")
+	}
+}

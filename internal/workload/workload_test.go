@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"testing"
+
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+func runner(t *testing.T, mode machine.SnoopMode) *Runner {
+	t.Helper()
+	return NewRunner(mesif.New(machine.MustNew(machine.TestSystem(mode))))
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "g", Pattern: Sequential, Footprint: units.KiB, Cores: []topology.CoreID{0}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Name: "nocores", Footprint: units.KiB},
+		{Name: "tiny", Footprint: 1, Cores: []topology.CoreID{0}},
+		{Name: "wf", Footprint: units.KiB, Cores: []topology.CoreID{0}, WriteFraction: 1.5},
+		{Name: "stride", Pattern: Strided, Footprint: units.KiB, Cores: []topology.CoreID{0}},
+		{Name: "pc", Pattern: ProducerConsumer, Footprint: units.KiB, Cores: []topology.CoreID{0}},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %q accepted", s.Name)
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p := Sequential; p <= ReadShared; p++ {
+		if p.String() == "" {
+			t.Errorf("pattern %d unnamed", p)
+		}
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Error("unknown pattern string")
+	}
+}
+
+func TestRunSequentialSingleCore(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "seq", Pattern: Sequential,
+		Footprint: 64 * units.KiB, Cores: []topology.CoreID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses() != 1024 {
+		t.Errorf("accesses = %d, want one pass = 1024 lines", res.Accesses())
+	}
+	if res.PerCore[0].MeanNs() < 50 {
+		t.Errorf("cold sequential pass mean = %.1f ns; must be memory-bound", res.PerCore[0].MeanNs())
+	}
+	if res.BySource[mesif.SrcMemory] == 0 {
+		t.Error("cold pass must hit memory")
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	if _, err := r.Run(Spec{Name: "bad"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRunRandomDeterministic(t *testing.T) {
+	mk := func() Result {
+		r := runner(t, machine.SourceSnoop)
+		res, err := r.Run(Spec{
+			Name: "rnd", Pattern: Random, Seed: 42,
+			Footprint: 256 * units.KiB, Cores: []topology.CoreID{0, 1},
+			Accesses: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.MeanNs() != b.MeanNs() || a.MakespanNs() != b.MakespanNs() {
+		t.Error("random workload not reproducible with fixed seed")
+	}
+}
+
+// TestMigratoryBouncesLines: the migratory pattern must produce core-to-core
+// transfers, and under COD it must hit the HitME directory cache — the
+// workload it was designed for.
+func TestMigratoryBouncesLines(t *testing.T) {
+	r := runner(t, machine.COD)
+	res, err := r.Run(Spec{
+		Name: "mig", Pattern: Migratory,
+		Footprint: 4 * units.KiB, HomeNode: 1,
+		Cores:    []topology.CoreID{0, 6, 12, 18}, // one core per node
+		Accesses: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwards := res.BySource[mesif.SrcPeerCore] + res.BySource[mesif.SrcPeerL3] +
+		res.BySource[mesif.SrcPeerL3CoreSnoop] + res.BySource[mesif.SrcCoreForward]
+	if forwards == 0 {
+		t.Error("migratory lines must be forwarded between cores")
+	}
+	if res.Traffic.DirHits == 0 {
+		t.Error("migratory pattern under COD must hit the directory cache")
+	}
+}
+
+// TestProducerConsumer: the consumer's reads are served by forwards from
+// the producer's caches.
+func TestProducerConsumer(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "pipe", Pattern: ProducerConsumer,
+		Footprint: 32 * units.KiB,
+		Cores:     []topology.CoreID{0, 12}, // across the sockets
+		Accesses:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := res.BySource[mesif.SrcPeerCore] + res.BySource[mesif.SrcPeerL3] +
+		res.BySource[mesif.SrcPeerL3CoreSnoop]
+	if cross == 0 {
+		t.Error("cross-socket producer-consumer must forward lines over QPI")
+	}
+}
+
+// TestReadSharedSettles: after the first pass every core's reads hit
+// locally cached shared copies.
+func TestReadSharedSettles(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "shared", Pattern: ReadShared,
+		Footprint: 16 * units.KiB,
+		Cores:     []topology.CoreID{0, 1, 2},
+		Accesses:  3 * 256 * 4, // several passes each
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := res.BySource[mesif.SrcL1] + res.BySource[mesif.SrcL2]
+	if float64(hits) < 0.5*float64(res.Accesses()) {
+		t.Errorf("read-shared must settle into private-cache hits, got %d of %d",
+			hits, res.Accesses())
+	}
+}
+
+// TestStridedDefeatsNothingHere: a stride still touches every partition
+// line, just in a different order; the totals match sequential.
+func TestStridedCounts(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "str", Pattern: Strided, StrideLines: 16,
+		Footprint: 64 * units.KiB, Cores: []topology.CoreID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses() != 1024 {
+		t.Errorf("accesses = %d", res.Accesses())
+	}
+}
+
+// TestNUMAPlacementMatters: the same sequential workload is slower when its
+// buffer lives on the remote socket.
+func TestNUMAPlacementMatters(t *testing.T) {
+	local := runner(t, machine.SourceSnoop)
+	resLocal, err := local.Run(Spec{
+		Name: "local", Pattern: Sequential,
+		Footprint: 2 * units.MiB, HomeNode: 0, Cores: []topology.CoreID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := runner(t, machine.SourceSnoop)
+	resRemote, err := remote.Run(Spec{
+		Name: "remote", Pattern: Sequential,
+		Footprint: 2 * units.MiB, HomeNode: 1, Cores: []topology.CoreID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRemote.MeanNs() <= resLocal.MeanNs()*1.2 {
+		t.Errorf("remote placement must cost: %.1f vs %.1f ns",
+			resRemote.MeanNs(), resLocal.MeanNs())
+	}
+}
+
+// TestWriteFraction: stores appear in proportion and dirty the caches.
+func TestWriteFraction(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "mix", Pattern: Random, Seed: 7,
+		Footprint: 64 * units.KiB, WriteFraction: 0.5,
+		Cores: []topology.CoreID{0}, Accesses: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Traffic.Writes
+	if w < 1600 || w > 2400 {
+		t.Errorf("writes = %d of 4000, want ~2000", w)
+	}
+}
+
+func TestResultSummaries(t *testing.T) {
+	r := runner(t, machine.SourceSnoop)
+	res, err := r.Run(Spec{
+		Name: "sum", Pattern: Sequential,
+		Footprint: 16 * units.KiB, Cores: []topology.CoreID{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanNs() <= 0 || res.ThroughputGBps() <= 0 {
+		t.Error("summaries must be positive")
+	}
+	if res.String() == "" {
+		t.Error("String empty")
+	}
+	var empty Result
+	if empty.MeanNs() != 0 || empty.ThroughputGBps() != 0 {
+		t.Error("empty result must be zero")
+	}
+}
