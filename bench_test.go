@@ -64,7 +64,10 @@ func BenchmarkTable3LatencySummary(b *testing.B) {
 
 func BenchmarkTable4SharedL3Matrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table4()
+		res, err := experiments.Table4()
+		if err != nil {
+			b.Fatalf("Table4: %v", err)
+		}
 		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
 		b.ReportMetric(res.Values[1][3], "worst_case_ns")
 	}
@@ -72,7 +75,10 @@ func BenchmarkTable4SharedL3Matrix(b *testing.B) {
 
 func BenchmarkTable5SharedMemMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table5()
+		res, err := experiments.Table5()
+		if err != nil {
+			b.Fatalf("Table5: %v", err)
+		}
 		b.ReportMetric(worstDeviation(res.Comparisons), "worst_dev_%")
 		b.ReportMetric(res.Values[0][3], "worst_case_ns")
 	}
@@ -136,7 +142,10 @@ func BenchmarkFig6CODLatency(b *testing.B) {
 
 func BenchmarkFig7DirectoryCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		lat, frac := experiments.Fig7()
+		lat, frac, err := experiments.Fig7()
+		if err != nil {
+			b.Fatalf("Fig7: %v", err)
+		}
 		// The headline effect: DRAM-response fraction high for small
 		// sets, near zero for large ones.
 		s := frac.Series[1] // home=node1 curve

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,19 +35,27 @@ var experimentIDs = []string{
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id to run (or 'all')")
-	out := flag.String("out", "", "directory for figure CSV files (default: print to stdout)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	compare := flag.Bool("compare", true, "print paper-vs-measured comparisons where available")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hswbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id to run (or 'all')")
+	out := fs.String("out", "", "directory for figure CSV files (default: print to stdout)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	compare := fs.Bool("compare", true, "print paper-vs-measured comparisons where available")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(experimentIDs, "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(experimentIDs, "\n"))
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "hswbench: -exp required (use -list for ids)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hswbench: -exp required (use -list for ids)")
+		return 2
 	}
 
 	ids := []string{*exp}
@@ -54,21 +63,22 @@ func main() {
 		ids = experimentIDs
 	}
 	for _, id := range ids {
-		if err := run(id, *out, *compare); err != nil {
-			fmt.Fprintf(os.Stderr, "hswbench: %v\n", err)
-			os.Exit(1)
+		if err := runExperiment(stdout, id, *out, *compare); err != nil {
+			fmt.Fprintf(stderr, "hswbench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-// run executes one experiment and prints its artifacts.
-func run(id, outDir string, compare bool) error {
+// runExperiment executes one experiment and prints its artifacts.
+func runExperiment(stdout io.Writer, id, outDir string, compare bool) error {
 	emitFig := func(figs ...*report.Figure) error {
 		for _, f := range figs {
 			if outDir == "" {
-				fmt.Println("# " + f.Title)
-				fmt.Print(f.CSV())
-				fmt.Println()
+				fmt.Fprintln(stdout, "# "+f.Title)
+				fmt.Fprint(stdout, f.CSV())
+				fmt.Fprintln(stdout)
 				continue
 			}
 			name := sanitize(f.Title) + ".csv"
@@ -79,51 +89,57 @@ func run(id, outDir string, compare bool) error {
 			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		}
 		return nil
 	}
 	emitCmp := func(title string, cs []report.Comparison) {
 		if compare && len(cs) > 0 {
-			fmt.Println(report.ComparisonSet(title+" — paper vs measured:", cs))
+			fmt.Fprintln(stdout, report.ComparisonSet(title+" — paper vs measured:", cs))
 		}
 	}
 
 	switch id {
 	case "table1":
-		fmt.Println(experiments.Table1().String())
+		fmt.Fprintln(stdout, experiments.Table1().String())
 	case "table2":
-		fmt.Println(experiments.Table2().String())
+		fmt.Fprintln(stdout, experiments.Table2().String())
 	case "table3":
 		res := experiments.Table3()
-		fmt.Println(res.Table.String())
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table III", res.Comparisons)
 	case "table4":
-		res := experiments.Table4()
-		fmt.Println(res.Table.String())
+		res, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table IV", res.Comparisons)
 	case "table5":
-		res := experiments.Table5()
-		fmt.Println(res.Table.String())
+		res, err := experiments.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table V", res.Comparisons)
 	case "table6":
 		res := experiments.Table6()
-		fmt.Println(res.Table.String())
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table VI", res.Comparisons)
 	case "table7":
 		res := experiments.Table7()
-		fmt.Println(res.Table.String())
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table VII", res.Comparisons)
 	case "table8":
 		res := experiments.Table8()
-		fmt.Println(res.Table.String())
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Table VIII", res.Comparisons)
 	case "l3scaling":
 		def := experiments.AggregateL3(machine.SourceSnoop)
-		fmt.Println(def.Table.String())
+		fmt.Fprintln(stdout, def.Table.String())
 		emitCmp("L3 scaling", def.Comparisons)
 		cod := experiments.AggregateL3(machine.COD)
-		fmt.Println(cod.Table.String())
+		fmt.Fprintln(stdout, cod.Table.String())
 		emitCmp("L3 scaling (COD)", cod.Comparisons)
 	case "fig4":
 		return emitFig(experiments.Fig4())
@@ -133,7 +149,10 @@ func run(id, outDir string, compare bool) error {
 		m, e := experiments.Fig6()
 		return emitFig(m, e)
 	case "fig7":
-		lat, frac := experiments.Fig7()
+		lat, frac, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
 		return emitFig(lat, frac)
 	case "fig8":
 		return emitFig(experiments.Fig8())
@@ -141,22 +160,22 @@ func run(id, outDir string, compare bool) error {
 		return emitFig(experiments.Fig9())
 	case "fig10":
 		res := experiments.Fig10()
-		fmt.Println(res.Table.String())
+		fmt.Fprintln(stdout, res.Table.String())
 		emitCmp("Figure 10", res.Comparisons)
 	case "ablation":
-		fmt.Println(experiments.AblationDirectory().Table.String())
-		fmt.Println(experiments.AblationHitME().Table.String())
-		fmt.Println(experiments.AblationSnoopTraffic().Table.String())
-		fmt.Println(experiments.AblationDieVariants().String())
+		fmt.Fprintln(stdout, experiments.AblationDirectory().Table.String())
+		fmt.Fprintln(stdout, experiments.AblationHitME().Table.String())
+		fmt.Fprintln(stdout, experiments.AblationSnoopTraffic().Table.String())
+		fmt.Fprintln(stdout, experiments.AblationDieVariants().String())
 	case "loaded":
 		return emitFig(experiments.LoadedLatency())
 	case "workloads":
-		fmt.Println(experiments.WorkloadStudy().Table.String())
+		fmt.Fprintln(stdout, experiments.WorkloadStudy().Table.String())
 	case "matrix":
 		for _, mode := range []machine.SnoopMode{machine.SourceSnoop, machine.COD} {
 			res := experiments.NodeMatrix(mode)
-			fmt.Println(res.Latency.String())
-			fmt.Println(res.Bandwidth.String())
+			fmt.Fprintln(stdout, res.Latency.String())
+			fmt.Fprintln(stdout, res.Bandwidth.String())
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q (use -list)", id)

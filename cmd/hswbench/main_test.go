@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	ids := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(ids) != len(experimentIDs) {
+		t.Fatalf("listed %d ids, want %d", len(ids), len(experimentIDs))
+	}
+}
+
+func TestSmokeTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestMissingExp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-exp required") {
+		t.Errorf("stderr missing usage hint: %s", errb.String())
+	}
+}
+
+func TestUnknownExp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+}
+
+func TestFigureCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig4", "-out", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Errorf("no CSV written:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"haswellep/internal/bench"
@@ -24,15 +25,23 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
-	state := flag.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
-	placer := flag.Int("placer", 1, "core that places the data")
-	sharer := flag.Int("sharer", -1, "second core for shared placement")
-	core := flag.Int("core", 0, "core that measures")
-	node := flag.Int("node", 0, "home node of the buffer")
-	size := flag.Int64("size", 1, "buffer size in MiB")
-	explain := flag.Bool("explain", false, "narrate the protocol path of the first access")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hswctr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeFlag := fs.String("mode", "source", "coherence mode: source, home, cod")
+	state := fs.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
+	placer := fs.Int("placer", 1, "core that places the data")
+	sharer := fs.Int("sharer", -1, "second core for shared placement")
+	core := fs.Int("core", 0, "core that measures")
+	node := fs.Int("node", 0, "home node of the buffer")
+	size := fs.Int64("size", 1, "buffer size in MiB")
+	explain := fs.Bool("explain", false, "narrate the protocol path of the first access")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var mode machine.SnoopMode
 	switch *modeFlag {
@@ -43,8 +52,8 @@ func main() {
 	case "cod":
 		mode = machine.COD
 	default:
-		fmt.Fprintf(os.Stderr, "hswctr: unknown mode %q\n", *modeFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hswctr: unknown mode %q\n", *modeFlag)
+		return 2
 	}
 
 	m := machine.MustNew(machine.TestSystem(mode))
@@ -53,8 +62,8 @@ func main() {
 	mon := perfctr.New(e)
 
 	if *node >= m.Topo.Nodes() || *placer >= m.Topo.Cores() || *core >= m.Topo.Cores() {
-		fmt.Fprintln(os.Stderr, "hswctr: node or core out of range")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "hswctr: node or core out of range")
+		return 2
 	}
 	r := m.MustAlloc(topology.NodeID(*node), *size*units.MiB)
 	pc := topology.CoreID(*placer)
@@ -73,13 +82,13 @@ func main() {
 		p.Modified(pc, r)
 		p.FlushAll(pc, r)
 	default:
-		fmt.Fprintf(os.Stderr, "hswctr: unknown state %q\n", *state)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hswctr: unknown state %q\n", *state)
+		return 2
 	}
 
 	if *explain {
-		fmt.Println(e.Explain(topology.CoreID(*core), r.Base.Line()))
-		fmt.Println()
+		fmt.Fprintln(stdout, e.Explain(topology.CoreID(*core), r.Base.Line()))
+		fmt.Fprintln(stdout)
 	}
 
 	mon.Reset()
@@ -94,10 +103,11 @@ func main() {
 	}
 	meanNs /= float64(n)
 
-	fmt.Printf("%v\n", m)
-	fmt.Printf("scenario: core %d reads %s of %s data homed on node%d (placed by core %d)\n\n",
+	fmt.Fprintf(stdout, "%v\n", m)
+	fmt.Fprintf(stdout, "scenario: core %d reads %s of %s data homed on node%d (placed by core %d)\n\n",
 		*core, units.HumanBytes(r.Size), *state, *node, *placer)
-	fmt.Printf("mean latency: %.1f ns over %d loads\n\n", meanNs, n)
-	fmt.Println("counter readings:")
-	fmt.Print(mon.ReadCounters().String())
+	fmt.Fprintf(stdout, "mean latency: %.1f ns over %d loads\n\n", meanNs, n)
+	fmt.Fprintln(stdout, "counter readings:")
+	fmt.Fprint(stdout, mon.ReadCounters().String())
+	return 0
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"haswellep/internal/experiments"
@@ -18,8 +19,16 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hswmlc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeFlag := fs.String("mode", "source", "coherence mode: source, home, cod")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var mode machine.SnoopMode
 	switch *modeFlag {
@@ -30,15 +39,16 @@ func main() {
 	case "cod":
 		mode = machine.COD
 	default:
-		fmt.Fprintf(os.Stderr, "hswmlc: unknown mode %q\n", *modeFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "hswmlc: unknown mode %q\n", *modeFlag)
+		return 2
 	}
 
 	res := experiments.NodeMatrix(mode)
-	fmt.Println(res.Latency.String())
-	fmt.Println(res.Bandwidth.String())
+	fmt.Fprintln(stdout, res.Latency.String())
+	fmt.Fprintln(stdout, res.Bandwidth.String())
 	if !res.DiagonalDominant(5) {
-		fmt.Println("note: some node's local memory is not its fastest — the")
-		fmt.Println("asymmetric-die effect of the paper's Section VI-C")
+		fmt.Fprintln(stdout, "note: some node's local memory is not its fastest — the")
+		fmt.Fprintln(stdout, "asymmetric-die effect of the paper's Section VI-C")
 	}
+	return 0
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full node-matrix run")
+	}
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"latency", "bandwidth", "node0", "node1"} {
+		if !strings.Contains(strings.ToLower(out.String()), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

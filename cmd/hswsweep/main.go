@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"haswellep/internal/addr"
@@ -28,15 +29,28 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
-	kind := flag.String("kind", "latency", "measurement: latency or bandwidth")
-	state := flag.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
-	placer := flag.Int("placer", 0, "core that places the data")
-	sharer := flag.Int("sharer", -1, "second core for shared placement (default: placer+1)")
-	core := flag.Int("core", 0, "core that measures")
-	node := flag.Int("node", -1, "home node of the buffer (default: placer's node)")
-	maxSize := flag.Int64("max", 32, "largest dataset size in MiB")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "hswsweep: "+format+"\n", a...)
+		return 1
+	}
+
+	fs := flag.NewFlagSet("hswsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeFlag := fs.String("mode", "source", "coherence mode: source, home, cod")
+	kind := fs.String("kind", "latency", "measurement: latency or bandwidth")
+	state := fs.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
+	placer := fs.Int("placer", 0, "core that places the data")
+	sharer := fs.Int("sharer", -1, "second core for shared placement (default: placer+1)")
+	core := fs.Int("core", 0, "core that measures")
+	node := fs.Int("node", -1, "home node of the buffer (default: placer's node)")
+	maxSize := fs.Int64("max", 32, "largest dataset size in MiB")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var mode machine.SnoopMode
 	switch *modeFlag {
@@ -47,7 +61,15 @@ func main() {
 	case "cod":
 		mode = machine.COD
 	default:
-		fatal("unknown mode %q", *modeFlag)
+		return fail("unknown mode %q", *modeFlag)
+	}
+	if *kind != "latency" && *kind != "bandwidth" {
+		return fail("unknown kind %q", *kind)
+	}
+	switch *state {
+	case "modified", "exclusive", "shared", "memory":
+	default:
+		return fail("unknown state %q", *state)
 	}
 
 	m := machine.MustNew(machine.TestSystem(mode))
@@ -56,12 +78,12 @@ func main() {
 	pc := topology.CoreID(*placer)
 	mc := topology.CoreID(*core)
 	if int(pc) >= m.Topo.Cores() || int(mc) >= m.Topo.Cores() {
-		fatal("core out of range (0-%d)", m.Topo.Cores()-1)
+		return fail("core out of range (0-%d)", m.Topo.Cores()-1)
 	}
 	homeNode := m.Topo.NodeOfCore(pc)
 	if *node >= 0 {
 		if *node >= m.Topo.Nodes() {
-			fatal("node out of range (0-%d)", m.Topo.Nodes()-1)
+			return fail("node out of range (0-%d)", m.Topo.Nodes()-1)
 		}
 		homeNode = topology.NodeID(*node)
 	}
@@ -70,7 +92,7 @@ func main() {
 		second = topology.CoreID(*sharer)
 	}
 
-	place := func(r addr.Region) {
+	place := func(r addr.Region) error {
 		switch *state {
 		case "modified":
 			p.Modified(pc, r)
@@ -82,36 +104,33 @@ func main() {
 			p.Modified(pc, r)
 			p.FlushAll(pc, r)
 		default:
-			fatal("unknown state %q", *state)
+			return fmt.Errorf("unknown state %q", *state)
 		}
+		return nil
 	}
 
 	if *kind == "latency" {
-		fmt.Println("size_bytes,latency_ns,dominant_source")
+		fmt.Fprintln(stdout, "size_bytes,latency_ns,dominant_source")
 	} else {
-		fmt.Println("size_bytes,bandwidth_GBps")
+		fmt.Fprintln(stdout, "size_bytes,bandwidth_GBps")
 	}
 	for size := int64(16 * units.KiB); size <= *maxSize*units.MiB; size *= 2 {
 		m.Reset()
 		r, err := m.AllocOnNode(homeNode, size)
 		if err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
-		place(r)
+		if err := place(r); err != nil {
+			return fail("%v", err)
+		}
 		switch *kind {
 		case "latency":
 			st := bench.Latency(e, mc, r)
-			fmt.Printf("%d,%.1f,%v\n", size, st.MeanNs, st.DominantSource())
+			fmt.Fprintf(stdout, "%d,%.1f,%v\n", size, st.MeanNs, st.DominantSource())
 		case "bandwidth":
 			st := bwmodel.ReadStream(e, mc, r, bwmodel.AVX256, bwmodel.ConcurrencyFor(mode))
-			fmt.Printf("%d,%.1f\n", size, st.GBps)
-		default:
-			fatal("unknown kind %q", *kind)
+			fmt.Fprintf(stdout, "%d,%.1f\n", size, st.GBps)
 		}
 	}
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "hswsweep: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

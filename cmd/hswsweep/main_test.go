@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmokeLatency(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-max", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "size_bytes,latency_ns,dominant_source" {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	// 16 KiB .. 1 MiB doubling = 7 data rows.
+	if len(lines) != 8 {
+		t.Errorf("row count = %d, want 8:\n%s", len(lines), out.String())
+	}
+}
+
+func TestSmokeBandwidth(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "bandwidth", "-max", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "size_bytes,bandwidth_GBps\n") {
+		t.Errorf("bad CSV header:\n%s", out.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "nope"},
+		{"-kind", "nope"},
+		{"-state", "nope", "-max", "1"},
+		{"-core", "9999"},
+		{"-node", "99"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 1 {
+			t.Errorf("%v: exit %d, want 1", args, code)
+		}
+	}
+}

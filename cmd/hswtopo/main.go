@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"haswellep/internal/machine"
@@ -20,57 +21,58 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "source", "coherence mode: source, home, cod")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var mode machine.SnoopMode
-	switch *modeFlag {
-	case "source":
-		mode = machine.SourceSnoop
-	case "home":
-		mode = machine.HomeSnoop
-	case "cod":
-		mode = machine.COD
-	default:
-		fmt.Fprintf(os.Stderr, "hswtopo: unknown mode %q\n", *modeFlag)
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hswtopo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeFlag := fs.String("mode", "source", "coherence mode: source, home, cod")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mode, ok := parseMode(*modeFlag)
+	if !ok {
+		fmt.Fprintf(stderr, "hswtopo: unknown mode %q\n", *modeFlag)
+		return 2
 	}
 
 	m := machine.MustNew(machine.TestSystem(mode))
-	fmt.Println(m.String())
-	fmt.Println()
+	fmt.Fprintln(stdout, m.String())
+	fmt.Fprintln(stdout)
 
 	// Ring layout of one die.
-	fmt.Println("Die layout (identical per socket):")
+	fmt.Fprintln(stdout, "Die layout (identical per socket):")
 	die := m.Topo.Die
 	for r := 0; r < die.Rings(); r++ {
-		fmt.Printf("  ring %d:", r)
+		fmt.Fprintf(stdout, "  ring %d:", r)
 		for _, s := range die.RingStops(r) {
 			switch s.Kind {
 			case topology.KindCBo:
-				fmt.Printf(" CBo%d", s.Index)
+				fmt.Fprintf(stdout, " CBo%d", s.Index)
 			case topology.KindIMC:
-				fmt.Printf(" IMC%d", s.Index)
+				fmt.Fprintf(stdout, " IMC%d", s.Index)
 			case topology.KindBridge:
-				fmt.Printf(" Q%d", s.Index)
+				fmt.Fprintf(stdout, " Q%d", s.Index)
 			default:
-				fmt.Printf(" %v", s.Kind)
+				fmt.Fprintf(stdout, " %v", s.Kind)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	// NUMA nodes.
-	fmt.Println("NUMA nodes:")
+	fmt.Fprintln(stdout, "NUMA nodes:")
 	for n := 0; n < m.Topo.Nodes(); n++ {
 		node := topology.NodeID(n)
 		cores := m.Topo.CoresOfNode(node)
-		fmt.Printf("  node%d: socket %d, cores %d-%d, home agent IMC%d\n",
+		fmt.Fprintf(stdout, "  node%d: socket %d, cores %d-%d, home agent IMC%d\n",
 			n, m.Topo.SocketOfNode(node), cores[0], cores[len(cores)-1],
 			m.Topo.LocalAgent(m.Topo.AgentOfNode(node)))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	// Node distance matrix (the paper's hop metric).
 	tbl := report.NewTable("Node hop distances:", header(m.Topo.Nodes())...)
@@ -81,15 +83,29 @@ func main() {
 		}
 		tbl.AddRow(row...)
 	}
-	fmt.Println(tbl.String())
+	fmt.Fprintln(stdout, tbl.String())
 
 	// Latency model summary.
 	lat := m.Cfg.Lat
-	fmt.Println("Calibrated primitive-step latencies (ns):")
-	fmt.Printf("  L1 hit %.1f, L2 hit %.1f, L3 pipe %.1f, ring hop %.2f, bridge %.2f\n",
+	fmt.Fprintln(stdout, "Calibrated primitive-step latencies (ns):")
+	fmt.Fprintf(stdout, "  L1 hit %.1f, L2 hit %.1f, L3 pipe %.1f, ring hop %.2f, bridge %.2f\n",
 		lat.L1Hit, lat.L2Hit, lat.L3Pipe, lat.RingHop, lat.BridgeCross)
-	fmt.Printf("  QPI transit %.1f, node transfer %.1f, HA resolve %.1f\n",
+	fmt.Fprintf(stdout, "  QPI transit %.1f, node transfer %.1f, HA resolve %.1f\n",
 		lat.QPITransit, lat.NodeTransferPipe, lat.HAResolve)
+	return 0
+}
+
+// parseMode maps the -mode flag value to a snoop mode.
+func parseMode(s string) (machine.SnoopMode, bool) {
+	switch s {
+	case "source":
+		return machine.SourceSnoop, true
+	case "home":
+		return machine.HomeSnoop, true
+	case "cod":
+		return machine.COD, true
+	}
+	return 0, false
 }
 
 func header(nodes int) []string {

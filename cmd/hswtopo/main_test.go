@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	for _, mode := range []string{"source", "home", "cod"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-mode", mode}, &out, &errb); code != 0 {
+			t.Fatalf("mode %s: exit %d, stderr: %s", mode, code, errb.String())
+		}
+		for _, want := range []string{"Die layout", "NUMA nodes:", "Node hop distances:", "node0"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("mode %s: output missing %q", mode, want)
+			}
+		}
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+}

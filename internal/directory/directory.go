@@ -84,6 +84,14 @@ func (d *InMemory) SetState(l addr.LineAddr, s MemState) {
 // Writes returns how many directory state changes occurred.
 func (d *InMemory) Writes() uint64 { return d.writes }
 
+// ForEach calls fn for every line in a non-default (non-RemoteInvalid)
+// state. Iteration order is unspecified; fn must not mutate the directory.
+func (d *InMemory) ForEach(fn func(addr.LineAddr, MemState)) {
+	for l, s := range d.m {
+		fn(l, s)
+	}
+}
+
 // Len returns the number of lines in a non-default state.
 func (d *InMemory) Len() int { return len(d.m) }
 
@@ -272,6 +280,18 @@ func (h *HitME) Invalidate(l addr.LineAddr) bool {
 		}
 	}
 	return false
+}
+
+// ForEach calls fn for every valid entry. Iteration order is set-major,
+// MRU-first; fn must not mutate the directory cache.
+func (h *HitME) ForEach(fn func(addr.LineAddr, PresenceVector, EntryKind)) {
+	for _, set := range h.sets {
+		for _, e := range set {
+			if e.valid {
+				fn(e.tag, e.vector, e.kind)
+			}
+		}
+	}
 }
 
 // Len returns the number of valid entries.

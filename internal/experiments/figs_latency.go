@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
 	"haswellep/internal/machine"
@@ -144,7 +146,7 @@ func Fig6() (modified, exclusive *report.Figure) {
 // broadcasts reach the forward-holding node instead. The companion figure
 // reports the fraction of loads answered by DRAM (the paper's
 // MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM counter readings).
-func Fig7() (latency, dramFraction *report.Figure) {
+func Fig7() (latency, dramFraction *report.Figure, err error) {
 	// Sizes focused on the directory-cache transition region.
 	var sizes []int64
 	for s := int64(16 * units.KiB); s <= 8*units.MiB; s *= 2 {
@@ -174,9 +176,14 @@ func Fig7() (latency, dramFraction *report.Figure) {
 		env := NewEnv(machine.COD)
 		lat := report.Series{Name: combo.name}
 		frac := report.Series{Name: combo.name}
+		// The placement cores depend only on the topology, not the sweep
+		// size, so resolve them (and any placement error) up front.
+		placer, reader, err := sharerCores(env, combo.fwd, combo.home)
+		if err != nil {
+			return nil, nil, fmt.Errorf("Figure 7 %s: %w", combo.name, err)
+		}
 		pts := bench.Sweep(env.E, sizes, func(size int64) (addr.Region, topology.CoreID) {
 			r := env.Alloc(combo.home, size)
-			placer, reader := sharerCores(env, combo.fwd, combo.home)
 			env.P.Shared(r, placer, reader)
 			return r, 0
 		})
@@ -188,5 +195,5 @@ func Fig7() (latency, dramFraction *report.Figure) {
 		latency.Series = append(latency.Series, lat)
 		dramFraction.Series = append(dramFraction.Series, frac)
 	}
-	return latency, dramFraction
+	return latency, dramFraction, nil
 }

@@ -156,7 +156,10 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow figure test")
 	}
-	_, frac := Fig7()
+	_, frac, err := Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
 	for _, s := range frac.Series {
 		small, ok1 := yAt(s, float64(64*units.KiB))
 		large, ok2 := yAt(s, float64(8*units.MiB))

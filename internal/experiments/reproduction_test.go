@@ -36,7 +36,10 @@ func TestTable4Reproduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}
-	res := Table4()
+	res, err := Table4()
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
 	// The on-chip second-node forward path underestimates by up to ~10%
 	// (see EXPERIMENTS.md); everything else sits well under 8%.
 	assertWithin(t, res.Comparisons, 10)
@@ -68,7 +71,10 @@ func TestTable5Reproduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}
-	res := Table5()
+	res, err := Table5()
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
 	assertWithin(t, res.Comparisons, 8)
 	t.Log("\n" + res.Table.String())
 

@@ -39,37 +39,46 @@ var table5Paper = [4][4]float64{
 // sharerCores picks the two placement cores for a (forward, home) cell:
 // the exclusive-state placer lives in the home node, the second reader —
 // who receives the forward copy — in the forward node. Core 0 is reserved
-// for measuring, so node0 contributes its second core.
-func sharerCores(env *Env, fwd, home int) (placer, reader topology.CoreID) {
-	pick := func(node int, avoid ...topology.CoreID) topology.CoreID {
+// for measuring, so node0 contributes its second core. A node without a
+// spare core (possible on cut-down topologies) is an error, not a panic:
+// the experiment runner surfaces it and moves on.
+func sharerCores(env *Env, fwd, home int) (placer, reader topology.CoreID, err error) {
+	pick := func(node int, avoid ...topology.CoreID) (topology.CoreID, error) {
 		for _, c := range env.M.Topo.CoresOfNode(topology.NodeID(node)) {
 			bad := c == 0 // core 0 measures
 			for _, a := range avoid {
 				bad = bad || c == a
 			}
 			if !bad {
-				return c
+				return c, nil
 			}
 		}
-		panic("experiments: node has no spare core for placement")
+		return 0, fmt.Errorf("experiments: node%d has no spare core for placement", node)
 	}
-	placer = pick(home)
-	reader = pick(fwd, placer)
-	return placer, reader
+	if placer, err = pick(home); err != nil {
+		return 0, 0, err
+	}
+	if reader, err = pick(fwd, placer); err != nil {
+		return 0, 0, err
+	}
+	return placer, reader, nil
 }
 
 // Table4 reproduces Table IV: the COD L3 latency matrix for shared lines.
 // The paper's values hold for data sets above 2.5 MiB, where directory
 // cache hits have become negligible; the equivalent precondition here is an
 // explicit directory-cache eviction after placement.
-func Table4() MatrixResult {
+func Table4() (MatrixResult, error) {
 	env := NewEnv(machine.COD)
 	res := MatrixResult{}
 	for fwd := 0; fwd < 4; fwd++ {
 		for home := 0; home < 4; home++ {
 			env.Fresh()
 			r := env.Alloc(home, SizeL3n)
-			placer, reader := sharerCores(env, fwd, home)
+			placer, reader, err := sharerCores(env, fwd, home)
+			if err != nil {
+				return MatrixResult{}, fmt.Errorf("Table IV cell fwd=node%d home=node%d: %w", fwd, home, err)
+			}
 			env.P.Shared(r, placer, reader)
 			env.E.EvictDirectoryCache(r)
 			stat := bench.Latency(env.E, 0, r)
@@ -78,7 +87,7 @@ func Table4() MatrixResult {
 	}
 	res.Table = matrixTable("Table IV: L3 latency (ns), core in node0 reads shared lines; rows=forward node, cols=home node", res.Values)
 	res.Comparisons = matrixComparisons("T4", res.Values, table4Paper)
-	return res
+	return res, nil
 }
 
 // Table5 reproduces Table V: the COD memory latency matrix for previously
@@ -87,14 +96,17 @@ func Table4() MatrixResult {
 // preconditions here are explicit capacity evictions with identical
 // semantics (silent clean L3 eviction leaves the in-memory directory in
 // snoop-all — the broadcasts of the off-diagonal cells).
-func Table5() MatrixResult {
+func Table5() (MatrixResult, error) {
 	env := NewEnv(machine.COD)
 	res := MatrixResult{}
 	for fwd := 0; fwd < 4; fwd++ {
 		for home := 0; home < 4; home++ {
 			env.Fresh()
 			r := env.Alloc(home, SizeMem)
-			placer, reader := sharerCores(env, fwd, home)
+			placer, reader, err := sharerCores(env, fwd, home)
+			if err != nil {
+				return MatrixResult{}, fmt.Errorf("Table V cell fwd=node%d home=node%d: %w", fwd, home, err)
+			}
 			env.P.Shared(r, placer, reader)
 			env.E.EvictCached(r)
 			env.E.EvictDirectoryCache(r)
@@ -104,7 +116,7 @@ func Table5() MatrixResult {
 	}
 	res.Table = matrixTable("Table V: memory latency (ns), core in node0 reads formerly shared data; rows=node that had forward copy, cols=home node", res.Values)
 	res.Comparisons = matrixComparisons("T5", res.Values, table5Paper)
-	return res
+	return res, nil
 }
 
 func matrixTable(title string, v [4][4]float64) *report.Table {

@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// Attach installs the machine-wide checker as the engine's AfterTransaction
+// debug hook: after every completed Read, Write, and Flush the full machine
+// is validated and any findings (violations and stale states alike) are
+// passed to report together with the transaction that exposed them. Filter
+// with Hard to act on genuine violations only.
+//
+// The full Check runs after every transaction, so attach only for debugging
+// and small verification workloads; detach by setting e.AfterTransaction
+// back to nil.
+func Attach(e *mesif.Engine, report func(op mesif.Op, core topology.CoreID, l addr.LineAddr, found []Violation)) {
+	e.AfterTransaction = func(op mesif.Op, core topology.CoreID, l addr.LineAddr) {
+		if found := Check(e.M); len(found) > 0 {
+			report(op, core, l, found)
+		}
+	}
+}

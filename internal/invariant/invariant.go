@@ -1,0 +1,543 @@
+// Package invariant is a machine-wide MESIF state validator: it inspects
+// every cache, directory and presence vector of a simulated machine and
+// reports states the Haswell-EP coherence protocol can never legally reach.
+//
+// The checked invariants, with the paper sections they encode:
+//
+//   - Single-writer/multiple-reader (Section IV-A): at most one core
+//     system-wide holds a line in a unique state (M or E), and while one
+//     does, no other core and no other node's L3 holds any copy.
+//   - Forwarder uniqueness (Section IV-B): at most one node's L3 holds a
+//     line in a forwardable state (M, E, or F), and a unique L3 state
+//     (M or E) is system-exclusive across nodes.
+//   - L3 inclusivity with core-valid bits (Section IV-A / VI-A): a private
+//     copy implies an entry in the node's inclusive L3 with the core's
+//     valid bit set, placed in the slice the address hash selects. A set
+//     bit without a private copy is NOT a violation — silent clean
+//     evictions leave stale bits behind (the paper's 44.4 ns case); it is
+//     reported as Stale.
+//   - Private-cache sanity: L1D and L2 agree on the state when both hold a
+//     line, and cores never hold F (the engine grants S/E/M only).
+//   - Dirty-line/DRAM consistency (Section IV-A): a shared-like L3 state
+//     (S or F) asserts the memory copy is valid, so no core of the node
+//     may hold the line dirty or exclusive underneath it.
+//   - In-memory directory (Section IV-C / Table V): the two-bit state must
+//     not under-approximate reality (remote unique copy => snoop-all,
+//     remote clean copy => at least shared). Over-approximation is the
+//     documented silent-eviction staleness and is reported as Stale —
+//     unless a valid HitME entry pins snoop-all by design (AllocateShared),
+//     which is not reported at all.
+//   - HitME directory cache (Section IV-D): entries only exist over
+//     snoop-all memory state, owned entries name exactly one remote node,
+//     and vectors never name nodes outside the topology. An owned entry
+//     whose named node no longer forwards, or a shared vector naming a
+//     departed sharer, is the documented staleness the engine repairs on
+//     the next touch — reported as Stale.
+//
+// Check validates the whole machine; CheckLines validates a known working
+// set cheaply (the exhaustive sweep test calls it after every transaction).
+// Attach (attach.go) wires Check into a mesif.Engine's AfterTransaction
+// debug hook.
+//
+// Caveat: under extreme capacity pressure the L1/L2 victim cascade can
+// transiently strand a private copy without its L3 entry or core-valid bit
+// (see handleL2Victim in package mesif); the checker reports that as a
+// violation, so it is meant for workloads comfortably inside the caches —
+// which is exactly the regime of the paper's latency experiments.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+)
+
+// Class grades a finding.
+type Class int
+
+// Finding classes.
+const (
+	// ClassViolation is a state the protocol can never legally produce:
+	// a real bug (or deliberate corruption) somewhere in the engine.
+	ClassViolation Class = iota
+	// ClassStale is a documented imprecision the protocol tolerates and
+	// repairs lazily: stale core-valid bits after silent evictions
+	// (Section VI-A), stale directory state after silent L3 evictions
+	// (Table V), and stale HitME entries dropped on the next touch.
+	ClassStale
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == ClassStale {
+		return "stale"
+	}
+	return "violation"
+}
+
+// Kind identifies which invariant a finding belongs to.
+type Kind int
+
+// Finding kinds.
+const (
+	// KindAddress: a cached line address outside every node's memory.
+	KindAddress Kind = iota
+	// KindSWMR: the single-writer/multiple-reader guarantee is broken.
+	KindSWMR
+	// KindForwarder: more than one forwardable L3 copy, or a unique L3
+	// state that is not system-exclusive.
+	KindForwarder
+	// KindInclusivity: a private copy without an inclusive L3 entry.
+	KindInclusivity
+	// KindCoreValid: core-valid bit problems (a copy without its bit, a
+	// bit naming an impossible core, or — as Stale — a bit without a copy).
+	KindCoreValid
+	// KindPrivateState: L1/L2 disagreement or a private Forward copy.
+	KindPrivateState
+	// KindL3State: a shared-like L3 state with a unique private copy
+	// underneath (the memory-validity claim would be false).
+	KindL3State
+	// KindPlacement: an L3 entry in a slice the address hash does not
+	// select.
+	KindPlacement
+	// KindDirectory: in-memory directory state inconsistent with the
+	// actual sharers (under-approximation is a violation; documented
+	// over-approximation is Stale).
+	KindDirectory
+	// KindHitME: directory cache entry inconsistent with the in-memory
+	// directory or the actual holders.
+	KindHitME
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAddress:
+		return "address"
+	case KindSWMR:
+		return "swmr"
+	case KindForwarder:
+		return "forwarder"
+	case KindInclusivity:
+		return "inclusivity"
+	case KindCoreValid:
+		return "core-valid"
+	case KindPrivateState:
+		return "private-state"
+	case KindL3State:
+		return "l3-state"
+	case KindPlacement:
+		return "placement"
+	case KindDirectory:
+		return "directory"
+	case KindHitME:
+		return "hitme"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one checker finding. Despite the type name a finding may be
+// graded ClassStale; Hard filters for the genuinely illegal ones.
+type Violation struct {
+	Kind   Kind
+	Class  Class
+	Line   addr.LineAddr
+	Detail string
+}
+
+// String formats the finding for logs and test output.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v[%v] line %#x: %s", v.Class, v.Kind, v.Line.Addr(), v.Detail)
+}
+
+// Hard returns only the ClassViolation findings.
+func Hard(vs []Violation) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if v.Class == ClassViolation {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Check validates the entire machine: every line found in any cache,
+// directory, or directory cache is checked, plus a cross-agent scan for
+// directory entries filed under the wrong home agent.
+func Check(m *machine.Machine) []Violation {
+	out := CheckLines(m, collectLines(m))
+	out = append(out, checkAgentFiling(m)...)
+	return out
+}
+
+// CheckLines validates the given lines only. It is the cheap form for
+// callers that know the working set (the exhaustive sweep runs it after
+// every transaction); it skips the cross-agent filing scan.
+func CheckLines(m *machine.Machine, lines []addr.LineAddr) []Violation {
+	c := &checker{m: m}
+	for _, l := range lines {
+		c.checkLine(l)
+	}
+	return c.out
+}
+
+// collectLines gathers every line address present anywhere in the machine.
+func collectLines(m *machine.Machine) []addr.LineAddr {
+	seen := make(map[addr.LineAddr]bool)
+	var lines []addr.LineAddr
+	add := func(l addr.LineAddr) {
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	for _, cc := range m.Cores {
+		cc.L1D.ForEach(func(ln cache.Line) { add(ln.Addr) })
+		cc.L2.ForEach(func(ln cache.Line) { add(ln.Addr) })
+	}
+	for _, sl := range m.L3 {
+		sl.ForEach(func(ln cache.Line) { add(ln.Addr) })
+	}
+	for _, ha := range m.HAs {
+		if ha.Dir != nil {
+			ha.Dir.ForEach(func(l addr.LineAddr, _ directory.MemState) { add(l) })
+		}
+		if ha.HitME != nil {
+			ha.HitME.ForEach(func(l addr.LineAddr, _ directory.PresenceVector, _ directory.EntryKind) { add(l) })
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// checkAgentFiling verifies every directory and HitME entry sits on the
+// home agent the address maps to (only reachable by corruption, since the
+// engine always routes through Machine.HA).
+func checkAgentFiling(m *machine.Machine) []Violation {
+	c := &checker{m: m}
+	for id, ha := range m.HAs {
+		agent := topology.AgentID(id)
+		misfiled := func(l addr.LineAddr) (topology.AgentID, bool) {
+			if _, ok := m.HomeNodeOf(l); !ok {
+				return 0, false // flagged as KindAddress by the line check
+			}
+			want := m.HomeAgentOf(l)
+			return want, want != agent
+		}
+		if ha.Dir != nil {
+			ha.Dir.ForEach(func(l addr.LineAddr, s directory.MemState) {
+				if want, bad := misfiled(l); bad {
+					c.add(ClassViolation, KindDirectory, l,
+						"directory entry (%v) filed on home agent %d, but the address maps to agent %d", s, agent, want)
+				}
+			})
+		}
+		if ha.HitME != nil {
+			ha.HitME.ForEach(func(l addr.LineAddr, _ directory.PresenceVector, _ directory.EntryKind) {
+				if want, bad := misfiled(l); bad {
+					c.add(ClassViolation, KindHitME, l,
+						"HitME entry filed on home agent %d, but the address maps to agent %d", agent, want)
+				}
+			})
+		}
+	}
+	return c.out
+}
+
+// checker accumulates findings.
+type checker struct {
+	m   *machine.Machine
+	out []Violation
+}
+
+func (c *checker) add(class Class, kind Kind, l addr.LineAddr, format string, args ...interface{}) {
+	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l, Detail: fmt.Sprintf(format, args...)})
+}
+
+// checkLine runs every per-line invariant.
+func (c *checker) checkLine(l addr.LineAddr) {
+	m := c.m
+	topo := m.Topo
+	nCores := topo.Cores()
+	nNodes := topo.Nodes()
+
+	// Gather the strongest private state per core; check L1/L2 agreement
+	// and that cores never hold Forward.
+	coreSt := make([]cache.State, nCores)
+	for i := 0; i < nCores; i++ {
+		cc := m.Cores[i]
+		s1, s2 := cc.L1D.StateOf(l), cc.L2.StateOf(l)
+		if s1.Valid() && s2.Valid() && s1 != s2 {
+			c.add(ClassViolation, KindPrivateState, l,
+				"core %d holds the line as %v in L1D but %v in L2", i, s1, s2)
+		}
+		_, st := cc.HighestLevelState(l)
+		if st == cache.Forward {
+			c.add(ClassViolation, KindPrivateState, l,
+				"core %d holds the line in state F; the engine grants only S/E/M to private caches", i)
+		}
+		coreSt[i] = st
+	}
+
+	// Gather per-node L3 entries; entries must sit in the responsible
+	// slice (the address-hash home of the line within the node).
+	l3 := make([]cache.Line, nNodes)
+	l3ok := make([]bool, nNodes)
+	for n := 0; n < nNodes; n++ {
+		node := topology.NodeID(n)
+		resp := m.CAForNode(node, l)
+		for _, sl := range topo.SlicesOfNode(node) {
+			ln, ok := m.L3[sl].Lookup(l)
+			if !ok {
+				continue
+			}
+			if sl != resp {
+				c.add(ClassViolation, KindPlacement, l,
+					"node %d caches the line in slice %d, but the address hash selects slice %d", n, sl, resp)
+				continue
+			}
+			l3[n], l3ok[n] = ln, true
+		}
+	}
+
+	// SWMR: at most one core in a unique state, and then no other copy
+	// anywhere in the system.
+	uniqueCore := -1
+	for i, st := range coreSt {
+		if st.Unique() {
+			if uniqueCore >= 0 {
+				c.add(ClassViolation, KindSWMR, l,
+					"cores %d (%v) and %d (%v) both hold the line in a unique state", uniqueCore, coreSt[uniqueCore], i, st)
+			} else {
+				uniqueCore = i
+			}
+		}
+	}
+	if uniqueCore >= 0 {
+		for i, st := range coreSt {
+			if i != uniqueCore && st.Valid() {
+				c.add(ClassViolation, KindSWMR, l,
+					"core %d holds the line (%v) while core %d holds it in a unique state (%v)", i, st, uniqueCore, coreSt[uniqueCore])
+			}
+		}
+		owner := topo.NodeOfCore(topology.CoreID(uniqueCore))
+		for n := 0; n < nNodes; n++ {
+			if l3ok[n] && topology.NodeID(n) != owner {
+				c.add(ClassViolation, KindSWMR, l,
+					"node %d's L3 caches the line (%v) while core %d of node %d holds it in a unique state (%v)",
+					n, l3[n].State, uniqueCore, owner, coreSt[uniqueCore])
+			}
+		}
+	}
+
+	// Forwarder uniqueness across L3s, and system-exclusivity of unique
+	// L3 states.
+	fwdNode, uniqNode := -1, -1
+	for n := 0; n < nNodes; n++ {
+		if !l3ok[n] {
+			continue
+		}
+		if l3[n].State.CanForward() {
+			if fwdNode >= 0 {
+				c.add(ClassViolation, KindForwarder, l,
+					"nodes %d (%v) and %d (%v) both hold a forwardable L3 copy", fwdNode, l3[fwdNode].State, n, l3[n].State)
+			} else {
+				fwdNode = n
+			}
+		}
+		if l3[n].State.Unique() {
+			uniqNode = n
+		}
+	}
+	if uniqNode >= 0 {
+		for n := 0; n < nNodes; n++ {
+			if l3ok[n] && n != uniqNode {
+				c.add(ClassViolation, KindForwarder, l,
+					"node %d's L3 caches the line (%v) while node %d holds it in a unique state (%v)", n, l3[n].State, uniqNode, l3[uniqNode].State)
+			}
+		}
+	}
+
+	// Inclusivity and core-valid bits, from the core side: a private copy
+	// needs an L3 entry with the core's bit set.
+	for i, st := range coreSt {
+		if !st.Valid() {
+			continue
+		}
+		n := topo.NodeOfCore(topology.CoreID(i))
+		if !l3ok[n] {
+			c.add(ClassViolation, KindInclusivity, l,
+				"core %d holds the line (%v) but node %d's inclusive L3 has no entry", i, st, n)
+			continue
+		}
+		if bit := topo.LocalCore(topology.CoreID(i)); l3[n].CoreValid&(1<<uint(bit)) == 0 {
+			c.add(ClassViolation, KindCoreValid, l,
+				"core %d holds the line (%v) but its core-valid bit in node %d's L3 is clear", i, st, n)
+		}
+	}
+
+	// Core-valid bits from the L3 side: bits must name cores of the
+	// entry's own node; a set bit without a private copy is the paper's
+	// documented silent-eviction staleness (Section VI-A).
+	perDie := topo.Die.Cores()
+	for n := 0; n < nNodes; n++ {
+		if !l3ok[n] {
+			continue
+		}
+		sock := topo.SocketOfNode(topology.NodeID(n))
+		bits := l3[n].CoreValid
+		for bit := 0; bits != 0; bit++ {
+			if bits&(1<<uint(bit)) == 0 {
+				continue
+			}
+			bits &^= 1 << uint(bit)
+			if bit >= perDie {
+				c.add(ClassViolation, KindCoreValid, l,
+					"node %d's L3 entry sets core-valid bit %d, beyond the %d-core die", n, bit, perDie)
+				continue
+			}
+			core := topology.CoreID(sock*perDie + bit)
+			if topo.NodeOfCore(core) != topology.NodeID(n) {
+				c.add(ClassViolation, KindCoreValid, l,
+					"node %d's L3 entry sets core-valid bit %d, but core %d belongs to node %d", n, bit, core, topo.NodeOfCore(core))
+				continue
+			}
+			if !coreSt[core].Valid() {
+				c.add(ClassStale, KindCoreValid, l,
+					"node %d's L3 sets core-valid bit %d but core %d holds no copy (silent eviction, Section VI-A)", n, bit, core)
+			}
+		}
+	}
+
+	// Dirty-line/DRAM consistency residue: a shared-like L3 state claims
+	// the memory copy is valid, which a unique private copy would falsify.
+	for n := 0; n < nNodes; n++ {
+		if !l3ok[n] || !l3[n].State.SharedLike() {
+			continue
+		}
+		for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
+			if coreSt[core].Unique() {
+				c.add(ClassViolation, KindL3State, l,
+					"node %d's L3 holds the line %v (memory-valid) while its core %d holds it %v", n, l3[n].State, core, coreSt[core])
+			}
+		}
+	}
+
+	// Directory invariants need a valid home.
+	home, ok := m.HomeNodeOf(l)
+	if !ok {
+		c.add(ClassViolation, KindAddress, l, "cached line lies outside every node's memory")
+		return
+	}
+	ha := m.HA(l)
+	if ha.Dir == nil {
+		return
+	}
+
+	// What the directory must cover: any copy outside the home node.
+	remoteClean, remoteUnique := false, false
+	remoteDetail := ""
+	for n := 0; n < nNodes; n++ {
+		if topology.NodeID(n) == home || !l3ok[n] {
+			continue
+		}
+		if l3[n].State.Unique() {
+			remoteUnique = true
+		} else {
+			remoteClean = true
+		}
+		if remoteDetail == "" {
+			remoteDetail = fmt.Sprintf("node %d holds it %v", n, l3[n].State)
+		}
+	}
+	for i, st := range coreSt {
+		if !st.Valid() || topo.NodeOfCore(topology.CoreID(i)) == home {
+			continue
+		}
+		if st.Unique() {
+			remoteUnique = true
+			remoteDetail = fmt.Sprintf("core %d holds it %v", i, st)
+		}
+	}
+	required := directory.RemoteInvalid
+	switch {
+	case remoteUnique:
+		required = directory.SnoopAll
+	case remoteClean:
+		required = directory.SharedRemote
+	}
+	got := ha.Dir.State(l)
+	_, _, hitmeValid := peekHitME(ha, l)
+	switch {
+	case got < required:
+		c.add(ClassViolation, KindDirectory, l,
+			"in-memory directory reads %v but %s (requires at least %v)", got, remoteDetail, required)
+	case got > required && !hitmeValid:
+		// Documented staleness: silent L3 evictions never write the
+		// directory back (Table V). With a valid HitME entry the
+		// snoop-all state is pinned by AllocateShared and not reported.
+		c.add(ClassStale, KindDirectory, l,
+			"in-memory directory reads %v though only %v coverage is needed (silent-eviction staleness, Table V)", got, required)
+	}
+
+	// HitME directory cache invariants.
+	if ha.HitME == nil {
+		return
+	}
+	v, kind, okEntry := ha.HitME.Peek(l)
+	if !okEntry {
+		return
+	}
+	if got != directory.SnoopAll {
+		c.add(ClassViolation, KindHitME, l,
+			"HitME entry present while the in-memory directory reads %v; AllocateShared pins snoop-all", got)
+	}
+	if v == 0 {
+		c.add(ClassViolation, KindHitME, l, "HitME entry has an empty presence vector")
+		return
+	}
+	for _, n := range v.Nodes() {
+		if n >= nNodes {
+			c.add(ClassViolation, KindHitME, l,
+				"HitME presence vector names node %d, beyond the %d-node topology", n, nNodes)
+		}
+	}
+	if kind == directory.EntryOwned {
+		owners := v.Nodes()
+		if len(owners) != 1 {
+			c.add(ClassViolation, KindHitME, l,
+				"owned HitME entry names %d nodes; directed snoops need exactly one owner", len(owners))
+			return
+		}
+		owner := owners[0]
+		if topology.NodeID(owner) == home {
+			c.add(ClassViolation, KindHitME, l,
+				"owned HitME entry names the home node %d; only remote owners are tracked", owner)
+		} else if owner < nNodes && !(l3ok[owner] && l3[owner].State.CanForward()) {
+			c.add(ClassStale, KindHitME, l,
+				"owned HitME entry names node %d, which no longer holds a forwardable copy (dropped on next touch)", owner)
+		}
+		return
+	}
+	for _, n := range v.Nodes() {
+		if n < nNodes && !l3ok[n] {
+			c.add(ClassStale, KindHitME, l,
+				"shared HitME vector names node %d, which no longer caches the line", n)
+		}
+	}
+}
+
+// peekHitME reports whether the home agent's directory cache holds a valid
+// entry for the line, without touching LRU order or counters.
+func peekHitME(ha *machine.HomeAgent, l addr.LineAddr) (directory.PresenceVector, directory.EntryKind, bool) {
+	if ha.HitME == nil {
+		return 0, directory.EntryShared, false
+	}
+	return ha.HitME.Peek(l)
+}

@@ -1,0 +1,238 @@
+package invariant
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// build assembles the paper's test system in the given mode plus an engine.
+func build(t *testing.T, mode machine.SnoopMode) (*machine.Machine, *mesif.Engine) {
+	t.Helper()
+	m := machine.MustNew(machine.TestSystem(mode))
+	return m, mesif.New(m)
+}
+
+// hardOfKind filters ClassViolation findings of one kind.
+func hardOfKind(vs []Violation, k Kind) []Violation {
+	var out []Violation
+	for _, v := range Hard(vs) {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func staleOfKind(vs []Violation, k Kind) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if v.Class == ClassStale && v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// remoteCore returns a core of node 1 (remote to node-0-homed lines).
+func remoteCore(m *machine.Machine) topology.CoreID {
+	return m.Topo.CoresOfNode(1)[0]
+}
+
+func TestCleanMachineIsViolationFree(t *testing.T) {
+	for _, mode := range []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, e := build(t, mode)
+			l0 := m.MustAlloc(0, 64).Lines()[0]
+			l1 := m.MustAlloc(1, 64).Lines()[0]
+			c0, c1, cr := topology.CoreID(0), topology.CoreID(1), remoteCore(m)
+
+			e.Read(c0, l0)
+			e.Read(c1, l0)
+			e.Write(c1, l0)
+			e.Read(cr, l0)
+			e.Write(c0, l1)
+			e.Read(cr, l1)
+			e.Write(cr, l1)
+			e.Flush(c0, l0)
+			e.Read(c0, l1)
+
+			if hard := Hard(Check(m)); len(hard) != 0 {
+				for _, v := range hard {
+					t.Errorf("unexpected violation: %v", v)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectsDoubleModified is the first injected-corruption acceptance
+// check: two cores in different nodes holding the same line Modified must
+// surface as an SWMR violation.
+func TestDetectsDoubleModified(t *testing.T) {
+	m, _ := build(t, machine.SourceSnoop)
+	l := m.MustAlloc(0, 64).Lines()[0]
+
+	for _, c := range []topology.CoreID{0, remoteCore(m)} {
+		node := m.Topo.NodeOfCore(c)
+		bit := m.Topo.LocalCore(c)
+		m.Core(c).L1D.Insert(cache.Line{Addr: l, State: cache.Modified})
+		m.Core(c).L2.Insert(cache.Line{Addr: l, State: cache.Modified})
+		m.Slice(m.CAForNode(node, l)).Insert(cache.Line{Addr: l, State: cache.Modified, CoreValid: 1 << uint(bit)})
+	}
+
+	found := Check(m)
+	if len(hardOfKind(found, KindSWMR)) == 0 {
+		t.Fatalf("double-Modified line not reported as an SWMR violation; findings: %v", found)
+	}
+	if len(hardOfKind(found, KindForwarder)) == 0 {
+		t.Errorf("two Modified L3 entries not reported as a forwarder violation; findings: %v", found)
+	}
+}
+
+// TestDetectsFalseDirectoryState is the second injected-corruption
+// acceptance check: a directory claiming remote-invalid while a remote node
+// holds the line exclusively must surface as a directory violation.
+func TestDetectsFalseDirectoryState(t *testing.T) {
+	m, e := build(t, machine.COD)
+	l := m.MustAlloc(0, 64).Lines()[0]
+
+	e.Read(remoteCore(m), l) // remote E grant; directory goes snoop-all
+	ha := m.HA(l)
+	if got := ha.Dir.State(l); got != directory.SnoopAll {
+		t.Fatalf("setup: directory state = %v, want snoop-all", got)
+	}
+	if hard := Hard(Check(m)); len(hard) != 0 {
+		t.Fatalf("setup state flagged before corruption: %v", hard)
+	}
+
+	ha.Dir.SetState(l, directory.RemoteInvalid)
+
+	found := Check(m)
+	if len(hardOfKind(found, KindDirectory)) == 0 {
+		t.Fatalf("under-approximating directory not reported; findings: %v", found)
+	}
+}
+
+// TestDetectsFalseHitMEVector injects a directory-cache entry whose
+// presence vector names the home node as owner over a non-snoop-all line.
+func TestDetectsFalseHitMEVector(t *testing.T) {
+	m, _ := build(t, machine.COD)
+	l := m.MustAlloc(0, 64).Lines()[0]
+
+	var v directory.PresenceVector
+	ha := m.HA(l)
+	ha.HitME.Allocate(l, v.With(0), directory.EntryOwned) // owner = home node 0
+
+	found := Check(m)
+	if len(hardOfKind(found, KindHitME)) == 0 {
+		t.Fatalf("bogus HitME entry not reported; findings: %v", found)
+	}
+}
+
+// TestSilentEvictionDirectoryIsStaleNotViolation: clean L3 evictions leave
+// the in-memory directory over-approximating (Table V); the checker must
+// grade that ClassStale, never ClassViolation.
+func TestSilentEvictionDirectoryIsStaleNotViolation(t *testing.T) {
+	m, e := build(t, machine.COD)
+	r := m.MustAlloc(0, 64)
+	l := r.Lines()[0]
+
+	e.Read(remoteCore(m), l) // remote E grant; directory pinned snoop-all
+	e.EvictCached(r)         // clean copies leave silently; directory untouched
+
+	found := Check(m)
+	if hard := Hard(found); len(hard) != 0 {
+		t.Fatalf("silent-eviction staleness misgraded as violation: %v", hard)
+	}
+	if len(staleOfKind(found, KindDirectory)) == 0 {
+		t.Fatalf("stale snoop-all not reported at all; findings: %v", found)
+	}
+}
+
+// TestStaleCoreValidBitIsStaleNotViolation: a core-valid bit left behind by
+// a silent private eviction (the paper's 44.4 ns case) is stale, not a
+// violation.
+func TestStaleCoreValidBitIsStaleNotViolation(t *testing.T) {
+	m, e := build(t, machine.SourceSnoop)
+	l := m.MustAlloc(0, 64).Lines()[0]
+
+	e.Read(0, l)
+	m.Core(0).InvalidateBoth(l) // silent clean eviction from L1+L2
+
+	found := Check(m)
+	if hard := Hard(found); len(hard) != 0 {
+		t.Fatalf("stale core-valid bit misgraded as violation: %v", hard)
+	}
+	if len(staleOfKind(found, KindCoreValid)) == 0 {
+		t.Fatalf("stale core-valid bit not reported; findings: %v", found)
+	}
+}
+
+// TestDetectsMisplacedSliceEntry: an L3 entry outside the slice the address
+// hash selects is a placement violation.
+func TestDetectsMisplacedSliceEntry(t *testing.T) {
+	m, _ := build(t, machine.SourceSnoop)
+	l := m.MustAlloc(0, 64).Lines()[0]
+
+	resp := m.CAForNode(0, l)
+	var wrong topology.SliceID = -1
+	for _, sl := range m.Topo.SlicesOfNode(0) {
+		if sl != resp {
+			wrong = sl
+			break
+		}
+	}
+	m.Slice(wrong).Insert(cache.Line{Addr: l, State: cache.Exclusive})
+
+	if len(hardOfKind(Check(m), KindPlacement)) == 0 {
+		t.Fatalf("misplaced L3 entry not reported")
+	}
+}
+
+// TestDetectsRogueAddress: a cached line outside every node's memory.
+func TestDetectsRogueAddress(t *testing.T) {
+	m, _ := build(t, machine.SourceSnoop)
+	rogue := addr.PAddr(4096).Line() // below node 0's base
+	m.Slice(m.Topo.SlicesOfNode(0)[0]).Insert(cache.Line{Addr: rogue, State: cache.Exclusive})
+
+	if len(hardOfKind(Check(m), KindAddress)) == 0 {
+		t.Fatalf("rogue line address not reported")
+	}
+}
+
+// TestAttachReportsThroughHook verifies the AfterTransaction wiring: a
+// corruption introduced between transactions is reported by the very next
+// one.
+func TestAttachReportsThroughHook(t *testing.T) {
+	m, e := build(t, machine.SourceSnoop)
+	l0 := m.MustAlloc(0, 64).Lines()[0]
+	l1 := m.MustAlloc(0, 64).Lines()[0]
+
+	var reports [][]Violation
+	Attach(e, func(op mesif.Op, core topology.CoreID, l addr.LineAddr, found []Violation) {
+		reports = append(reports, found)
+	})
+
+	e.Read(0, l0)
+	if len(reports) != 0 {
+		t.Fatalf("clean transaction reported findings: %v", reports)
+	}
+
+	// Corrupt l1, then run an unrelated transaction; the machine-wide
+	// check must still catch it.
+	m.Core(1).L1D.Insert(cache.Line{Addr: l1, State: cache.Modified})
+	e.Read(0, l0)
+	if len(reports) == 0 {
+		t.Fatalf("corruption not reported through the AfterTransaction hook")
+	}
+	if len(hardOfKind(reports[len(reports)-1], KindInclusivity)) == 0 &&
+		len(hardOfKind(reports[len(reports)-1], KindSWMR)) == 0 {
+		t.Fatalf("hook report misses the injected corruption: %v", reports)
+	}
+}

@@ -2,6 +2,11 @@
 // topology, private caches, L3 slices, home agents (DRAM + directory), the
 // NUMA memory map, and the calibrated latency model the MESIF engine uses
 // to cost protocol transactions.
+//
+// A Machine is one shared simulated state with single-threaded mutation and
+// is NOT safe for concurrent use; multi-core workloads are interleaved
+// access sequences, never goroutines (the nogoroutine analyzer in
+// tools/analyzers enforces this contract).
 package machine
 
 import (

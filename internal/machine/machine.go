@@ -142,11 +142,22 @@ func (m *Machine) MustAlloc(node topology.NodeID, size int64) addr.Region {
 
 // HomeNode returns the NUMA node whose memory holds the line.
 func (m *Machine) HomeNode(l addr.LineAddr) topology.NodeID {
-	n := topology.NodeID(l.Addr()/nodeStride) - 1
-	if int(n) < 0 || int(n) >= m.Topo.Nodes() {
+	n, ok := m.HomeNodeOf(l)
+	if !ok {
 		panic(fmt.Sprintf("machine: line %#x outside any node's memory", l))
 	}
 	return n
+}
+
+// HomeNodeOf is HomeNode without the panic: it reports ok=false for
+// addresses outside every node's simulated memory (package invariant uses
+// this to flag rogue line addresses found in corrupted cache state).
+func (m *Machine) HomeNodeOf(l addr.LineAddr) (topology.NodeID, bool) {
+	n := topology.NodeID(l.Addr()/nodeStride) - 1
+	if int(n) < 0 || int(n) >= m.Topo.Nodes() {
+		return 0, false
+	}
+	return n, true
 }
 
 // HomeAgentOf returns the home agent responsible for the line. In COD mode

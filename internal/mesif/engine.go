@@ -115,6 +115,33 @@ type Access struct {
 	FwdLevel int
 }
 
+// Op classifies the three transaction kinds the engine executes.
+type Op int
+
+// Transaction kinds.
+const (
+	// OpRead is a demand load (Engine.Read).
+	OpRead Op = iota
+	// OpWrite is a store / read-for-ownership (Engine.Write).
+	OpWrite
+	// OpFlush is a coherent clflush (Engine.Flush).
+	OpFlush
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
 // Stats aggregates per-source access counts.
 type Stats struct {
 	BySource   map[Source]uint64
@@ -137,6 +164,14 @@ type Engine struct {
 	// currently being issued; it feeds the DRAM open-page model. Zero
 	// means "large / no locality".
 	WorkingSet int64
+
+	// AfterTransaction, when non-nil, is invoked after every completed
+	// Read, Write, and Flush with the operation kind, the issuing core,
+	// and the line touched — after all cache, directory, and DRAM state
+	// mutations of the transaction have been applied. It is the debug
+	// hook package invariant attaches its machine-wide MESIF checker to;
+	// nil (the default) costs nothing on the transaction path.
+	AfterTransaction func(op Op, core topology.CoreID, l addr.LineAddr)
 
 	stats Stats
 }
@@ -167,14 +202,36 @@ func (e *Engine) lat() machine.LatencyModel { return e.M.Cfg.Lat }
 // nsT converts nanoseconds to simulated time.
 func nsT(v float64) units.Time { return units.FromNanoseconds(v) }
 
-// record books an access into the statistics.
-func (e *Engine) record(a Access) Access {
+// record books a completed transaction into the statistics. Together with
+// countSnoop it is the only place Engine statistics are mutated (enforced
+// by the statsguard analyzer in tools/analyzers); the transaction logic in
+// read.go and write.go returns plain Access values and the public wrappers
+// record them exactly once.
+func (e *Engine) record(op Op, a Access) Access {
+	switch op {
+	case OpRead:
+		e.stats.Reads++
+	case OpWrite:
+		e.stats.Writes++
+	case OpFlush:
+		e.stats.Flushes++
+	}
 	e.stats.BySource[a.Source]++
 	if a.Broadcast {
 		e.stats.Broadcasts++
 	}
 	if a.DirCacheHit {
 		e.stats.DirHits++
+	}
+	return a
+}
+
+// finish records the transaction and fires the AfterTransaction hook; it is
+// the single exit path of Read, Write, and Flush.
+func (e *Engine) finish(op Op, core topology.CoreID, l addr.LineAddr, a Access) Access {
+	a = e.record(op, a)
+	if e.AfterTransaction != nil {
+		e.AfterTransaction(op, core, l)
 	}
 	return a
 }

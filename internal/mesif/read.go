@@ -15,7 +15,12 @@ import (
 // the state changes earlier reads caused (a modified line is only forwarded
 // from the owning core once, etc.).
 func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
-	e.stats.Reads++
+	return e.finish(OpRead, core, l, e.readLine(core, l))
+}
+
+// readLine executes the read transaction; the Read wrapper records the
+// result and fires the debug hook.
+func (e *Engine) readLine(core topology.CoreID, l addr.LineAddr) Access {
 	lat := e.lat()
 	cc := e.M.Core(core)
 	rn := e.M.Topo.NodeOfCore(core)
@@ -24,24 +29,24 @@ func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
 	if st := cc.L1D.StateOf(l); st.Valid() {
 		if st == cache.Shared {
 			if acc, ok := e.sharedReclaim(core, rn, l); ok {
-				return e.record(acc)
+				return acc
 			}
 		}
 		cc.L1D.Touch(l)
-		return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+		return Access{Latency: nsT(lat.L1Hit), Source: SrcL1}
 	}
 	// L2 hit; refill the L1.
 	if st := cc.L2.StateOf(l); st.Valid() {
 		if st == cache.Shared {
 			if acc, ok := e.sharedReclaim(core, rn, l); ok {
-				return e.record(acc)
+				return acc
 			}
 		}
 		cc.L2.Touch(l)
 		if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: st}); ev {
 			e.handleL1Victim(core, v)
 		}
-		return e.record(Access{Latency: nsT(lat.L2Hit), Source: SrcL2})
+		return Access{Latency: nsT(lat.L2Hit), Source: SrcL2}
 	}
 
 	// Private miss: the request travels to the node's responsible CA.
@@ -49,19 +54,19 @@ func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
 	tReq := nsT(lat.RequestLaunch) + e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca))
 
 	if ent := e.l3EntryOf(rn, l); ent.ok {
-		return e.record(e.l3Hit(core, rn, l, ent, tReq))
+		return e.l3Hit(core, rn, l, ent, tReq)
 	}
 
 	tMiss := tReq + nsT(lat.TagPipe)
 	switch {
 	case e.M.Cfg.Mode == machine.SourceSnoop:
-		return e.record(e.sourceSnoopMiss(core, rn, l, tMiss))
+		return e.sourceSnoopMiss(core, rn, l, tMiss)
 	case e.M.HA(l).Dir != nil:
 		// Home snooping with DAS directory support: COD mode, or any
 		// home-snooped configuration with ForceDirectory set.
-		return e.record(e.codMiss(core, rn, l, tMiss))
+		return e.codMiss(core, rn, l, tMiss)
 	default:
-		return e.record(e.homeSnoopMiss(core, rn, l, tMiss))
+		return e.homeSnoopMiss(core, rn, l, tMiss)
 	}
 }
 

@@ -15,7 +15,12 @@ import (
 // snoops Section VI-A analyzes), and anything else issues a read-for-
 // ownership that invalidates every other copy in the system.
 func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
-	e.stats.Writes++
+	return e.finish(OpWrite, core, l, e.writeLine(core, l))
+}
+
+// writeLine executes the store transaction; the Write wrapper records the
+// result and fires the debug hook.
+func (e *Engine) writeLine(core topology.CoreID, l addr.LineAddr) Access {
 	lat := e.lat()
 	cc := e.M.Core(core)
 	rn := e.M.Topo.NodeOfCore(core)
@@ -24,15 +29,15 @@ func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
 		switch st {
 		case cache.Modified:
 			cc.L1D.Touch(l)
-			return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+			return Access{Latency: nsT(lat.L1Hit), Source: SrcL1}
 		case cache.Exclusive:
 			// Silent E->M upgrade; the L3 is not informed.
 			cc.L1D.Touch(l)
 			cc.L1D.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
 			cc.L2.Update(l, func(ln *cache.Line) { ln.State = cache.Modified })
-			return e.record(Access{Latency: nsT(lat.L1Hit), Source: SrcL1})
+			return Access{Latency: nsT(lat.L1Hit), Source: SrcL1}
 		default:
-			return e.record(e.upgradeShared(core, rn, l, nsT(lat.L1Hit)))
+			return e.upgradeShared(core, rn, l, nsT(lat.L1Hit))
 		}
 	}
 	if st := cc.L2.StateOf(l); st.Valid() {
@@ -43,12 +48,12 @@ func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
 			if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: cache.Modified}); ev {
 				e.handleL1Victim(core, v)
 			}
-			return e.record(Access{Latency: nsT(lat.L2Hit), Source: SrcL2})
+			return Access{Latency: nsT(lat.L2Hit), Source: SrcL2}
 		default:
-			return e.record(e.upgradeShared(core, rn, l, nsT(lat.L2Hit)))
+			return e.upgradeShared(core, rn, l, nsT(lat.L2Hit))
 		}
 	}
-	return e.record(e.rfoMiss(core, rn, l))
+	return e.rfoMiss(core, rn, l)
 }
 
 // upgradeShared turns a Shared copy into an exclusive Modified one: the CA
@@ -325,7 +330,6 @@ func (e *Engine) takeOwnership(core topology.CoreID, rn topology.NodeID, l addr.
 // every cached copy in the system is invalidated, dirty data is written
 // back to the home memory, and the directory returns to remote-invalid.
 func (e *Engine) Flush(core topology.CoreID, l addr.LineAddr) Access {
-	e.stats.Flushes++
 	lat := e.lat()
 	ca := e.M.ResponsibleCA(core, l)
 	agent := e.M.HomeAgentOf(l)
@@ -335,5 +339,5 @@ func (e *Engine) Flush(core topology.CoreID, l addr.LineAddr) Access {
 		e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) +
 		nsT(lat.HAPipe)
 	e.invalidateEverywhere(l)
-	return e.record(Access{Latency: t, Source: SrcMemory})
+	return e.finish(OpFlush, core, l, Access{Latency: t, Source: SrcMemory})
 }

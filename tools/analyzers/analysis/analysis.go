@@ -1,0 +1,102 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// go/analysis vocabulary (golang.org/x/tools is deliberately not vendored:
+// the repository builds with the standard library alone). An Analyzer
+// inspects one type-checked package through a Pass and reports Diagnostics;
+// the drivers in tools/analyzers/vettool (go vet -vettool protocol) and
+// tools/analyzers/cmd/hswlint (standalone, source-mode loading) supply the
+// passes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run inspects one package via the pass and reports findings through
+	// pass.Report. The error return is for operational failures, not
+	// findings.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports one diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// Run executes every analyzer over one package, collecting diagnostics in
+// file/line order of discovery.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a, Diagnostic: d, Position: fset.Position(d.Pos)})
+		}
+		if err := a.Run(pass); err != nil {
+			return findings, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+// Finding pairs a diagnostic with its analyzer and resolved position.
+type Finding struct {
+	Analyzer   *Analyzer
+	Diagnostic Diagnostic
+	Position   token.Position
+}
+
+// String renders the finding in the canonical file:line:col form used by
+// go vet.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer.Name)
+}
+
+// NewInfo returns a types.Info with every map allocated, ready for
+// types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/load"
+)
+
+// newLoader builds a loader rooted at the repository module (two levels up
+// from tools/analyzers).
+func newLoader(t *testing.T) *load.Loader {
+	t.Helper()
+	ld, err := load.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return ld
+}
+
+// lintFixture runs the full suite over one negative fixture under
+// testdata/src and returns the findings.
+func lintFixture(t *testing.T, name string) []analysis.Finding {
+	t.Helper()
+	ld := newLoader(t)
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := ld.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	findings, err := analysis.Run(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return findings
+}
+
+// byAnalyzer splits findings by analyzer name.
+func byAnalyzer(findings []analysis.Finding) map[string][]analysis.Finding {
+	out := make(map[string][]analysis.Finding)
+	for _, f := range findings {
+		out[f.Analyzer.Name] = append(out[f.Analyzer.Name], f)
+	}
+	return out
+}
+
+func TestUnitcheckCatchesFixture(t *testing.T) {
+	got := byAnalyzer(lintFixture(t, "unitbad"))
+	uc := got["unitcheck"]
+	if len(uc) != 2 {
+		t.Fatalf("unitcheck findings = %d, want 2:\n%v", len(uc), uc)
+	}
+	if !strings.Contains(uc[0].Diagnostic.Message, "FromNanoseconds") {
+		t.Errorf("first finding should flag the float->Time direction, got %q", uc[0].Diagnostic.Message)
+	}
+	if !strings.Contains(uc[1].Diagnostic.Message, "Nanoseconds") {
+		t.Errorf("second finding should flag the Time->float direction, got %q", uc[1].Diagnostic.Message)
+	}
+	for name, fs := range got {
+		if name != "unitcheck" && len(fs) > 0 {
+			t.Errorf("unexpected %s findings on unitbad: %v", name, fs)
+		}
+	}
+}
+
+func TestNogoroutineCatchesFixture(t *testing.T) {
+	got := byAnalyzer(lintFixture(t, "gobad"))
+	ng := got["nogoroutine"]
+	// go statement, sync import, channel send, channel receive, select.
+	if len(ng) != 5 {
+		t.Fatalf("nogoroutine findings = %d, want 5:\n%v", len(ng), ng)
+	}
+	want := []string{"go statement", "import of sync", "channel send", "channel receive", "select statement"}
+	for _, phrase := range want {
+		found := false
+		for _, f := range ng {
+			if strings.Contains(f.Diagnostic.Message, phrase) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q:\n%v", phrase, ng)
+		}
+	}
+}
+
+func TestStatsguardCatchesFixture(t *testing.T) {
+	got := byAnalyzer(lintFixture(t, "statsbad"))
+	sg := got["statsguard"]
+	// sneakyIncrement, sneakyMapWrite, sneakyAlias — and nothing from the
+	// allowlisted record/countSnoop/ResetStats or the read-only accessor.
+	if len(sg) != 3 {
+		t.Fatalf("statsguard findings = %d, want 3:\n%v", len(sg), sg)
+	}
+	for _, f := range sg {
+		if strings.Contains(f.Diagnostic.Message, "record ") ||
+			strings.Contains(f.Diagnostic.Message, "countSnoop ") ||
+			strings.Contains(f.Diagnostic.Message, "ResetStats ") {
+			t.Errorf("allowlisted method reported: %v", f)
+		}
+		if !strings.HasPrefix(f.Diagnostic.Message, "sneaky") {
+			t.Errorf("finding not attributed to a sneaky method: %v", f)
+		}
+	}
+}
+
+// TestRepoIsClean is the suite's positive half of the acceptance criterion:
+// every package of the module lints clean, so any finding in CI is a real
+// regression, not baseline noise.
+func TestRepoIsClean(t *testing.T) {
+	ld := newLoader(t)
+	paths, err := ld.ModulePackages()
+	if err != nil {
+		t.Fatalf("ModulePackages: %v", err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", paths)
+	}
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		findings, err := analysis.Run(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %v", path, f)
+		}
+	}
+}

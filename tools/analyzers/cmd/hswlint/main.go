@@ -1,0 +1,78 @@
+// Command hswlint runs the repository's custom lint suite (unitcheck,
+// nogoroutine, statsguard) over the module.
+//
+// Two modes:
+//
+//	hswlint [-C dir] [import-path ...]
+//	    Standalone: parse and type-check the module from source (no build
+//	    cache needed) and lint every package, or just the listed import
+//	    paths. Exits 1 when findings are reported.
+//
+//	go vet -vettool=$(which hswlint) ./...
+//	    Vet-tool protocol: cmd/go drives the tool once per package with
+//	    compiler export data; findings surface exactly like vet's own.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	analyzers "haswellep/tools/analyzers"
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/load"
+	"haswellep/tools/analyzers/vettool"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	suite := analyzers.All()
+	if vettool.IsProtocolInvocation(args) {
+		return vettool.Main("hswlint", suite, args)
+	}
+
+	fs := flag.NewFlagSet("hswlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	moduleRoot := fs.String("C", ".", "module root directory (holds go.mod)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	ld, err := load.NewLoader(*moduleRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths, err = ld.ModulePackages()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 1
+			continue
+		}
+		findings, err := analysis.Run(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 1
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s\n", f)
+			exit = 1
+		}
+	}
+	return exit
+}

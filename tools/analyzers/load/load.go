@@ -1,0 +1,240 @@
+// Package load is a small source-mode package loader for the standalone
+// lint driver: it parses and type-checks packages of this module directly
+// from source, resolving module-internal imports recursively and standard
+// library imports through the compiler-independent source importer. No
+// export data, build cache, or network access is required — which is the
+// point: the linter must run in the same hermetic environment as the build.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory the sources came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages of one module from source.
+type Loader struct {
+	// ModuleRoot is the directory holding go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path (from go.mod).
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*entry
+}
+
+// entry tracks one load in progress or completed (for cycle detection and
+// memoization).
+type entry struct {
+	pkg     *Package
+	loading bool
+	err     error
+}
+
+// NewLoader builds a loader for the module rooted at dir.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	modulePath, err := modulePathOf(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("load: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        std,
+		pkgs:       make(map[string]*entry),
+	}, nil
+}
+
+// modulePathOf extracts the module path from a go.mod file.
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("load: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module line in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// Load loads the module package with the given import path.
+func (ld *Loader) Load(path string) (*Package, error) {
+	dir, ok := ld.dirOf(path)
+	if !ok {
+		return nil, fmt.Errorf("load: %s is not inside module %s", path, ld.ModulePath)
+	}
+	return ld.LoadDir(dir, path)
+}
+
+// LoadDir loads the sources of one directory under the given import path.
+// Test files (_test.go) are skipped. Results are memoized per path.
+func (ld *Loader) LoadDir(dir, path string) (*Package, error) {
+	if e, ok := ld.pkgs[path]; ok {
+		if e.loading {
+			return nil, fmt.Errorf("load: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &entry{loading: true}
+	ld.pkgs[path] = e
+	pkg, err := ld.loadDir(dir, path)
+	e.pkg, e.err, e.loading = pkg, err, false
+	return pkg, err
+}
+
+func (ld *Loader) loadDir(dir, path string) (*Package, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go sources in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// goSources lists the non-test Go files of a directory, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// dirOf maps a module-internal import path to its directory.
+func (ld *Loader) dirOf(path string) (string, bool) {
+	if path == ld.ModulePath {
+		return ld.ModuleRoot, true
+	}
+	rel, ok := strings.CutPrefix(path, ld.ModulePath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(ld.ModuleRoot, filepath.FromSlash(rel)), true
+}
+
+// Import implements types.Importer.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load from
+// source within the module; everything else goes to the standard library's
+// source importer.
+func (ld *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := ld.dirOf(path); ok {
+		pkg, err := ld.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, srcDir, mode)
+}
+
+// ModulePackages lists the import paths of every package in the module, in
+// lexical order, skipping testdata, hidden directories, and the lint
+// fixtures.
+func (ld *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(ld.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != ld.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(ld.ModuleRoot, dir)
+		if err != nil {
+			return err
+		}
+		path := ld.ModulePath
+		if rel != "." {
+			path = ld.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != path {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// WalkDir visits files of one directory consecutively, but dedupe
+	// defensively in case of interleaving.
+	out := paths[:0]
+	for _, p := range paths {
+		if len(out) == 0 || out[len(out)-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+// Package nogoroutine enforces the single-threaded-mutation contract some
+// packages advertise in their package documentation: the MESIF engine and
+// the machine model are one shared simulated state, and "multi-core"
+// workloads are interleaved access sequences — never goroutines. Any
+// package whose package comment promises this (the phrases "NOT safe for
+// concurrent use" or "single-threaded" act as the marker) must not contain
+// go statements, imports of sync or sync/atomic, channel operations, or
+// select statements. Packages without the marker are left alone.
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Analyzer is the nogoroutine instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "reports goroutines, sync primitives, and channel operations in " +
+		"packages whose doc comment promises single-threaded mutation",
+	Run: run,
+}
+
+// markers are the doc-comment phrases that opt a package into enforcement.
+var markers = []string{
+	"NOT safe for concurrent use",
+	"single-threaded",
+}
+
+func run(pass *analysis.Pass) error {
+	if !promisesSingleThreaded(pass.Files) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement in a package documented as single-threaded; express concurrency as interleaved access sequences")
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil &&
+					(path == "sync" || path == "sync/atomic") {
+					pass.Reportf(n.Pos(),
+						"import of %s in a package documented as single-threaded; no synchronization is needed or wanted", path)
+				}
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send in a package documented as single-threaded")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(),
+						"channel receive in a package documented as single-threaded")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select statement in a package documented as single-threaded")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// promisesSingleThreaded reports whether any file's package comment carries
+// one of the marker phrases.
+func promisesSingleThreaded(files []*ast.File) bool {
+	for _, file := range files {
+		if file.Doc == nil {
+			continue
+		}
+		text := file.Doc.Text()
+		for _, m := range markers {
+			if strings.Contains(text, m) {
+				return true
+			}
+		}
+	}
+	return false
+}

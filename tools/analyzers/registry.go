@@ -1,0 +1,22 @@
+// Package analyzers bundles the repository's custom static checks — the
+// lint suite the paper-reproduction simulator runs in CI alongside go vet.
+// Each analyzer lives in its own subpackage; this package only assembles
+// the suite for the two drivers (cmd/hswlint standalone, vettool for
+// go vet -vettool).
+package analyzers
+
+import (
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/nogoroutine"
+	"haswellep/tools/analyzers/statsguard"
+	"haswellep/tools/analyzers/unitcheck"
+)
+
+// All returns the full lint suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		unitcheck.Analyzer,
+		nogoroutine.Analyzer,
+		statsguard.Analyzer,
+	}
+}

@@ -1,0 +1,28 @@
+// Package gobad mutates one shared simulated state with single-threaded
+// mutation and is NOT safe for concurrent use.
+//
+// It is the negative fixture for the nogoroutine analyzer: the package doc
+// above carries the contract marker, so every concurrency construct below
+// must be reported.
+package gobad
+
+import "sync"
+
+var mu sync.Mutex
+
+var ch = make(chan int, 1)
+
+// Bad exercises every reportable construct.
+func Bad() int {
+	go func() {
+		ch <- 1
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

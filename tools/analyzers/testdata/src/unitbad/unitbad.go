@@ -1,0 +1,27 @@
+// Package unitbad is the negative fixture for the unitcheck analyzer: both
+// directions of raw float <-> units.Time conversion must be reported, while
+// the designated FromNanoseconds/Nanoseconds route stays clean.
+package unitbad
+
+import "haswellep/internal/units"
+
+// BadIn funnels a nanosecond float straight into units.Time, silently
+// reinterpreting nanoseconds as picoseconds.
+func BadIn(ns float64) units.Time {
+	return units.Time(ns)
+}
+
+// BadOut leaks the picosecond representation as a raw float.
+func BadOut(t units.Time) float64 {
+	return float64(t)
+}
+
+// Good round-trips through the designated conversion points.
+func Good(ns float64) float64 {
+	return units.FromNanoseconds(ns).Nanoseconds()
+}
+
+// GoodInteger arithmetic on units.Time itself is fine.
+func GoodInteger(t units.Time) units.Time {
+	return 2 * t
+}

@@ -1,0 +1,84 @@
+// Package unitcheck reports raw float-to-units.Time conversions: the
+// simulator keeps every latency as a units.Time (integer picoseconds), and
+// nanosecond floats must enter through units.FromNanoseconds (which rounds)
+// and leave through Time.Nanoseconds(). A bare units.Time(f) conversion
+// silently truncates a float of *nanoseconds* into *picoseconds* — the
+// unit-confusion bug class this analyzer exists for.
+//
+// The units package itself and the calibrated latency table
+// (internal/machine/latencies.go) are exempt: they are the two designated
+// places where raw nanosecond floats meet units.Time.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Analyzer is the unitcheck instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "reports raw float conversions to/from units.Time that bypass " +
+		"units.FromNanoseconds and Time.Nanoseconds",
+	Run: run,
+}
+
+// unitsPkgPath is the package that owns the Time type and is allowed to
+// convert freely.
+const unitsPkgPath = "haswellep/internal/units"
+
+// exemptFile names the one file outside the units package allowed to hold
+// raw nanosecond floats (the calibrated latency model).
+const exemptFile = "latencies.go"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == unitsPkgPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Position(file.Pos()).Filename) == exemptFile &&
+			pass.Pkg.Path() == "haswellep/internal/machine" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			arg := pass.Info.Types[call.Args[0]]
+			switch {
+			case isUnitsTime(tv.Type) && isFloat(arg.Type):
+				pass.Reportf(call.Pos(),
+					"raw float converted to units.Time; use units.FromNanoseconds so nanoseconds are scaled and rounded")
+			case isFloat(tv.Type) && isUnitsTime(arg.Type):
+				pass.Reportf(call.Pos(),
+					"units.Time converted to a raw float; use Time.Nanoseconds to leave the unit system explicitly")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isUnitsTime reports whether t is the named type units.Time.
+func isUnitsTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == unitsPkgPath
+}
+
+// isFloat reports whether t is a float type (typed or untyped).
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,182 @@
+// Package vettool speaks the cmd/go vet-tool protocol, so the custom lint
+// suite can run as `go vet -vettool=<hswlint>`: the go command invokes the
+// tool once with -V=full (version fingerprint for the build cache), once
+// with -flags (supported flags as JSON), and then once per package with a
+// single *.cfg argument describing the files, the import map, and the
+// compiler export data of the dependencies. This is the same contract
+// golang.org/x/tools' unitchecker implements; re-implemented here on the
+// standard library alone.
+package vettool
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Config mirrors the JSON configuration cmd/go hands a vet tool for one
+// package (see cmd/go/internal/work.vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsProtocolInvocation reports whether the command line looks like a cmd/go
+// vet-tool invocation (rather than a standalone lint run).
+func IsProtocolInvocation(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	return args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")
+}
+
+// Main handles one vet-tool invocation and returns the process exit code:
+// 0 for success, 1 for operational errors, 2 when diagnostics were
+// reported (the exit code go vet expects for findings).
+func Main(name string, analyzers []*analysis.Analyzer, args []string) int {
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("%s version devel buildID=%s\n", name, selfID())
+		return 0
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags; cmd/go only needs a valid JSON array.
+		fmt.Println("[]")
+		return 0
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		return runConfig(analyzers, args[0])
+	default:
+		fmt.Fprintf(os.Stderr, "%s: unexpected vet-tool arguments %q\n", name, args)
+		return 1
+	}
+}
+
+// selfID fingerprints the executable so cmd/go's vet cache invalidates when
+// the tool changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runConfig analyzes one package as described by a cmd/go vet config.
+func runConfig(analyzers []*analysis.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects the facts file to exist afterwards regardless of the
+	// outcome; the suite exports no facts, so an empty file suffices.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Dependencies resolve through the export data cmd/go already built:
+	// map the import path through ImportMap (vendoring etc.), then open
+	// the listed package file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	findings, err := analysis.Run(analyzers, fset, files, tpkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	writeVetx()
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Position, f.Diagnostic.Message)
+	}
+	return 2
+}
