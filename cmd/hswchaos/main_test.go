@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuickDeterminism: the quick sweep succeeds, reports the invariant
+// gate, and the same seed produces byte-identical output.
+func TestRunQuickDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke skipped in -short mode")
+	}
+	exec := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-quick", "-seed", "7", "-rates", "0,0.1"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	first := exec()
+	if !strings.Contains(first, "recovery gate") {
+		t.Errorf("output missing the invariant gate line:\n%s", first)
+	}
+	if !strings.Contains(first, "0.100") || !strings.Contains(first, "0.000") {
+		t.Errorf("output missing sweep rows:\n%s", first)
+	}
+	if second := exec(); second != first {
+		t.Errorf("same seed produced different output:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rates", "2"},
+		{"-rates", "-0.1"},
+		{"-rates", "abc"},
+		{"-rates", ""},
+		{"-unknown"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package bwmodel
 
 import (
-	"haswellep/internal/dram"
 	"haswellep/internal/machine"
 )
 
@@ -54,9 +53,8 @@ type SystemCaps struct {
 // follow from modeled hardware (DRAM channels, QPI links) are computed;
 // uncore throughput limits are calibration constants from Section VII.
 func CapsFor(cfg machine.Config) SystemCaps {
-	ctl := dram.NewController(cfg.DRAM)
-	perIMCRead := ctl.SustainedReadBandwidth().GBps()
-	perIMCWriteBus := ctl.SustainedWriteBandwidth().GBps()
+	perIMCRead := cfg.DRAM.SustainedReadBandwidth().GBps()
+	perIMCWriteBus := cfg.DRAM.SustainedWriteBandwidth().GBps()
 	imcs := 2 // per socket on the modeled dies
 
 	qpi := cfg.QPI.UsableBandwidthPerDirection().GBps()
@@ -75,6 +73,25 @@ func CapsFor(cfg machine.Config) SystemCaps {
 		CODQPIHopFactor:          0.94,
 		WriteSaturationSlope:     0.1,
 	}
+}
+
+// Degrade returns the capacities with degraded inter-socket links and DRAM
+// channels: a link or channel whose latency is stretched by the given
+// factor sustains proportionally less bandwidth in the closed-loop model
+// (factors <= 1 leave the corresponding capacity untouched). CapsFor
+// already folds in cfg.DRAM.LatencyFactor; Degrade is for sweeping factors
+// against one baseline SystemCaps without rebuilding configurations.
+func (c SystemCaps) Degrade(qpiFactor, dramFactor float64) SystemCaps {
+	if qpiFactor > 1 {
+		c.QPIPayloadPerDirection /= qpiFactor
+		c.InterClusterPerDirection /= qpiFactor
+	}
+	if dramFactor > 1 {
+		c.MemReadPerSocket /= dramFactor
+		c.MemWriteBusPerSocket /= dramFactor
+		c.MemReadPerNode /= dramFactor
+	}
+	return c
 }
 
 // QPIReadCap returns the remote-memory read capacity per direction for the

@@ -106,7 +106,7 @@ func crossSocket(e *mesif.Engine, core topology.CoreID, l addr.LineAddr) bool {
 		return false
 	}
 	rn := e.M.Topo.NodeOfCore(core)
-	return e.M.Topo.SocketOfNode(rn) != e.M.Topo.SocketOfNode(e.M.HomeNode(l))
+	return e.M.Topo.SocketOfNode(rn) != e.M.Topo.SocketOfNode(e.M.MustHomeNode(l))
 }
 
 // ReadStream models a single-core streaming-read pass over the region: the

@@ -38,6 +38,33 @@ type Config struct {
 	// ControllerNs is the scheduling/queuing overhead of the controller
 	// for an unloaded access.
 	ControllerNs float64
+
+	// LatencyFactor scales every access latency of this controller; 0 and
+	// 1 both mean a healthy channel. Fault plans set it above 1 to model a
+	// degraded DRAM channel (internal/fault).
+	LatencyFactor float64
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("dram: channel count must be positive, got %d", c.Channels)
+	}
+	if c.BusBytes <= 0 {
+		return fmt.Errorf("dram: bus width must be positive, got %d", c.BusBytes)
+	}
+	if c.LatencyFactor < 0 {
+		return fmt.Errorf("dram: latency factor must be non-negative, got %g", c.LatencyFactor)
+	}
+	return nil
+}
+
+// latencyFactor returns the effective latency multiplier (0 means healthy).
+func (c Config) latencyFactor() float64 {
+	if c.LatencyFactor <= 0 {
+		return 1
+	}
+	return c.LatencyFactor
 }
 
 // DDR4_2133 is the paper's memory configuration: two channels per memory
@@ -72,11 +99,21 @@ type Controller struct {
 }
 
 // NewController builds a controller with the given configuration.
-func NewController(cfg Config) *Controller {
-	if cfg.Channels <= 0 || cfg.BusBytes <= 0 {
-		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Controller{cfg: cfg}
+	return &Controller{cfg: cfg}, nil
+}
+
+// MustController is NewController but panics on configuration errors; for
+// tests and static configurations known to be valid (programmer error).
+func MustController(cfg Config) *Controller {
+	c, err := NewController(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Config returns the controller's configuration.
@@ -112,11 +149,12 @@ func (c *Controller) OpenPageHitRate(footprint int64) float64 {
 // AccessTime returns the expected unloaded latency of one line read from
 // this controller for a random-access working set of the given footprint.
 // It is the controller overhead plus the row-hit CAS time, plus the
-// expected row-activation penalty.
+// expected row-activation penalty, scaled by the channel's LatencyFactor
+// when the configuration models a degraded channel.
 func (c *Controller) AccessTime(footprint int64) units.Time {
 	p := c.OpenPageHitRate(footprint)
 	ns := c.cfg.ControllerNs + c.cfg.CASLatencyNs + (1-p)*c.cfg.RowMissExtraNs
-	return units.FromNanoseconds(ns)
+	return units.FromNanoseconds(ns * c.cfg.latencyFactor())
 }
 
 // ReadEfficiency is the fraction of peak bandwidth a pure read stream
@@ -131,16 +169,29 @@ const ReadEfficiency = 0.92
 // RFO+WB pattern is lower than for pure reads due to bus turnarounds.
 const WriteEfficiency = 0.78
 
+// SustainedReadBandwidth returns the maximum read bandwidth of a controller
+// with this configuration after command overheads. A degraded channel
+// (LatencyFactor > 1) delivers proportionally less.
+func (c Config) SustainedReadBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(c.PeakBandwidth()) * ReadEfficiency / c.latencyFactor())
+}
+
+// SustainedWriteBandwidth returns the bus bandwidth available to a
+// streaming-write mixture (RFO reads + writebacks share it).
+func (c Config) SustainedWriteBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(c.PeakBandwidth()) * WriteEfficiency / c.latencyFactor())
+}
+
 // SustainedReadBandwidth returns the maximum read bandwidth of the
 // controller after command overheads.
 func (c *Controller) SustainedReadBandwidth() units.Bandwidth {
-	return units.Bandwidth(float64(c.cfg.PeakBandwidth()) * ReadEfficiency)
+	return c.cfg.SustainedReadBandwidth()
 }
 
 // SustainedWriteBandwidth returns the bus bandwidth available to a
 // streaming-write mixture (RFO reads + writebacks share it).
 func (c *Controller) SustainedWriteBandwidth() units.Bandwidth {
-	return units.Bandwidth(float64(c.cfg.PeakBandwidth()) * WriteEfficiency)
+	return c.cfg.SustainedWriteBandwidth()
 }
 
 // RecordRead counts a serviced line read.

@@ -22,17 +22,52 @@ func TestPeakBandwidths(t *testing.T) {
 	}
 }
 
-func TestNewControllerPanics(t *testing.T) {
+func TestNewControllerRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewController(Config{}); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+	bad := DDR4_2133
+	bad.LatencyFactor = -1
+	if _, err := NewController(bad); err == nil {
+		t.Error("negative latency factor must be rejected")
+	}
+	if _, err := NewController(DDR4_2133); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustControllerPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("invalid config must panic")
+			t.Error("invalid config must panic in MustController")
 		}
 	}()
-	NewController(Config{})
+	MustController(Config{})
+}
+
+func TestLatencyFactorDegradesChannel(t *testing.T) {
+	healthy := MustController(DDR4_2133)
+	slow := DDR4_2133
+	slow.LatencyFactor = 1.5
+	degraded := MustController(slow)
+	h := healthy.AccessTime(units.MiB).Nanoseconds()
+	d := degraded.AccessTime(units.MiB).Nanoseconds()
+	if math.Abs(d-1.5*h) > 1e-9 {
+		t.Errorf("degraded access = %.2f ns, want 1.5x healthy (%.2f ns)", d, 1.5*h)
+	}
+	if got := degraded.SustainedReadBandwidth().GBps(); math.Abs(got-healthy.SustainedReadBandwidth().GBps()/1.5) > 1e-9 {
+		t.Errorf("degraded sustained read = %v, want healthy/1.5", got)
+	}
+	// LatencyFactor 1 and 0 are both the healthy channel.
+	one := DDR4_2133
+	one.LatencyFactor = 1
+	if MustController(one).AccessTime(units.MiB) != healthy.AccessTime(units.MiB) {
+		t.Error("LatencyFactor 1 must match the healthy channel")
+	}
 }
 
 func TestOpenPageHitRateShape(t *testing.T) {
-	c := NewController(DDR4_2133)
+	c := MustController(DDR4_2133)
 	openCap := int64(DDR4_2133.BanksPerChannel) * int64(DDR4_2133.Channels) * DDR4_2133.RowBufferBytes
 	if openCap != 256*units.KiB {
 		t.Fatalf("open capacity = %d, want 256 KiB (footnote 7's threshold)", openCap)
@@ -55,7 +90,7 @@ func TestOpenPageHitRateShape(t *testing.T) {
 }
 
 func TestOpenPageHitRateMonotone(t *testing.T) {
-	c := NewController(DDR4_2133)
+	c := MustController(DDR4_2133)
 	f := func(a, b uint32) bool {
 		x, y := int64(a), int64(b)
 		if x > y {
@@ -72,7 +107,7 @@ func TestOpenPageHitRateMonotone(t *testing.T) {
 }
 
 func TestAccessTime(t *testing.T) {
-	c := NewController(DDR4_2133)
+	c := MustController(DDR4_2133)
 	small := c.AccessTime(32 * units.KiB)
 	large := c.AccessTime(256 * units.MiB)
 	if small >= large {
@@ -91,7 +126,7 @@ func TestAccessTime(t *testing.T) {
 }
 
 func TestSustainedBandwidths(t *testing.T) {
-	c := NewController(DDR4_2133)
+	c := MustController(DDR4_2133)
 	read := c.SustainedReadBandwidth().GBps()
 	// Two sustained IMCs must land near the paper's 63 GB/s socket read.
 	if socket := 2 * read; socket < 61 || socket > 65 {
@@ -108,7 +143,7 @@ func TestSustainedBandwidths(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	c := NewController(DDR4_2133)
+	c := MustController(DDR4_2133)
 	c.RecordRead()
 	c.RecordRead()
 	c.RecordWrite()

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/fault"
+	"haswellep/internal/invariant"
+	"haswellep/internal/machine"
+	"haswellep/internal/report"
+)
+
+// The chaos sweep is the robustness extension of the reproduction: it
+// re-runs the paper's Table IV/V latency matrices under increasing fault
+// pressure (dropped snoop responses, poisoned directory entries, lying
+// HitME lookups, agent stalls, and degraded QPI/DRAM) and reports how
+// gracefully the protocol's latencies and bandwidth ceilings degrade. At
+// rate 0 the plan is inert — no randomness is consumed and no penalty is
+// charged — so the sweep's first point reproduces the baseline tables
+// exactly.
+
+// ChaosPoint is one fault-rate step of the sweep.
+type ChaosPoint struct {
+	// Rate is the per-opportunity probability of every dynamic fault kind.
+	Rate float64
+	// Plan is the executed fault plan (pricing defaults applied).
+	Plan fault.Plan
+	// Table4 and Table5 are the latency matrices measured under the plan.
+	Table4 MatrixResult
+	Table5 MatrixResult
+	// Counters is the injector's tally over both matrices.
+	Counters fault.Counters
+	// FaultEvents is the length of the executed fault schedule.
+	FaultEvents int
+	// StaleFindings counts the checker's documented-staleness findings at
+	// the end of the point (hard violations abort the sweep instead).
+	StaleFindings int
+	// Traffic aggregates DRAM and directory write traffic over the point.
+	Traffic machine.TrafficStats
+	// RemoteReadGBps is the max-min aggregate for a socket's cores
+	// streaming from remote memory under the plan's degraded QPI and DRAM
+	// capacities — the bandwidth face of graceful degradation.
+	RemoteReadGBps float64
+}
+
+// Mean4 and Mean5 return the mean of the point's 16-cell matrices.
+func (p ChaosPoint) Mean4() float64 { return matrixMean(p.Table4.Values) }
+func (p ChaosPoint) Mean5() float64 { return matrixMean(p.Table5.Values) }
+
+func matrixMean(v [4][4]float64) float64 {
+	var s float64
+	for _, row := range v {
+		for _, x := range row {
+			s += x
+		}
+	}
+	return s / 16
+}
+
+// ChaosResult is the full sweep.
+type ChaosResult struct {
+	Seed   int64
+	Points []ChaosPoint
+	// Table summarizes the sweep, one row per rate.
+	Table *report.Table
+}
+
+// ChaosPlanAt builds the sweep's plan for one fault rate: every dynamic
+// kind at the given probability, QPI stretched by 1+2r (links degrade
+// fastest in the field: cable/retimer margins), DRAM by 1+r. Rate 0 yields
+// a fully inert plan, so the sweep's baseline point is exact.
+func ChaosPlanAt(seed int64, rate float64) fault.Plan {
+	p := fault.Uniform(seed, rate)
+	if rate > 0 {
+		p.QPILatencyFactor = 1 + 2*rate
+		p.DRAMLatencyFactor = 1 + rate
+	}
+	return p
+}
+
+// ChaosSweep runs the Table IV/V reproduction under each fault rate. Any
+// hard coherence violation after a point's measurements — a fault the
+// engine failed to recover from — aborts the sweep with an error; the
+// invariant checker is the sweep's acceptance gate.
+func ChaosSweep(seed int64, rates []float64) (ChaosResult, error) {
+	return ChaosSweepWith(seed, rates, true)
+}
+
+// ChaosSweepWith is ChaosSweep with Table V optional: the memory-latency
+// matrix is ~5x the cost of the L3 matrix, so smoke runs (CI, quick local
+// checks) skip it. Skipped points report a zero Table5 and "-" in the
+// summary row.
+func ChaosSweepWith(seed int64, rates []float64, includeT5 bool) (ChaosResult, error) {
+	res := ChaosResult{Seed: seed}
+	res.Table = report.NewTable(
+		fmt.Sprintf("Chaos sweep (seed %d): Table IV/V under fault injection", seed),
+		"rate", "T4 mean ns", "T5 mean ns", "faults", "retries", "dir repairs",
+		"wasted snoops", "penalty ns", "remote read GB/s", "stale")
+	for _, rate := range rates {
+		pt, err := chaosPointWith(seed, rate, includeT5)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("chaos sweep rate %g: %w", rate, err)
+		}
+		res.Points = append(res.Points, pt)
+		var injected uint64
+		for _, n := range pt.Counters.Injected {
+			injected += n
+		}
+		t5cell := "-"
+		if includeT5 {
+			t5cell = fmtNs(pt.Mean5())
+		}
+		res.Table.AddRow(
+			fmt.Sprintf("%.3f", rate),
+			fmtNs(pt.Mean4()), t5cell,
+			fmt.Sprintf("%d", injected),
+			fmt.Sprintf("%d", pt.Counters.Retries),
+			fmt.Sprintf("%d", pt.Counters.DirectoryRepairs),
+			fmt.Sprintf("%d", pt.Counters.WastedSnoops),
+			fmt.Sprintf("%.0f", pt.Counters.PenaltyNs),
+			fmtGB(pt.RemoteReadGBps),
+			fmt.Sprintf("%d", pt.StaleFindings),
+		)
+	}
+	return res, nil
+}
+
+// chaosPoint measures one fault rate.
+func chaosPoint(seed int64, rate float64) (ChaosPoint, error) {
+	return chaosPointWith(seed, rate, true)
+}
+
+func chaosPointWith(seed int64, rate float64, includeT5 bool) (ChaosPoint, error) {
+	plan := ChaosPlanAt(seed, rate)
+	env, err := NewEnvWithFaults(machine.COD, plan)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	pt := ChaosPoint{Rate: rate, Plan: env.E.Faults.Plan()}
+	if pt.Table4, err = Table4In(env); err != nil {
+		return ChaosPoint{}, err
+	}
+	if includeT5 {
+		if pt.Table5, err = Table5In(env); err != nil {
+			return ChaosPoint{}, err
+		}
+	}
+	// The recovery acceptance gate: after thousands of faulted
+	// transactions the machine must read as legal, and every repair must
+	// have been priced into a returned latency.
+	found := invariant.Check(env.M)
+	if hard := invariant.Hard(found); len(hard) != 0 {
+		return ChaosPoint{}, fmt.Errorf("%d hard violations after recovery, first: %v", len(hard), hard[0])
+	}
+	pt.StaleFindings = len(found)
+	if ns := env.E.Faults.PendingPenaltyNs(); ns != 0 {
+		return ChaosPoint{}, fmt.Errorf("%.1f ns of recovery penalty never charged to a transaction", ns)
+	}
+	pt.Counters = env.E.Faults.Counters()
+	pt.FaultEvents = len(env.E.Faults.Events())
+	pt.Traffic = env.M.Traffic()
+	pt.RemoteReadGBps = remoteReadPoint(env)
+	return pt, nil
+}
+
+// remoteReadPoint solves the max-min bandwidth share for all cores of
+// socket 0 streaming reads from socket 1's memory: each flow crosses the
+// (possibly degraded) QPI payload capacity and the remote socket's
+// (possibly degraded) sustained DRAM read capacity.
+func remoteReadPoint(env *Env) float64 {
+	caps := bwmodel.CapsFor(env.M.Cfg)
+	n := env.M.Topo.Die.Cores()
+	flows := bwmodel.UniformFlows(n, 1e9, map[int]float64{0: 1, 1: 1})
+	alloc := bwmodel.MaxMin(flows, []float64{
+		caps.QPIReadCap(env.Mode),
+		caps.MemReadPerSocket,
+	})
+	return bwmodel.Sum(alloc)
+}

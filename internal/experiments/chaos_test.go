@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"haswellep/internal/fault"
+	"haswellep/internal/machine"
+)
+
+func TestChaosPlanAtZeroIsInert(t *testing.T) {
+	p := ChaosPlanAt(7, 0)
+	if p.Active() {
+		t.Error("rate-0 chaos plan reports active faults")
+	}
+	base := machine.TestSystem(machine.COD)
+	if !reflect.DeepEqual(p.Configure(base), base) {
+		t.Error("rate-0 chaos plan degrades the machine config")
+	}
+	p = ChaosPlanAt(7, 0.1)
+	if !p.Active() || p.QPILatencyFactor != 1.2 || p.DRAMLatencyFactor != 1.1 {
+		t.Errorf("rate-0.1 plan wrong: %+v", p)
+	}
+}
+
+// TestChaosRateZeroReproducesTable4: the acceptance criterion that the
+// chaos harness at fault rate 0 measures exactly the baseline — same env
+// plumbing, injector installed, but every cell byte-identical to Table4.
+func TestChaosRateZeroReproducesTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction test")
+	}
+	base, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvWithFaults(machine.COD, ChaosPlanAt(42, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Table4In(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Values != faulted.Values {
+		t.Errorf("rate-0 chaos Table IV differs from baseline:\nbase:   %v\nfaulted: %v",
+			base.Values, faulted.Values)
+	}
+	if c := env.E.Faults.Counters(); c != (fault.Counters{}) {
+		t.Errorf("rate-0 sweep point accumulated fault counters: %+v", c)
+	}
+}
+
+// TestChaosSweep runs a two-point sweep end to end (the invariant gate is
+// inside ChaosSweep) and verifies determinism: re-measuring the faulted
+// point from the same seed reproduces every latency cell and every counter.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow chaos sweep")
+	}
+	const seed, rate = 0xC4A05, 0.08
+	res, err := ChaosSweep(seed, []float64{0, rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || len(res.Table.Rows) != 2 {
+		t.Fatalf("want 2 points, got %d", len(res.Points))
+	}
+	p0, p1 := res.Points[0], res.Points[1]
+	if p0.FaultEvents != 0 || p0.Counters.PenaltyNs != 0 {
+		t.Errorf("rate-0 point injected faults: %+v", p0.Counters)
+	}
+	if p1.FaultEvents == 0 || p1.Counters.PenaltyNs == 0 {
+		t.Errorf("rate-%g point injected nothing: %+v", rate, p1.Counters)
+	}
+	if p1.Mean4() <= p0.Mean4() || p1.Mean5() <= p0.Mean5() {
+		t.Errorf("faulted means not above baseline: T4 %.1f vs %.1f, T5 %.1f vs %.1f",
+			p1.Mean4(), p0.Mean4(), p1.Mean5(), p0.Mean5())
+	}
+	if p1.RemoteReadGBps >= p0.RemoteReadGBps {
+		t.Errorf("degraded remote-read bandwidth %.1f not below healthy %.1f",
+			p1.RemoteReadGBps, p0.RemoteReadGBps)
+	}
+	again, err := chaosPoint(seed, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Table4.Values != p1.Table4.Values || again.Table5.Values != p1.Table5.Values {
+		t.Error("re-measured faulted point latencies differ: sweep is not deterministic")
+	}
+	if again.Counters != p1.Counters || again.FaultEvents != p1.FaultEvents {
+		t.Errorf("re-measured counters differ:\n%+v\n%+v", again.Counters, p1.Counters)
+	}
+}

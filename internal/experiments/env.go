@@ -12,6 +12,7 @@ import (
 
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
+	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
 	"haswellep/internal/placement"
@@ -35,6 +36,25 @@ func NewEnv(mode machine.SnoopMode) *Env {
 	m := machine.MustNew(machine.TestSystem(mode))
 	e := mesif.New(m)
 	return &Env{Mode: mode, M: m, E: e, P: placement.New(e)}
+}
+
+// NewEnvWithFaults builds a test-system machine in the given mode with the
+// fault plan installed: the plan's static degradation is folded into the
+// machine configuration and its injector is attached to the engine. The
+// injector is NOT reset by Fresh, so one env executes one deterministic
+// fault schedule across all its measurements.
+func NewEnvWithFaults(mode machine.SnoopMode, plan fault.Plan) (*Env, error) {
+	m, err := machine.New(plan.Configure(machine.TestSystem(mode)))
+	if err != nil {
+		return nil, err
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		return nil, err
+	}
+	e := mesif.New(m)
+	e.Faults = inj
+	return &Env{Mode: mode, M: m, E: e, P: placement.New(e)}, nil
 }
 
 // FirstCore returns the first core of a NUMA node, the core the paper's

@@ -69,7 +69,13 @@ func sharerCores(env *Env, fwd, home int) (placer, reader topology.CoreID, err e
 // cache hits have become negligible; the equivalent precondition here is an
 // explicit directory-cache eviction after placement.
 func Table4() (MatrixResult, error) {
-	env := NewEnv(machine.COD)
+	return Table4In(NewEnv(machine.COD))
+}
+
+// Table4In runs the Table IV measurement in the given environment — the
+// chaos sweep reuses it with a fault-injecting engine; the paper
+// reproduction passes a pristine COD env.
+func Table4In(env *Env) (MatrixResult, error) {
 	res := MatrixResult{}
 	for fwd := 0; fwd < 4; fwd++ {
 		for home := 0; home < 4; home++ {
@@ -97,7 +103,12 @@ func Table4() (MatrixResult, error) {
 // semantics (silent clean L3 eviction leaves the in-memory directory in
 // snoop-all — the broadcasts of the off-diagonal cells).
 func Table5() (MatrixResult, error) {
-	env := NewEnv(machine.COD)
+	return Table5In(NewEnv(machine.COD))
+}
+
+// Table5In runs the Table V measurement in the given environment (see
+// Table4In).
+func Table5In(env *Env) (MatrixResult, error) {
 	res := MatrixResult{}
 	for fwd := 0; fwd < 4; fwd++ {
 		for home := 0; home < 4; home++ {

@@ -1,0 +1,411 @@
+// Package fault is a deterministic, seeded fault-injection framework for
+// the MESIF engine. A Plan describes which faults to inject (per-site
+// probabilities, static link/channel degradation, and recovery pricing); an
+// Injector executes the plan against one engine, drawing every decision
+// from a single seeded PRNG stream consumed in transaction order — the same
+// seed against the same access sequence reproduces a byte-identical fault
+// schedule and byte-identical counters.
+//
+// The injector never breaks correctness itself: it only decides *that* a
+// fault strikes (and, for directory corruption, what the poisoned value
+// is). The engine owns every recovery obligation — re-issuing dropped
+// snoops, broadcasting around poisoned directory entries and repairing
+// them, falling back to the in-memory directory on fabricated HitME
+// entries — and prices each repair through the injector's penalty
+// accumulator, which the engine drains into the transaction's latency.
+// Package invariant verifies that machine state stays legal after every
+// recovery.
+//
+// Fault kinds and their real-hardware counterparts:
+//
+//   - DropSnoopResponse: a snoop response is lost and the home agent (or
+//     requesting CA) times out and re-issues, up to RetryBudget consecutive
+//     drops. Synthetic hardening — QPI guarantees delivery via link-level
+//     retry, but the retry path exists and is priced like one.
+//   - StaleDirectory: an in-memory directory entry is arbitrarily
+//     corrupted. Generalizes the real silent-eviction staleness of Table V
+//     from over-approximation to arbitrary wrongness; the engine detects
+//     the poisoned entry, falls back to a broadcast snoop, and rewrites the
+//     entry from ground truth.
+//   - HitMEFalseHit / HitMEFalseMiss: the directory cache lookup lies. The
+//     false-miss direction is real behavior (capacity evictions make every
+//     entry eventually unfindable); the false-hit direction is synthetic
+//     and exercises the stale-owned-entry fall-through of Section VI-C.
+//   - DegradedLink (static): QPI links and/or DRAM channels run slow by a
+//     latency factor, via Plan.Configure; feeds machine.Leg, the DRAM
+//     access-time model, and the bandwidth model's capacities.
+//   - AgentStall: a caching agent transiently stalls a request for
+//     StallNs. Models uncore backpressure (credit exhaustion).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+)
+
+// Kind identifies a fault kind.
+type Kind int
+
+// Fault kinds. DegradedLink is static (configured once via Plan.Configure,
+// never scheduled), so it does not appear in Counters.Injected or the event
+// log; every other kind is a dynamic per-transaction fault.
+const (
+	DropSnoopResponse Kind = iota
+	StaleDirectory
+	HitMEFalseHit
+	HitMEFalseMiss
+	AgentStall
+	DegradedLink
+
+	// NumKinds sizes fixed-width per-kind counter arrays.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case DropSnoopResponse:
+		return "drop-snoop-response"
+	case StaleDirectory:
+		return "stale-directory"
+	case HitMEFalseHit:
+		return "hitme-false-hit"
+	case HitMEFalseMiss:
+		return "hitme-false-miss"
+	case AgentStall:
+		return "agent-stall"
+	case DegradedLink:
+		return "degraded-link"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pricing defaults (nanoseconds) applied by Plan.withDefaults.
+const (
+	// DefaultSnoopTimeoutNs is the home agent's wait before declaring a
+	// snoop response lost and re-issuing. Chosen above the worst healthy
+	// cross-socket response round trip so a timeout never fires spuriously.
+	DefaultSnoopTimeoutNs = 60.0
+	// DefaultRetryBackoffNs is the extra delay added per consecutive
+	// re-issue of the same snoop (linear backoff).
+	DefaultRetryBackoffNs = 20.0
+	// DefaultRetryBudget caps consecutive drops of one snoop round; the
+	// re-issue after the last budgeted drop always completes.
+	DefaultRetryBudget = 3
+	// DefaultStallNs is the service delay of a transient caching-agent
+	// stall.
+	DefaultStallNs = 40.0
+)
+
+// Plan is a seeded fault schedule: per-site probabilities for the dynamic
+// fault kinds, static degradation factors, and the pricing knobs of the
+// recovery paths. The zero Plan injects nothing and degrades nothing.
+type Plan struct {
+	// Seed seeds the injector's PRNG stream.
+	Seed int64
+
+	// Per-site probabilities in [0,1], rolled once per opportunity:
+	// DropSnoopResponse per awaited snoop round (and per re-issue),
+	// StaleDirectory per in-memory directory read, HitMEFalseHit per
+	// missing directory-cache lookup, HitMEFalseMiss per valid one,
+	// AgentStall per transaction reaching a caching agent.
+	DropSnoopResponse float64
+	StaleDirectory    float64
+	HitMEFalseHit     float64
+	HitMEFalseMiss    float64
+	AgentStall        float64
+
+	// QPILatencyFactor and DRAMLatencyFactor statically degrade the
+	// inter-socket links and DRAM channels (0 and 1 both mean healthy);
+	// applied by Configure, not scheduled per transaction.
+	QPILatencyFactor  float64
+	DRAMLatencyFactor float64
+
+	// Recovery pricing; zero fields take the Default* constants.
+	SnoopTimeoutNs float64
+	RetryBackoffNs float64
+	RetryBudget    int
+	StallNs        float64
+}
+
+// Uniform returns a plan injecting every dynamic fault kind at the same
+// rate, with healthy links and default pricing.
+func Uniform(seed int64, rate float64) Plan {
+	return Plan{
+		Seed:              seed,
+		DropSnoopResponse: rate,
+		StaleDirectory:    rate,
+		HitMEFalseHit:     rate,
+		HitMEFalseMiss:    rate,
+		AgentStall:        rate,
+	}
+}
+
+// Validate checks the plan for consistency.
+func (p Plan) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"DropSnoopResponse", p.DropSnoopResponse},
+		{"StaleDirectory", p.StaleDirectory},
+		{"HitMEFalseHit", p.HitMEFalseHit},
+		{"HitMEFalseMiss", p.HitMEFalseMiss},
+		{"AgentStall", p.AgentStall},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: probability %s = %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.QPILatencyFactor < 0 {
+		return fmt.Errorf("fault: QPI latency factor must be non-negative, got %g", p.QPILatencyFactor)
+	}
+	if p.DRAMLatencyFactor < 0 {
+		return fmt.Errorf("fault: DRAM latency factor must be non-negative, got %g", p.DRAMLatencyFactor)
+	}
+	if p.SnoopTimeoutNs < 0 || p.RetryBackoffNs < 0 || p.StallNs < 0 {
+		return fmt.Errorf("fault: pricing knobs must be non-negative")
+	}
+	if p.RetryBudget < 0 {
+		return fmt.Errorf("fault: retry budget must be non-negative, got %d", p.RetryBudget)
+	}
+	return nil
+}
+
+// Active reports whether the plan injects any dynamic fault.
+func (p Plan) Active() bool {
+	return p.DropSnoopResponse > 0 || p.StaleDirectory > 0 ||
+		p.HitMEFalseHit > 0 || p.HitMEFalseMiss > 0 || p.AgentStall > 0
+}
+
+// withDefaults fills the zero pricing knobs with the Default* constants.
+func (p Plan) withDefaults() Plan {
+	if p.SnoopTimeoutNs == 0 {
+		p.SnoopTimeoutNs = DefaultSnoopTimeoutNs
+	}
+	if p.RetryBackoffNs == 0 {
+		p.RetryBackoffNs = DefaultRetryBackoffNs
+	}
+	if p.RetryBudget == 0 {
+		p.RetryBudget = DefaultRetryBudget
+	}
+	if p.StallNs == 0 {
+		p.StallNs = DefaultStallNs
+	}
+	return p
+}
+
+// Configure returns the machine configuration with the plan's static
+// degradation applied: DRAM channels and QPI links slowed by the latency
+// factors. The latency factors also shrink the corresponding bandwidth
+// capacities (dram.Config.Sustained*Bandwidth and
+// interconnect.QPIConfig.Degrade divide by the factor — the closed-loop
+// simplification that a link stretched by f sustains 1/f the throughput).
+func (p Plan) Configure(cfg machine.Config) machine.Config {
+	if p.DRAMLatencyFactor > 1 {
+		cfg.DRAM.LatencyFactor = p.DRAMLatencyFactor
+	}
+	if p.QPILatencyFactor > 1 {
+		cfg.QPILatencyFactor = p.QPILatencyFactor
+		cfg.QPI = cfg.QPI.Degrade(p.QPILatencyFactor)
+	}
+	return cfg
+}
+
+// Counters aggregates what an injector did. All fields are fixed-width so
+// two Counters values from the same seed compare byte-identical.
+type Counters struct {
+	// Injected counts scheduled faults by kind.
+	Injected [NumKinds]uint64
+	// Retries counts snoop re-issues after dropped responses.
+	Retries uint64
+	// RetryExhausted counts snoop rounds that consumed the whole retry
+	// budget before the final (always delivered) re-issue.
+	RetryExhausted uint64
+	// DirectoryRepairs counts poisoned in-memory directory entries
+	// rewritten from ground truth after a recovery broadcast.
+	DirectoryRepairs uint64
+	// WastedSnoops counts directed snoops sent on the strength of
+	// fabricated HitME entries that found nothing to forward.
+	WastedSnoops uint64
+	// PenaltyNs is the total recovery latency charged into transactions.
+	PenaltyNs float64
+}
+
+// Event is one scheduled fault: the 1-based transaction sequence number it
+// struck in and its kind. The event log is the reproducible fault schedule.
+type Event struct {
+	Seq  uint64
+	Kind Kind
+}
+
+// Injector executes a plan against one engine. It is single-threaded, like
+// the engine that owns it.
+type Injector struct {
+	plan     Plan // defaults applied
+	rng      *rand.Rand
+	seq      uint64
+	pending  float64
+	counters Counters
+	events   []Event
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pd := p.withDefaults()
+	return &Injector{plan: pd, rng: rand.New(rand.NewSource(p.Seed))}, nil
+}
+
+// MustInjector is NewInjector but panics on plan errors; for tests and
+// static plans.
+func MustInjector(p Plan) *Injector {
+	i, err := NewInjector(p)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Plan returns the injector's plan with pricing defaults applied.
+func (i *Injector) Plan() Plan { return i.plan }
+
+// Reset returns the injector to its initial state: the PRNG is re-seeded,
+// counters, the event log, and any pending penalty are cleared. The next
+// access sequence then reproduces the schedule from the top.
+func (i *Injector) Reset() {
+	i.rng = rand.New(rand.NewSource(i.plan.Seed))
+	i.seq = 0
+	i.pending = 0
+	i.counters = Counters{}
+	i.events = nil
+}
+
+// BeginTransaction advances the transaction sequence number; the engine
+// calls it at the top of every Read, Write, and Flush.
+func (i *Injector) BeginTransaction() { i.seq++ }
+
+// Seq returns the current transaction sequence number.
+func (i *Injector) Seq() uint64 { return i.seq }
+
+// roll draws one decision for the kind. Probability zero never consumes
+// randomness, so a rate-0 plan is stream-identical to no plan at all.
+func (i *Injector) roll(k Kind, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if i.rng.Float64() >= p {
+		return false
+	}
+	i.counters.Injected[k]++
+	i.events = append(i.events, Event{Seq: i.seq, Kind: k})
+	return true
+}
+
+// SnoopRetryPenalty models dropped snoop responses on one awaited snoop
+// round: each consecutive drop (geometric in the plan's probability, capped
+// by the retry budget) stalls the waiter for the snoop timeout plus a
+// linearly growing backoff before the re-issue. The re-issue after the last
+// budgeted drop always completes, so data delivery is never lost — only
+// delayed. The penalty lands in the accumulator the engine drains into the
+// transaction latency.
+func (i *Injector) SnoopRetryPenalty() {
+	drops := 0
+	for drops < i.plan.RetryBudget && i.roll(DropSnoopResponse, i.plan.DropSnoopResponse) {
+		i.AddPenaltyNs(i.plan.SnoopTimeoutNs + float64(drops)*i.plan.RetryBackoffNs)
+		drops++
+	}
+	if drops == 0 {
+		return
+	}
+	i.counters.Retries += uint64(drops)
+	if drops == i.plan.RetryBudget {
+		i.counters.RetryExhausted++
+	}
+}
+
+// CorruptDirectory decides whether the in-memory directory entry just read
+// is poisoned, and if so returns the corrupted state (always different from
+// the current one). The engine writes the corruption into the directory,
+// recovers by broadcast, and repairs the entry — booked via
+// NoteDirectoryRepair.
+func (i *Injector) CorruptDirectory(cur directory.MemState) (directory.MemState, bool) {
+	if !i.roll(StaleDirectory, i.plan.StaleDirectory) {
+		return cur, false
+	}
+	states := [3]directory.MemState{directory.RemoteInvalid, directory.SharedRemote, directory.SnoopAll}
+	others := states[:0]
+	for _, s := range states {
+		if s != cur {
+			others = append(others, s)
+		}
+	}
+	return others[i.rng.Intn(len(others))], true
+}
+
+// NoteDirectoryRepair books one poisoned directory entry rewritten from
+// ground truth.
+func (i *Injector) NoteDirectoryRepair() { i.counters.DirectoryRepairs++ }
+
+// FalseMiss decides whether a valid HitME lookup is reported as a miss.
+func (i *Injector) FalseMiss() bool {
+	return i.roll(HitMEFalseMiss, i.plan.HitMEFalseMiss)
+}
+
+// FalseHitOwner decides whether a missing HitME lookup fabricates an owned
+// entry, and if so picks the fabricated owner among the topology's nodes.
+func (i *Injector) FalseHitOwner(nodes int) (int, bool) {
+	if !i.roll(HitMEFalseHit, i.plan.HitMEFalseHit) {
+		return 0, false
+	}
+	return i.rng.Intn(nodes), true
+}
+
+// NoteWastedSnoop books one directed snoop sent for a fabricated HitME
+// entry that found nothing.
+func (i *Injector) NoteWastedSnoop() { i.counters.WastedSnoops++ }
+
+// Stall decides whether a caching agent transiently stalls the current
+// transaction, charging the stall into the penalty accumulator.
+func (i *Injector) Stall() {
+	if i.roll(AgentStall, i.plan.AgentStall) {
+		i.AddPenaltyNs(i.plan.StallNs)
+	}
+}
+
+// AddPenaltyNs charges recovery latency into the pending accumulator.
+func (i *Injector) AddPenaltyNs(ns float64) {
+	i.pending += ns
+	i.counters.PenaltyNs += ns
+}
+
+// DrainPenaltyNs returns and clears the pending penalty; the engine calls
+// it exactly once per transaction when folding recovery cost into the
+// access latency.
+func (i *Injector) DrainPenaltyNs() float64 {
+	v := i.pending
+	i.pending = 0
+	return v
+}
+
+// PendingPenaltyNs returns the undrained penalty. After a completed
+// transaction it must be zero — package invariant checks this to prove
+// every repair was priced into a returned latency.
+func (i *Injector) PendingPenaltyNs() float64 { return i.pending }
+
+// Counters returns a copy of the accumulated counters.
+func (i *Injector) Counters() Counters { return i.counters }
+
+// Events returns a copy of the fault schedule executed so far.
+func (i *Injector) Events() []Event {
+	out := make([]Event, len(i.events))
+	copy(out, i.events)
+	return out
+}

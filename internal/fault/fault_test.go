@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := []Plan{
+		{},
+		Uniform(1, 0.5),
+		{DropSnoopResponse: 1, QPILatencyFactor: 2, DRAMLatencyFactor: 1.5},
+		{SnoopTimeoutNs: 10, RetryBackoffNs: 5, RetryBudget: 2, StallNs: 1},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Plan{
+		{DropSnoopResponse: -0.1},
+		{StaleDirectory: 1.5},
+		{HitMEFalseHit: 2},
+		{HitMEFalseMiss: -1},
+		{AgentStall: 1.01},
+		{QPILatencyFactor: -1},
+		{DRAMLatencyFactor: -0.5},
+		{SnoopTimeoutNs: -1},
+		{RetryBudget: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	p := Uniform(42, 0.25)
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	for name, v := range map[string]float64{
+		"DropSnoopResponse": p.DropSnoopResponse,
+		"StaleDirectory":    p.StaleDirectory,
+		"HitMEFalseHit":     p.HitMEFalseHit,
+		"HitMEFalseMiss":    p.HitMEFalseMiss,
+		"AgentStall":        p.AgentStall,
+	} {
+		if v != 0.25 {
+			t.Errorf("%s = %v, want 0.25", name, v)
+		}
+	}
+	if p.QPILatencyFactor != 0 || p.DRAMLatencyFactor != 0 {
+		t.Errorf("Uniform must leave links healthy, got qpi=%v dram=%v",
+			p.QPILatencyFactor, p.DRAMLatencyFactor)
+	}
+	if !p.Active() {
+		t.Error("Uniform(42, 0.25).Active() = false")
+	}
+	if (Plan{}).Active() {
+		t.Error("zero plan reports Active")
+	}
+}
+
+func TestConfigureDegradesMachine(t *testing.T) {
+	base := machine.TestSystem(machine.COD)
+	cfg := Plan{QPILatencyFactor: 2, DRAMLatencyFactor: 1.5}.Configure(base)
+	if cfg.QPILatencyFactor != 2 {
+		t.Errorf("QPILatencyFactor = %v, want 2", cfg.QPILatencyFactor)
+	}
+	if cfg.DRAM.LatencyFactor != 1.5 {
+		t.Errorf("DRAM.LatencyFactor = %v, want 1.5", cfg.DRAM.LatencyFactor)
+	}
+	if got, want := cfg.QPI.GTs, base.QPI.GTs/2; got != want {
+		t.Errorf("degraded QPI GT/s = %v, want %v", got, want)
+	}
+	// Healthy factors (0 or 1) leave the configuration untouched.
+	for _, f := range []float64{0, 1} {
+		cfg := Plan{QPILatencyFactor: f, DRAMLatencyFactor: f}.Configure(base)
+		if !reflect.DeepEqual(cfg, base) {
+			t.Errorf("factor %v changed the config", f)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() (Counters, []Event) {
+		i := MustInjector(Uniform(7, 0.5))
+		for tx := 0; tx < 200; tx++ {
+			i.BeginTransaction()
+			i.Stall()
+			i.SnoopRetryPenalty()
+			i.CorruptDirectory(directory.RemoteInvalid)
+			i.FalseMiss()
+			i.FalseHitOwner(4)
+			i.DrainPenaltyNs()
+		}
+		return i.Counters(), i.Events()
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 {
+		t.Errorf("counters differ across identical runs:\n%+v\n%+v", c1, c2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Errorf("event logs differ across identical runs")
+	}
+	if len(e1) == 0 {
+		t.Fatal("no events at rate 0.5 over 200 transactions")
+	}
+	for _, k := range []Kind{DropSnoopResponse, StaleDirectory, HitMEFalseHit, HitMEFalseMiss, AgentStall} {
+		if c1.Injected[k] == 0 {
+			t.Errorf("kind %v never injected at rate 0.5 over 200 transactions", k)
+		}
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	i := MustInjector(Uniform(99, 0.5))
+	run := func() (Counters, []Event) {
+		for tx := 0; tx < 50; tx++ {
+			i.BeginTransaction()
+			i.Stall()
+			i.SnoopRetryPenalty()
+			i.DrainPenaltyNs()
+		}
+		return i.Counters(), i.Events()
+	}
+	c1, e1 := run()
+	i.Reset()
+	if i.Seq() != 0 || i.PendingPenaltyNs() != 0 || (i.Counters() != Counters{}) || len(i.Events()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	c2, e2 := run()
+	if c1 != c2 || !reflect.DeepEqual(e1, e2) {
+		t.Error("post-Reset run does not reproduce the schedule")
+	}
+}
+
+func TestRateZeroConsumesNoRandomness(t *testing.T) {
+	i := MustInjector(Plan{Seed: 3}) // all probabilities zero
+	for tx := 0; tx < 100; tx++ {
+		i.BeginTransaction()
+		i.Stall()
+		i.SnoopRetryPenalty()
+		if _, hit := i.CorruptDirectory(directory.SnoopAll); hit {
+			t.Fatal("rate-0 CorruptDirectory fired")
+		}
+		if i.FalseMiss() {
+			t.Fatal("rate-0 FalseMiss fired")
+		}
+		if _, hit := i.FalseHitOwner(4); hit {
+			t.Fatal("rate-0 FalseHitOwner fired")
+		}
+	}
+	c := i.Counters()
+	if c != (Counters{}) {
+		t.Errorf("rate-0 plan accumulated counters: %+v", c)
+	}
+	if i.PendingPenaltyNs() != 0 {
+		t.Error("rate-0 plan accumulated penalty")
+	}
+}
+
+func TestSnoopRetryPenalty(t *testing.T) {
+	// Probability 1 always exhausts the budget: drops = RetryBudget, each
+	// priced timeout + linear backoff.
+	p := Plan{Seed: 1, DropSnoopResponse: 1, SnoopTimeoutNs: 100, RetryBackoffNs: 10, RetryBudget: 3}
+	i := MustInjector(p)
+	i.BeginTransaction()
+	i.SnoopRetryPenalty()
+	want := 100.0 + (100.0 + 10.0) + (100.0 + 20.0)
+	if got := i.DrainPenaltyNs(); got != want {
+		t.Errorf("penalty = %v, want %v", got, want)
+	}
+	c := i.Counters()
+	if c.Retries != 3 || c.RetryExhausted != 1 || c.Injected[DropSnoopResponse] != 3 {
+		t.Errorf("counters = %+v, want retries=3 exhausted=1 injected=3", c)
+	}
+}
+
+func TestCorruptDirectoryAlwaysDiffers(t *testing.T) {
+	i := MustInjector(Plan{Seed: 5, StaleDirectory: 1})
+	states := []directory.MemState{directory.RemoteInvalid, directory.SharedRemote, directory.SnoopAll}
+	for _, cur := range states {
+		for n := 0; n < 50; n++ {
+			i.BeginTransaction()
+			bad, hit := i.CorruptDirectory(cur)
+			if !hit {
+				t.Fatalf("probability-1 corruption did not fire")
+			}
+			if bad == cur {
+				t.Fatalf("corruption of %v returned the same state", cur)
+			}
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	i := MustInjector(Plan{Seed: 1})
+	p := i.Plan()
+	if p.SnoopTimeoutNs != DefaultSnoopTimeoutNs ||
+		p.RetryBackoffNs != DefaultRetryBackoffNs ||
+		p.RetryBudget != DefaultRetryBudget ||
+		p.StallNs != DefaultStallNs {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	// Explicit pricing survives.
+	i = MustInjector(Plan{Seed: 1, SnoopTimeoutNs: 5, RetryBudget: 1})
+	if got := i.Plan(); got.SnoopTimeoutNs != 5 || got.RetryBudget != 1 {
+		t.Errorf("explicit pricing overridden: %+v", got)
+	}
+}
+
+func TestMustInjectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInjector accepted an invalid plan")
+		}
+	}()
+	MustInjector(Plan{DropSnoopResponse: 2})
+}

@@ -25,6 +25,16 @@ type QPIConfig struct {
 // QPI96 is the paper's configuration: two 9.6 GT/s links.
 var QPI96 = QPIConfig{Links: 2, GTs: 9.6, BytesPerTransfer: 2}
 
+// Degrade returns the configuration with every link slowed by the given
+// factor (transfer rate divided by it), modeling degraded inter-socket
+// links for fault injection. Factors <= 1 return the config unchanged.
+func (c QPIConfig) Degrade(factor float64) QPIConfig {
+	if factor > 1 {
+		c.GTs /= factor
+	}
+	return c
+}
+
 // LinkBandwidthPerDirection returns one link's raw bandwidth per direction
 // (19.2 GB/s at 9.6 GT/s).
 func (c QPIConfig) LinkBandwidthPerDirection() units.Bandwidth {

@@ -1,6 +1,8 @@
 package invariant
 
 import (
+	"fmt"
+
 	"haswellep/internal/addr"
 	"haswellep/internal/mesif"
 	"haswellep/internal/topology"
@@ -15,9 +17,24 @@ import (
 // The full Check runs after every transaction, so attach only for debugging
 // and small verification workloads; detach by setting e.AfterTransaction
 // back to nil.
+// When a fault injector is attached to the engine, Attach also enforces the
+// recovery-pricing obligation: any injector penalty still pending after a
+// completed transaction means a repair was not charged into the returned
+// latency, and is reported as a KindRecovery violation.
 func Attach(e *mesif.Engine, report func(op mesif.Op, core topology.CoreID, l addr.LineAddr, found []Violation)) {
 	e.AfterTransaction = func(op mesif.Op, core topology.CoreID, l addr.LineAddr) {
-		if found := Check(e.M); len(found) > 0 {
+		found := Check(e.M)
+		if f := e.Faults; f != nil {
+			if ns := f.PendingPenaltyNs(); ns != 0 {
+				found = append(found, Violation{
+					Kind:   KindRecovery,
+					Class:  ClassViolation,
+					Line:   l,
+					Detail: fmt.Sprintf("injector penalty of %.1f ns left undrained after the transaction", ns),
+				})
+			}
+		}
+		if len(found) > 0 {
 			report(op, core, l, found)
 		}
 	}

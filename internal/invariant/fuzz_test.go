@@ -1,0 +1,130 @@
+package invariant
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/fault"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+)
+
+// The fuzz targets decode arbitrary bytes into access sequences over the
+// sweep systems and assert the engine never panics and never produces a
+// hard violation — with and without fault injection. The exhaustive sweep
+// proves short sequences; fuzzing hunts the long, weird interleavings the
+// bounded enumeration cannot reach.
+
+// fuzzRig is one persistent system under fuzz: machines are expensive to
+// build, so each rig is constructed once and reset between inputs by
+// coherently flushing the two tracked lines (validated by the sweep's
+// reset check to return the machine to power-on state).
+type fuzzRig struct {
+	sys      sweepSystem
+	m        *machine.Machine
+	e        *mesif.Engine
+	lines    []addr.LineAddr
+	alphabet []sweepAction
+}
+
+func buildFuzzRigs(plan *fault.Plan) []*fuzzRig {
+	var rigs []*fuzzRig
+	for _, sys := range sweepSystems() {
+		m := machine.MustNew(sys.cfg)
+		e := mesif.New(m)
+		if plan != nil {
+			e.Faults = fault.MustInjector(*plan)
+		}
+		lines := []addr.LineAddr{
+			m.MustAlloc(0, 64).Lines()[0],
+			m.MustAlloc(1, 64).Lines()[0],
+		}
+		var alphabet []sweepAction
+		for _, op := range []mesif.Op{mesif.OpRead, mesif.OpWrite, mesif.OpFlush} {
+			for _, c := range sys.cores {
+				for li := range lines {
+					alphabet = append(alphabet, sweepAction{op: op, core: c, line: li})
+				}
+			}
+		}
+		rigs = append(rigs, &fuzzRig{sys: sys, m: m, e: e, lines: lines, alphabet: alphabet})
+	}
+	return rigs
+}
+
+// reset returns the rig to power-on state between fuzz inputs.
+func (r *fuzzRig) reset() {
+	r.e.Flush(r.sys.cores[0], r.lines[0])
+	r.e.Flush(r.sys.cores[0], r.lines[1])
+	if r.e.Faults != nil {
+		r.e.Faults.Reset()
+	}
+}
+
+// run decodes data[1:] as actions (data[0] picks the system elsewhere) and
+// checks the tracked lines after every transaction.
+func (r *fuzzRig) run(t *testing.T, data []byte) {
+	t.Helper()
+	const maxActions = 512 // bound per-input work; longer inputs add nothing
+	if len(data) > maxActions {
+		data = data[:maxActions]
+	}
+	for i, b := range data {
+		a := r.alphabet[int(b)%len(r.alphabet)]
+		if _, err := r.e.Do(a.op, a.core, r.lines[a.line]); err != nil {
+			t.Fatalf("%s: action %d (%v): %v", r.sys.name, i, a, err)
+		}
+		if hard := Hard(CheckLines(r.m, r.lines)); len(hard) != 0 {
+			t.Fatalf("%s: violation after action %d (%v):\n  %v", r.sys.name, i, a, hard[0])
+		}
+		if f := r.e.Faults; f != nil && f.PendingPenaltyNs() != 0 {
+			t.Fatalf("%s: undrained fault penalty after action %d (%v)", r.sys.name, i, a)
+		}
+	}
+}
+
+// seedCorpus encodes the sweep's interesting archetypes as fuzz seeds:
+// ownership migration, read-shared fan-out, flush interleavings, and
+// cross-line ping-pong. Byte values are action indices modulo the 18-action
+// alphabet (op-major: reads 0–5, writes 6–11, flushes 12–17).
+func seedCorpus(f *testing.F) {
+	f.Add([]byte{0, 6, 0, 8, 2, 10, 4})         // migratory: writes hop cores, reads chase
+	f.Add([]byte{1, 6, 0, 2, 4, 0, 2, 4})       // read-shared: one writer, all cores read
+	f.Add([]byte{2, 6, 12, 6, 14, 0, 16, 6})    // flush-heavy teardown between writes
+	f.Add([]byte{0, 7, 1, 9, 3, 11, 5, 13, 1})  // second line: same dance, other home
+	f.Add([]byte{1, 6, 8, 10, 6, 8, 10})        // write ping-pong, no reads
+	f.Add([]byte{2, 0, 1, 2, 3, 4, 5, 6, 7, 8}) // alphabet walk
+	f.Add([]byte{0, 10, 4, 6, 2, 12, 8, 0, 14}) // mixed ops across all cores
+}
+
+// FuzzEngine: arbitrary access sequences against a healthy engine in all
+// three snoop modes must preserve every coherence invariant.
+func FuzzEngine(f *testing.F) {
+	seedCorpus(f)
+	rigs := buildFuzzRigs(nil)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		rig := rigs[int(data[0])%len(rigs)]
+		rig.reset()
+		rig.run(t, data[1:])
+	})
+}
+
+// FuzzEngineFaults: the same property with an aggressive fault injector
+// attached — every injected fault must recover into a legal state with its
+// penalty priced into the transaction.
+func FuzzEngineFaults(f *testing.F) {
+	seedCorpus(f)
+	plan := fault.Uniform(0xF0472, 0.25)
+	rigs := buildFuzzRigs(&plan)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		rig := rigs[int(data[0])%len(rigs)]
+		rig.reset()
+		rig.run(t, data[1:])
+	})
+}

@@ -39,11 +39,17 @@
 // Attach (attach.go) wires Check into a mesif.Engine's AfterTransaction
 // debug hook.
 //
-// Caveat: under extreme capacity pressure the L1/L2 victim cascade can
-// transiently strand a private copy without its L3 entry or core-valid bit
-// (see handleL2Victim in package mesif); the checker reports that as a
-// violation, so it is meant for workloads comfortably inside the caches —
-// which is exactly the regime of the paper's latency experiments.
+// The checker holds under capacity pressure too: modified L2 victims keep
+// the evicting core's valid bit while the (non-inclusive) L1 still holds
+// the line (see handleL2Victim in package mesif), so working sets larger
+// than the L3 no longer strand private copies. The capacity-pressure sweep
+// test exercises exactly that regime.
+//
+// When a fault injector is attached to the engine (package fault), the
+// invariants above double as the recovery acceptance test: after every
+// recovered fault the machine must read as legal, and Attach additionally
+// reports any injector penalty a transaction failed to drain into its
+// latency (KindRecovery).
 package invariant
 
 import (
@@ -112,6 +118,10 @@ const (
 	// KindHitME: directory cache entry inconsistent with the in-memory
 	// directory or the actual holders.
 	KindHitME
+	// KindRecovery: a fault-recovery obligation left unsettled — an
+	// injector penalty accumulated during a transaction but not drained
+	// into its latency (only reported by Attach, which sees the engine).
+	KindRecovery
 )
 
 // String names the kind.
@@ -137,6 +147,8 @@ func (k Kind) String() string {
 		return "directory"
 	case KindHitME:
 		return "hitme"
+	case KindRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

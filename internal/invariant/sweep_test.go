@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"haswellep/internal/addr"
+	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
 	"haswellep/internal/topology"
@@ -54,11 +55,16 @@ func sweepSystems() []sweepSystem {
 
 // runSweep enumerates every sequence of the given depth over the action
 // alphabet ops × sys.cores × two lines (one homed per node), checking the
-// tracked lines after every transaction.
-func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int) {
+// tracked lines after every transaction. A non-nil fault plan attaches an
+// injector, so the same enumeration doubles as the recovery sweep: every
+// sequence must stay violation-free under injected faults too.
+func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int, plan *fault.Plan) {
 	t.Helper()
 	m := machine.MustNew(sys.cfg)
 	e := mesif.New(m)
+	if plan != nil {
+		e.Faults = fault.MustInjector(*plan)
+	}
 	lines := []addr.LineAddr{
 		m.MustAlloc(0, 64).Lines()[0],
 		m.MustAlloc(1, 64).Lines()[0],
@@ -103,6 +109,10 @@ func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int) {
 				t.Fatalf("%s: violation after step %d of sequence %v:\n  %v",
 					sys.name, step, seqBuf[:step+1], hard)
 			}
+			if e.Faults != nil && e.Faults.PendingPenaltyNs() != 0 {
+				t.Fatalf("%s: undrained fault penalty after step %d of sequence %v",
+					sys.name, step, seqBuf[:step+1])
+			}
 		}
 		// Cheap per-sequence reset: a coherent flush of the two tracked
 		// lines returns every structure that saw them to power-on state
@@ -128,7 +138,23 @@ func TestSweepAllOpsDepth3(t *testing.T) {
 	for _, sys := range sweepSystems() {
 		sys := sys
 		t.Run(sys.name, func(t *testing.T) {
-			runSweep(t, sys, ops, 3)
+			runSweep(t, sys, ops, 3, nil)
+		})
+	}
+}
+
+// TestSweepAllOpsDepth3Faulted repeats the depth-3 full-alphabet sweep with
+// an aggressive fault injector attached: every enumerated sequence must
+// recover from dropped snoops, poisoned directory entries, lying HitME
+// lookups, and agent stalls without a single hard violation or an unpriced
+// repair.
+func TestSweepAllOpsDepth3Faulted(t *testing.T) {
+	ops := []mesif.Op{mesif.OpRead, mesif.OpWrite, mesif.OpFlush}
+	plan := fault.Uniform(0x5EEDFA, 0.3)
+	for _, sys := range sweepSystems() {
+		sys := sys
+		t.Run(sys.name, func(t *testing.T) {
+			runSweep(t, sys, ops, 3, &plan)
 		})
 	}
 }
@@ -144,7 +170,24 @@ func TestSweepReadWriteDepth4(t *testing.T) {
 	for _, sys := range sweepSystems() {
 		sys := sys
 		t.Run(sys.name, func(t *testing.T) {
-			runSweep(t, sys, ops, 4)
+			runSweep(t, sys, ops, 4, nil)
+		})
+	}
+}
+
+// TestSweepReadWriteDepth5 is the deepest exhaustive enumeration: 12^5 =
+// 248,832 read/write sequences per system, ~1.2M checked transactions each.
+// Five steps cover every ownership hand-off chain the two-line alphabet can
+// express (e.g. write/read/write/read/write across three cores).
+func TestSweepReadWriteDepth5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-5 sweep skipped in -short mode")
+	}
+	ops := []mesif.Op{mesif.OpRead, mesif.OpWrite}
+	for _, sys := range sweepSystems() {
+		sys := sys
+		t.Run(sys.name, func(t *testing.T) {
+			runSweep(t, sys, ops, 5, nil)
 		})
 	}
 }

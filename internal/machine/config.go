@@ -96,6 +96,21 @@ type Config struct {
 	// HitMEBytes overrides the directory cache capacity per home agent
 	// (0 = the real 14 KiB).
 	HitMEBytes int64
+
+	// QPILatencyFactor scales the QPI transit latency of every
+	// socket-crossing message; 0 and 1 both mean healthy links. Fault
+	// plans set it above 1 to model a degraded inter-socket link
+	// (internal/fault); DRAM.LatencyFactor is the analogous knob for a
+	// degraded memory channel.
+	QPILatencyFactor float64
+}
+
+// qpiLatencyFactor returns the effective QPI multiplier (0 means healthy).
+func (c Config) qpiLatencyFactor() float64 {
+	if c.QPILatencyFactor <= 0 {
+		return 1
+	}
+	return c.QPILatencyFactor
 }
 
 // DirectoryEnabled reports whether the home agents run the DAS directory
@@ -129,8 +144,11 @@ func (c Config) Validate() error {
 	if c.Mode == COD && c.Die == topology.Die8 {
 		return fmt.Errorf("machine: COD mode is unavailable on the single-ring 8-core die")
 	}
-	if c.DRAM.Channels <= 0 {
-		return fmt.Errorf("machine: DRAM channel count must be positive")
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.QPILatencyFactor < 0 {
+		return fmt.Errorf("machine: QPI latency factor must be non-negative, got %g", c.QPILatencyFactor)
 	}
 	return nil
 }

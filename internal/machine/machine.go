@@ -60,9 +60,13 @@ func New(cfg Config) (*Machine, error) {
 		m.L3 = append(m.L3, cache.NewL3Slice(topo.LocalSlice(topology.SliceID(s))))
 	}
 	for a := 0; a < topo.Agents(); a++ {
+		ctl, err := dram.NewController(cfg.DRAM)
+		if err != nil {
+			return nil, err
+		}
 		ha := &HomeAgent{
 			Agent: topology.AgentID(a),
-			DRAM:  dram.NewController(cfg.DRAM),
+			DRAM:  ctl,
 		}
 		if cfg.DirectoryEnabled() {
 			ha.Dir = directory.NewInMemory()
@@ -140,8 +144,21 @@ func (m *Machine) MustAlloc(node topology.NodeID, size int64) addr.Region {
 	return r
 }
 
-// HomeNode returns the NUMA node whose memory holds the line.
-func (m *Machine) HomeNode(l addr.LineAddr) topology.NodeID {
+// HomeNode returns the NUMA node whose memory holds the line, or an error
+// for addresses outside every node's simulated memory (user-controlled
+// addresses must go through this or HomeNodeOf, never MustHomeNode).
+func (m *Machine) HomeNode(l addr.LineAddr) (topology.NodeID, error) {
+	n, ok := m.HomeNodeOf(l)
+	if !ok {
+		return 0, fmt.Errorf("machine: line %#x outside any node's memory", l)
+	}
+	return n, nil
+}
+
+// MustHomeNode is HomeNode for lines already known to be mapped (allocated
+// regions, cached state). Passing an unmapped line is a programmer error
+// and panics.
+func (m *Machine) MustHomeNode(l addr.LineAddr) topology.NodeID {
 	n, ok := m.HomeNodeOf(l)
 	if !ok {
 		panic(fmt.Sprintf("machine: line %#x outside any node's memory", l))
@@ -165,7 +182,7 @@ func (m *Machine) HomeNodeOf(l addr.LineAddr) (topology.NodeID, bool) {
 // default configuration a socket's memory is interleaved line-wise over
 // both of its memory controllers (all four channels — Figure 1).
 func (m *Machine) HomeAgentOf(l addr.LineAddr) topology.AgentID {
-	node := m.HomeNode(l)
+	node := m.MustHomeNode(l)
 	if m.Cfg.Mode == COD {
 		return m.Topo.AgentOfNode(node)
 	}
@@ -243,6 +260,8 @@ func (e Endpoint) Socket() int { return e.socket }
 // Leg returns the transport cost of one message from one endpoint to
 // another: ring hops (and bridge crossings) on the source die, a QPI
 // traversal when the sockets differ, and ring hops on the destination die.
+// A degraded inter-socket link (Cfg.QPILatencyFactor > 1) stretches the
+// QPI traversal only; on-die ring hops are unaffected.
 func (m *Machine) Leg(from, to Endpoint) units.Time {
 	lat := m.Cfg.Lat
 	if from.socket == to.socket {
@@ -251,7 +270,31 @@ func (m *Machine) Leg(from, to Endpoint) units.Time {
 	qpi := m.Topo.Die.QPIStop()
 	out := lat.PathCost(m.Topo.Die.HopPath(from.stop, qpi))
 	in := lat.PathCost(m.Topo.Die.HopPath(qpi, to.stop))
-	return out + ns(lat.QPITransit) + in
+	return out + ns(lat.QPITransit*m.Cfg.qpiLatencyFactor()) + in
+}
+
+// TrafficStats aggregates the machine-wide backing-store traffic counters:
+// DRAM line reads and writes across every controller and in-memory
+// directory entry writes across every home agent. The chaos report uses it
+// to show how fault recovery inflates memory-side traffic.
+type TrafficStats struct {
+	DRAMReads  uint64
+	DRAMWrites uint64
+	DirWrites  uint64
+}
+
+// Traffic returns the machine-wide traffic counters.
+func (m *Machine) Traffic() TrafficStats {
+	var t TrafficStats
+	for _, ha := range m.HAs {
+		r, w := ha.DRAM.Stats()
+		t.DRAMReads += r
+		t.DRAMWrites += w
+		if ha.Dir != nil {
+			t.DirWrites += ha.Dir.Writes()
+		}
+	}
+	return t
 }
 
 // String describes the machine.

@@ -139,19 +139,29 @@ func TestHomeNode(t *testing.T) {
 	m := MustNew(TestSystem(SourceSnoop))
 	r0 := m.MustAlloc(0, 4096)
 	r1 := m.MustAlloc(1, 4096)
-	if m.HomeNode(r0.Base.Line()) != 0 || m.HomeNode(r1.Base.Line()) != 1 {
+	if m.MustHomeNode(r0.Base.Line()) != 0 || m.MustHomeNode(r1.Base.Line()) != 1 {
 		t.Error("home node mapping wrong")
+	}
+	if n, err := m.HomeNode(r0.Base.Line()); err != nil || n != 0 {
+		t.Errorf("HomeNode = %d, %v", n, err)
 	}
 }
 
-func TestHomeNodePanicsOutsideMemory(t *testing.T) {
+func TestHomeNodeErrorsOutsideMemory(t *testing.T) {
+	m := MustNew(TestSystem(SourceSnoop))
+	if _, err := m.HomeNode(addr.LineAddr(1)); err == nil {
+		t.Error("HomeNode must report unmapped addresses")
+	}
+}
+
+func TestMustHomeNodePanicsOutsideMemory(t *testing.T) {
 	m := MustNew(TestSystem(SourceSnoop))
 	defer func() {
 		if recover() == nil {
-			t.Error("HomeNode must panic for unmapped addresses")
+			t.Error("MustHomeNode must panic for unmapped addresses")
 		}
 	}()
-	m.HomeNode(addr.LineAddr(1))
+	m.MustHomeNode(addr.LineAddr(1))
 }
 
 // TestHomeAgentInterleave: without COD a socket's memory interleaves over

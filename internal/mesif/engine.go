@@ -25,6 +25,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/cache"
 	"haswellep/internal/directory"
+	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/topology"
 	"haswellep/internal/units"
@@ -173,6 +174,13 @@ type Engine struct {
 	// nil (the default) costs nothing on the transaction path.
 	AfterTransaction func(op Op, core topology.CoreID, l addr.LineAddr)
 
+	// Faults, when non-nil, injects the faults of a fault.Plan into the
+	// transaction paths (see fault.go in this package). nil — and any
+	// injector whose plan has all-zero probabilities — leaves every
+	// latency, statistic, and state transition exactly as the fault-free
+	// engine produces them.
+	Faults *fault.Injector
+
 	stats Stats
 }
 
@@ -227,13 +235,42 @@ func (e *Engine) record(op Op, a Access) Access {
 }
 
 // finish records the transaction and fires the AfterTransaction hook; it is
-// the single exit path of Read, Write, and Flush.
+// the single exit path of Read, Write, and Flush. Fault-recovery penalties
+// accumulated during the transaction are folded into the returned latency
+// here, so every repair is priced exactly once.
 func (e *Engine) finish(op Op, core topology.CoreID, l addr.LineAddr, a Access) Access {
+	if e.Faults != nil {
+		a.Latency += nsT(e.Faults.DrainPenaltyNs())
+	}
 	a = e.record(op, a)
 	if e.AfterTransaction != nil {
 		e.AfterTransaction(op, core, l)
 	}
 	return a
+}
+
+// Do executes one transaction after validating the inputs; it is the entry
+// point for untrusted (user- or fuzzer-controlled) cores and addresses —
+// the workload runner, the fuzz targets, and cmd drivers use it. Read,
+// Write, and Flush themselves treat an out-of-range core or an unmapped
+// line as a programmer error and panic.
+func (e *Engine) Do(op Op, core topology.CoreID, l addr.LineAddr) (Access, error) {
+	if int(core) < 0 || int(core) >= e.M.Topo.Cores() {
+		return Access{}, fmt.Errorf("mesif: core %d out of range (0..%d)", core, e.M.Topo.Cores()-1)
+	}
+	if _, err := e.M.HomeNode(l); err != nil {
+		return Access{}, err
+	}
+	switch op {
+	case OpRead:
+		return e.Read(core, l), nil
+	case OpWrite:
+		return e.Write(core, l), nil
+	case OpFlush:
+		return e.Flush(core, l), nil
+	default:
+		return Access{}, fmt.Errorf("mesif: unknown operation %v", op)
+	}
 }
 
 // --- cross-node lookup helpers -------------------------------------------
@@ -351,10 +388,25 @@ func (e *Engine) soleOtherValidCore(ent nodeEntry, requester topology.CoreID) (t
 }
 
 // hitmeLookup performs a HitME lookup when the home agent has a directory
-// cache; machines built with DisableHitME have none and always miss.
+// cache; machines built with DisableHitME have none and always miss. With
+// an injector installed the lookup may lie in either direction: a false
+// miss routes the request through the (pinned snoop-all) in-memory
+// directory, a false hit fabricates an owned entry whose directed snoop
+// finds nothing and falls back the same way — both recoveries end at
+// correct data through the directory paths below the lookup.
 func (e *Engine) hitmeLookup(ha *machine.HomeAgent, l addr.LineAddr) (directory.PresenceVector, directory.EntryKind, bool) {
 	if ha.HitME == nil {
 		return 0, directory.EntryShared, false
 	}
-	return ha.HitME.Lookup(l)
+	v, kind, hit := ha.HitME.Lookup(l)
+	if e.Faults == nil {
+		return v, kind, hit
+	}
+	if hit {
+		if e.Faults.FalseMiss() {
+			return 0, directory.EntryShared, false
+		}
+		return v, kind, hit
+	}
+	return e.faultHitMEFalseHit(ha, l)
 }

@@ -20,7 +20,7 @@ import (
 func (e *Engine) Explain(core topology.CoreID, l addr.LineAddr) string {
 	var b strings.Builder
 	rn := e.M.Topo.NodeOfCore(core)
-	hn := e.M.HomeNode(l)
+	hn := e.M.MustHomeNode(l)
 	fmt.Fprintf(&b, "core %d (node%d) reads line %#x (home: node%d)\n", core, rn, l, hn)
 
 	cc := e.M.Core(core)

@@ -1,0 +1,213 @@
+package mesif_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/fault"
+	"haswellep/internal/invariant"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+)
+
+// faultWorkload drives a deterministic mixed access stream (reads, writes,
+// flushes from every core over per-node buffers) and returns the observed
+// accesses. The stream itself is independent of the injector, so two runs
+// differ only through fault injection.
+func faultWorkload(t testing.TB, e *mesif.Engine, accesses int) []mesif.Access {
+	t.Helper()
+	var lines []addr.LineAddr
+	for n := 0; n < e.M.Topo.Nodes(); n++ {
+		r, err := e.M.AllocOnNode(topology.NodeID(n), 16*addr.LineSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, r.Lines()...)
+	}
+	rng := rand.New(rand.NewSource(0xFA111))
+	out := make([]mesif.Access, 0, accesses)
+	for i := 0; i < accesses; i++ {
+		core := topology.CoreID(rng.Intn(e.M.Topo.Cores()))
+		l := lines[rng.Intn(len(lines))]
+		var op mesif.Op
+		switch r := rng.Intn(10); {
+		case r < 6:
+			op = mesif.OpRead
+		case r < 9:
+			op = mesif.OpWrite
+		default:
+			op = mesif.OpFlush
+		}
+		acc, err := e.Do(op, core, l)
+		if err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+		out = append(out, acc)
+	}
+	return out
+}
+
+var allModes = []machine.SnoopMode{machine.SourceSnoop, machine.HomeSnoop, machine.COD}
+
+// TestRateZeroMatchesNilInjector: a rate-0 injector consumes no randomness
+// and charges no penalty, so every access latency, every source, and the
+// final engine stats are identical to running with no injector at all —
+// the fault layer is exactly free when disabled.
+func TestRateZeroMatchesNilInjector(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			base := newEngine(t, mode)
+			faulted := newEngine(t, mode)
+			faulted.Faults = fault.MustInjector(fault.Uniform(1, 0))
+
+			want := faultWorkload(t, base, 400)
+			got := faultWorkload(t, faulted, 400)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("access %d diverged: nil=%+v rate0=%+v", i, want[i], got[i])
+				}
+			}
+			if !reflect.DeepEqual(base.Stats(), faulted.Stats()) {
+				t.Errorf("stats diverged:\nnil:   %+v\nrate0: %+v", base.Stats(), faulted.Stats())
+			}
+			c := faulted.Faults.Counters()
+			if c != (fault.Counters{}) {
+				t.Errorf("rate-0 injector accumulated counters: %+v", c)
+			}
+		})
+	}
+}
+
+// TestFaultedRunsRecover is the acceptance test of the fault engine: under
+// an aggressive seeded plan, in every snoop mode, every transaction must
+// leave the machine in a legal coherence state (zero hard violations after
+// recovery) and every injected penalty must be drained into the returned
+// latency.
+func TestFaultedRunsRecover(t *testing.T) {
+	for _, mode := range allModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newEngine(t, mode)
+			e.Faults = fault.MustInjector(fault.Uniform(0xC0FFEE, 0.3))
+			invariant.Attach(e, func(op mesif.Op, core topology.CoreID, l addr.LineAddr, found []invariant.Violation) {
+				for _, v := range invariant.Hard(found) {
+					t.Errorf("%v core %d line %#x: %v", op, core, l.Addr(), v)
+				}
+			})
+			faultWorkload(t, e, 400)
+			if e.Faults.PendingPenaltyNs() != 0 {
+				t.Errorf("pending penalty %v ns after run", e.Faults.PendingPenaltyNs())
+			}
+			c := e.Faults.Counters()
+			for _, k := range []fault.Kind{fault.DropSnoopResponse, fault.AgentStall} {
+				if c.Injected[k] == 0 {
+					t.Errorf("kind %v never struck at rate 0.3", k)
+				}
+			}
+			if mode == machine.COD {
+				// Only COD has an in-memory directory to poison and a
+				// HitME directory cache to lie about.
+				if c.Injected[fault.StaleDirectory] == 0 {
+					t.Errorf("kind %v never struck in COD at rate 0.3", fault.StaleDirectory)
+				}
+				if c.Injected[fault.HitMEFalseHit] == 0 || c.Injected[fault.HitMEFalseMiss] == 0 {
+					t.Errorf("HitME faults never struck in COD: %+v", c.Injected)
+				}
+				if c.DirectoryRepairs == 0 {
+					t.Errorf("no directory repairs booked at rate 0.3")
+				}
+				if c.WastedSnoops == 0 {
+					t.Errorf("no wasted snoops booked at rate 0.3")
+				}
+			}
+			if c.Retries == 0 || c.PenaltyNs == 0 {
+				t.Errorf("retry/penalty accounting empty: %+v", c)
+			}
+		})
+	}
+}
+
+// TestFaultScheduleDeterminism: the same seed against the same access
+// stream reproduces the fault schedule, the counters, and every access
+// byte-for-byte.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	run := func() ([]mesif.Access, fault.Counters, []fault.Event) {
+		e := newEngine(t, machine.COD)
+		e.Faults = fault.MustInjector(fault.Uniform(0xDE7E12, 0.2))
+		accs := faultWorkload(t, e, 300)
+		return accs, e.Faults.Counters(), e.Faults.Events()
+	}
+	a1, c1, e1 := run()
+	a2, c2, e2 := run()
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("accesses differ across identical seeded runs")
+	}
+	if c1 != c2 {
+		t.Errorf("counters differ:\n%+v\n%+v", c1, c2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Error("fault schedules differ across identical seeded runs")
+	}
+	if len(e1) == 0 {
+		t.Fatal("no faults scheduled at rate 0.2 over 300 accesses")
+	}
+}
+
+// TestFaultsOnlyDelay: faults slow transactions down but never speed them
+// up or lose data — the faulted run's total latency must be at least the
+// healthy run's, and the injected penalty accounts for part of the gap.
+func TestFaultsOnlyDelay(t *testing.T) {
+	base := newEngine(t, machine.COD)
+	healthy := faultWorkload(t, base, 300)
+
+	e := newEngine(t, machine.COD)
+	e.Faults = fault.MustInjector(fault.Plan{
+		Seed:              1,
+		DropSnoopResponse: 0.4,
+		AgentStall:        0.4,
+	})
+	faulted := faultWorkload(t, e, 300)
+
+	var totalHealthy, totalFaulted float64
+	for i := range healthy {
+		totalHealthy += healthy[i].Latency.Nanoseconds()
+		totalFaulted += faulted[i].Latency.Nanoseconds()
+	}
+	if totalFaulted <= totalHealthy {
+		t.Errorf("faulted total %.1f ns not above healthy %.1f ns", totalFaulted, totalHealthy)
+	}
+	if p := e.Faults.Counters().PenaltyNs; totalFaulted-totalHealthy < p-1e-6 {
+		// Drop/stall faults only add pure delay, so the gap must carry
+		// at least the booked penalty (modulo float summation order).
+		t.Errorf("latency gap %.1f ns below booked penalty %.1f ns", totalFaulted-totalHealthy, p)
+	}
+}
+
+// TestEngineDo validates the checked entry point.
+func TestEngineDo(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 0)
+	if _, err := e.Do(mesif.OpRead, 0, l); err != nil {
+		t.Errorf("valid read: %v", err)
+	}
+	if _, err := e.Do(mesif.OpWrite, 0, l); err != nil {
+		t.Errorf("valid write: %v", err)
+	}
+	if _, err := e.Do(mesif.OpFlush, 0, l); err != nil {
+		t.Errorf("valid flush: %v", err)
+	}
+	if _, err := e.Do(mesif.OpRead, topology.CoreID(e.M.Topo.Cores()), l); err == nil {
+		t.Error("core out of range accepted")
+	}
+	if _, err := e.Do(mesif.OpRead, -1, l); err == nil {
+		t.Error("negative core accepted")
+	}
+	if _, err := e.Do(mesif.OpRead, 0, addr.LineAddr(1<<40)); err == nil {
+		t.Error("unmapped line accepted")
+	}
+	if _, err := e.Do(mesif.Op(99), 0, l); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

@@ -41,14 +41,11 @@ func (e *Engine) handleL1Victim(core topology.CoreID, v cache.Line) {
 
 // handleL2Victim processes a line evicted from an L2. A modified victim is
 // written back into the node's L3 slice, marking the L3 copy Modified and
-// clearing the evicting core's valid bit; the inclusive L3 is guaranteed to
-// hold the line. Clean victims are dropped silently — their core-valid bits
-// intentionally remain set.
+// clearing the evicting core's valid bit — unless the core's L1 still holds
+// the line (non-inclusive L1/L2), in which case the bit must survive so the
+// L3 keeps tracking the remaining private copy. Clean victims are dropped
+// silently — their core-valid bits intentionally remain set.
 func (e *Engine) handleL2Victim(core topology.CoreID, v cache.Line) {
-	// The line may still be in L1 (non-inclusive L1/L2); a pure L2
-	// eviction leaves the L1 copy alone on real hardware, but our fill
-	// order evicts L2 before filling L1, so treat the L2 victim on its
-	// own.
 	if v.State != cache.Modified {
 		return
 	}
@@ -57,9 +54,12 @@ func (e *Engine) handleL2Victim(core topology.CoreID, v cache.Line) {
 	slice := e.M.Slice(sl)
 	if slice.Contains(v.Addr) {
 		localBit := e.M.Topo.LocalCore(core)
+		keepBit := e.M.Core(core).L1D.StateOf(v.Addr).Valid()
 		slice.Update(v.Addr, func(ln *cache.Line) {
 			ln.State = cache.Modified
-			ln.CoreValid &^= 1 << uint(localBit)
+			if !keepBit {
+				ln.CoreValid &^= 1 << uint(localBit)
+			}
 		})
 		return
 	}
@@ -121,7 +121,7 @@ func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
 	if ha.Dir == nil {
 		return
 	}
-	home := e.M.HomeNode(l)
+	home := e.M.MustHomeNode(l)
 	if fromNode != home {
 		ha.Dir.SetState(l, directory.RemoteInvalid)
 		if ha.HitME != nil {
@@ -185,7 +185,7 @@ func (e *Engine) dirOnReadGrant(l addr.LineAddr, requester topology.NodeID, gran
 	if ha.Dir == nil {
 		return
 	}
-	home := e.M.HomeNode(l)
+	home := e.M.MustHomeNode(l)
 	if requester == home {
 		return // home-node copies are found by the mandatory local snoop
 	}
@@ -207,7 +207,7 @@ func (e *Engine) allocateHitME(l addr.LineAddr, requester topology.NodeID, kind 
 	if ha.Dir == nil {
 		return
 	}
-	home := e.M.HomeNode(l)
+	home := e.M.MustHomeNode(l)
 	if requester == home {
 		return
 	}

@@ -15,6 +15,7 @@ import (
 // the state changes earlier reads caused (a modified line is only forwarded
 // from the owning core once, etc.).
 func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
+	e.faultBegin()
 	return e.finish(OpRead, core, l, e.readLine(core, l))
 }
 
@@ -49,7 +50,9 @@ func (e *Engine) readLine(core topology.CoreID, l addr.LineAddr) Access {
 		return Access{Latency: nsT(lat.L2Hit), Source: SrcL2}
 	}
 
-	// Private miss: the request travels to the node's responsible CA.
+	// Private miss: the request travels to the node's responsible CA,
+	// which may transiently stall it (fault injection).
+	e.faultStall()
 	ca := e.M.ResponsibleCA(core, l)
 	tReq := nsT(lat.RequestLaunch) + e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca))
 
@@ -165,6 +168,9 @@ func (e *Engine) l3Hit(core topology.CoreID, rn topology.NodeID, l addr.LineAddr
 // It returns the service time at the peer and the data source class.
 func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
 	lat := e.lat()
+	// The response carrying the forwarded data may be dropped and
+	// re-issued (fault injection).
+	e.faultSnoopDrop()
 	cost := nsT(lat.L3Pipe) + nsT(lat.NodeTransferPipe)
 	src := SrcPeerL3
 	fwdLevel := 0
@@ -225,7 +231,7 @@ func (e *Engine) dirAfterForward(l addr.LineAddr, rn topology.NodeID) {
 	if ha.Dir == nil {
 		return
 	}
-	home := e.M.HomeNode(l)
+	home := e.M.MustHomeNode(l)
 	if rn != home {
 		e.allocateHitME(l, rn, directory.EntryShared)
 		return
@@ -293,7 +299,7 @@ func (e *Engine) sourceSnoopMiss(core topology.CoreID, rn topology.NodeID, l add
 	return Access{
 		Latency:    tMiss + legCH + nsT(lat.HAPipe) + dramT + legHC,
 		Source:     SrcMemory,
-		RemoteDRAM: e.M.HomeNode(l) != rn,
+		RemoteDRAM: e.M.MustHomeNode(l) != rn,
 	}
 }
 
@@ -348,7 +354,7 @@ func (e *Engine) homeSnoopMiss(core topology.CoreID, rn topology.NodeID, l addr.
 	return Access{
 		Latency:    tHA + wait + legHC,
 		Source:     SrcMemory,
-		RemoteDRAM: e.M.HomeNode(l) != rn,
+		RemoteDRAM: e.M.MustHomeNode(l) != rn,
 	}
 }
 
@@ -375,6 +381,9 @@ func (e *Engine) snoopResponseWait(agent topology.AgentID, rn topology.NodeID) u
 	if worst == 0 {
 		return 0
 	}
+	// Any of the awaited responses may be dropped and re-issued (fault
+	// injection).
+	e.faultSnoopDrop()
 	return worst + nsT(lat.HAResolve)
 }
 
@@ -385,7 +394,7 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	ca := e.M.ResponsibleCA(core, l)
 	agent := e.M.HomeAgentOf(l)
 	ha := e.M.HAs[agent]
-	hn := e.M.HomeNode(l)
+	hn := e.M.MustHomeNode(l)
 	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
 	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
 
@@ -468,7 +477,7 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	// access.
 	dramT := ha.DRAM.AccessTime(e.WorkingSet)
 	tDir := tHA + dramT
-	dirState := ha.Dir.State(l)
+	dirState := e.faultDirectory(agent, ha, l, ha.Dir.State(l), rn, hn)
 
 	if dirState == directory.SnoopAll {
 		// Broadcast to every node except the requester's and the home
@@ -588,5 +597,6 @@ func (e *Engine) snoopResponseWaitExcept(agent topology.AgentID, rn, hn topology
 	if worst == 0 {
 		return 0
 	}
+	e.faultSnoopDrop()
 	return worst + nsT(lat.HAResolve)
 }

@@ -15,6 +15,7 @@ import (
 // snoops Section VI-A analyzes), and anything else issues a read-for-
 // ownership that invalidates every other copy in the system.
 func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
+	e.faultBegin()
 	return e.finish(OpWrite, core, l, e.writeLine(core, l))
 }
 
@@ -63,6 +64,7 @@ func (e *Engine) writeLine(core topology.CoreID, l addr.LineAddr) Access {
 // acknowledgements.
 func (e *Engine) upgradeShared(core topology.CoreID, rn topology.NodeID, l addr.LineAddr, hitCost units.Time) Access {
 	lat := e.lat()
+	e.faultStall()
 	ca := e.M.ResponsibleCA(core, l)
 	t := nsT(lat.RequestLaunch) +
 		e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca)) +
@@ -83,6 +85,7 @@ func (e *Engine) rfoMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	lat := e.lat()
 	cc := e.M.Core(core)
 	_ = cc
+	e.faultStall()
 	ca := e.M.ResponsibleCA(core, l)
 	tReq := nsT(lat.RequestLaunch) + e.M.Leg(e.M.CoreEndpoint(core), e.M.SliceEndpoint(ca))
 
@@ -154,7 +157,7 @@ func (e *Engine) rfoDataPath(core topology.CoreID, rn topology.NodeID, l addr.Li
 	return Access{
 		Latency:    tHA + wait + e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core)),
 		Source:     SrcMemory,
-		RemoteDRAM: e.M.HomeNode(l) != rn,
+		RemoteDRAM: e.M.MustHomeNode(l) != rn,
 	}
 }
 
@@ -166,7 +169,7 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 	ca := e.M.ResponsibleCA(core, l)
 	agent := e.M.HomeAgentOf(l)
 	ha := e.M.HAs[agent]
-	hn := e.M.HomeNode(l)
+	hn := e.M.MustHomeNode(l)
 	tHA := tMiss + e.M.Leg(e.M.SliceEndpoint(ca), e.M.AgentEndpoint(agent)) + nsT(lat.HAPipe)
 	legHC := e.M.Leg(e.M.AgentEndpoint(agent), e.M.CoreEndpoint(core))
 
@@ -190,7 +193,7 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 
 	dramT := ha.DRAM.AccessTime(e.WorkingSet)
 	tDir := tHA + dramT
-	dirState := ha.Dir.State(l)
+	dirState := e.faultDirectory(agent, ha, l, ha.Dir.State(l), rn, hn)
 
 	// Local snoop at the home node.
 	if hn != rn {
@@ -245,6 +248,11 @@ func (e *Engine) invalidationWait(rn topology.NodeID, l addr.LineAddr) units.Tim
 				worst = rt
 			}
 		}
+	}
+	if worst > 0 {
+		// Any of the awaited acknowledgements may be dropped and
+		// re-issued (fault injection).
+		e.faultSnoopDrop()
 	}
 	return worst
 }
@@ -310,7 +318,7 @@ func (e *Engine) takeOwnership(core topology.CoreID, rn topology.NodeID, l addr.
 	if ha.Dir == nil {
 		return
 	}
-	hn := e.M.HomeNode(l)
+	hn := e.M.MustHomeNode(l)
 	if rn == hn {
 		ha.Dir.SetState(l, directory.RemoteInvalid)
 		if ha.HitME != nil {
@@ -330,7 +338,9 @@ func (e *Engine) takeOwnership(core topology.CoreID, rn topology.NodeID, l addr.
 // every cached copy in the system is invalidated, dirty data is written
 // back to the home memory, and the directory returns to remote-invalid.
 func (e *Engine) Flush(core topology.CoreID, l addr.LineAddr) Access {
+	e.faultBegin()
 	lat := e.lat()
+	e.faultStall()
 	ca := e.M.ResponsibleCA(core, l)
 	agent := e.M.HomeAgentOf(l)
 	t := nsT(lat.RequestLaunch) +

@@ -228,12 +228,15 @@ func (r *Runner) Run(spec Spec) (Result, error) {
 		res.PerCore[i].Core = c
 	}
 	for _, o := range ops {
-		var acc mesif.Access
-		core := spec.Cores[o.core]
+		op := mesif.OpRead
 		if o.write {
-			acc = r.E.Write(core, o.line)
-		} else {
-			acc = r.E.Read(core, o.line)
+			op = mesif.OpWrite
+		}
+		// Engine.Do is the checked entry: a spec naming cores outside
+		// the machine surfaces as an error here, not a panic.
+		acc, err := r.E.Do(op, spec.Cores[o.core], o.line)
+		if err != nil {
+			return Result{}, fmt.Errorf("workload %q: %w", spec.Name, err)
 		}
 		res.PerCore[o.core].Accesses++
 		res.PerCore[o.core].TotalTime += acc.Latency
