@@ -43,18 +43,20 @@ type ChaosPoint struct {
 	RemoteReadGBps float64
 }
 
-// Mean4 and Mean5 return the mean of the point's 16-cell matrices.
+// Mean4 and Mean5 return the mean of the point's latency matrices.
 func (p ChaosPoint) Mean4() float64 { return matrixMean(p.Table4.Values) }
 func (p ChaosPoint) Mean5() float64 { return matrixMean(p.Table5.Values) }
 
 func matrixMean(v [4][4]float64) float64 {
 	var s float64
+	n := 0
 	for _, row := range v {
 		for _, x := range row {
 			s += x
+			n++
 		}
 	}
-	return s / 16
+	return s / float64(n)
 }
 
 // ChaosResult is the full sweep.
@@ -145,9 +147,17 @@ func chaosPointWith(seed int64, rate float64, includeT5 bool) (ChaosPoint, error
 			return ChaosPoint{}, err
 		}
 	}
-	// The recovery acceptance gate: after thousands of faulted
-	// transactions the machine must read as legal, and every repair must
-	// have been priced into a returned latency.
+	// The recovery acceptance gate, per transaction: the env's always-on
+	// incremental checker validated every line each faulted transaction
+	// touched — and that each repair's penalty was drained into a returned
+	// latency — the moment it completed, so a fault the engine failed to
+	// recover from is pinned to the transaction that exposed it.
+	if err := env.Check.Err(); err != nil {
+		return ChaosPoint{}, fmt.Errorf("after recovery: %w", err)
+	}
+	// End-of-point epoch boundary: one full machine Check on top of the
+	// incremental gate (it also runs the cross-agent filing scan the
+	// per-line checks skip), and the source of the stale-findings tally.
 	found := invariant.Check(env.M)
 	if hard := invariant.Hard(found); len(hard) != 0 {
 		return ChaosPoint{}, fmt.Errorf("%d hard violations after recovery, first: %v", len(hard), hard[0])

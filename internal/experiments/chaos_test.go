@@ -92,3 +92,28 @@ func TestChaosSweep(t *testing.T) {
 		t.Errorf("re-measured counters differ:\n%+v\n%+v", again.Counters, p1.Counters)
 	}
 }
+
+// TestMatrixMean pins the mean to the matrix dimensions: the divisor used
+// to be hardcoded to 16, which silently mis-averages if the matrix shape
+// ever changes alongside the topology.
+func TestMatrixMean(t *testing.T) {
+	var v [4][4]float64
+	for i := range v {
+		for j := range v[i] {
+			v[i][j] = float64(i*len(v[i]) + j)
+		}
+	}
+	// Mean of 0..15 is 7.5 regardless of how the cells are arranged.
+	if got := matrixMean(v); got != 7.5 {
+		t.Fatalf("matrixMean = %v, want 7.5", got)
+	}
+	uniform := [4][4]float64{}
+	for i := range uniform {
+		for j := range uniform[i] {
+			uniform[i][j] = 3.25
+		}
+	}
+	if got := matrixMean(uniform); got != 3.25 {
+		t.Fatalf("matrixMean of a uniform matrix = %v, want 3.25", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
 	"haswellep/internal/fault"
+	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
 	"haswellep/internal/placement"
@@ -20,12 +21,26 @@ import (
 	"haswellep/internal/units"
 )
 
-// Env is one experiment's machine instance.
+// Env is one experiment's machine instance. Every env runs with the
+// incremental invariant checker attached (invariant.AttachIncrementalOpts,
+// triage fidelity): a healthy env validates every 16th transaction's dirty
+// set — a violating state persists until repaired, so on the revisited
+// working sets the experiments measure it is still caught within a few
+// transactions of appearing — while an env whose fault plan actively
+// injects validates after every single transaction, pinning any
+// unrecovered fault to the exact transaction that exposed it (the chaos
+// sweep's per-transaction gate). Findings land in Check; experiments
+// consult Check.Err after (or during) a run.
 type Env struct {
 	Mode machine.SnoopMode
 	M    *machine.Machine
 	E    *mesif.Engine
 	P    *placement.Placer
+
+	// Check records every hard violation the always-on incremental
+	// checker finds (and counts stale findings). A healthy engine keeps
+	// Check.Err() nil for any workload.
+	Check *invariant.Recorder
 
 	// lastAlloc is the most recent Alloc result (see lastRegion).
 	lastAlloc addr.Region
@@ -34,8 +49,7 @@ type Env struct {
 // NewEnv builds a fresh test-system machine in the given mode.
 func NewEnv(mode machine.SnoopMode) *Env {
 	m := machine.MustNew(machine.TestSystem(mode))
-	e := mesif.New(m)
-	return &Env{Mode: mode, M: m, E: e, P: placement.New(e)}
+	return newEnv(mode, m, mesif.New(m))
 }
 
 // NewEnvWithFaults builds a test-system machine in the given mode with the
@@ -54,7 +68,27 @@ func NewEnvWithFaults(mode machine.SnoopMode, plan fault.Plan) (*Env, error) {
 	}
 	e := mesif.New(m)
 	e.Faults = inj
-	return &Env{Mode: mode, M: m, E: e, P: placement.New(e)}, nil
+	return newEnv(mode, m, e), nil
+}
+
+// newEnv finishes env construction: placement, and the always-on
+// incremental invariant checker feeding env.Check. Faulted engines are
+// checked after every transaction; healthy ones every 16th. Periodic full
+// Checks are disabled (the experiment machines cache enough lines that
+// even a rare full Check dominates the run) — harnesses that want one run
+// invariant.Check explicitly, as the chaos sweep does per point.
+func newEnv(mode machine.SnoopMode, m *machine.Machine, e *mesif.Engine) *Env {
+	rec := &invariant.Recorder{}
+	o := invariant.IncrementalOptions{Epoch: invariant.NoEpoch, Sample: 16, Fast: true}
+	if e.Faults != nil && e.Faults.Plan().Active() {
+		// Dynamic faults can strike: check every transaction, so an
+		// unrecovered fault is pinned to the transaction that exposed it.
+		// An inert (rate-0) plan is documented to behave identically to
+		// no injector at all, and keeps the sampled cadence.
+		o.Sample = 1
+	}
+	invariant.AttachIncrementalOpts(e, o, rec.Record)
+	return &Env{Mode: mode, M: m, E: e, P: placement.New(e), Check: rec}
 }
 
 // FirstCore returns the first core of a NUMA node, the core the paper's

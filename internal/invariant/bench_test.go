@@ -1,0 +1,88 @@
+package invariant
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/units"
+)
+
+// The per-transaction checking benchmarks quantify what the always-on
+// incremental mode costs against the alternative it replaced (a full
+// machine Check after every transaction) on the capacity-pressure stream:
+// a 24 MiB working set against a 15 MiB COD cluster, the regime where the
+// machine holds the most lines and a full Check is at its most expensive.
+//
+//	go test ./internal/invariant -run '^$' -bench PerTx
+
+// benchStream returns the capacity-pressure machine after streaming the
+// full 24 MiB working set once, plus the stream's access generator.
+func benchStream(b *testing.B) (*mesif.Engine, []addr.LineAddr, func(i int)) {
+	b.Helper()
+	cfg := machine.TestSystem(machine.COD)
+	cfg.Sockets = 1
+	m := machine.MustNew(cfg)
+	e := mesif.New(m)
+	region := m.MustAlloc(0, 24*units.MiB)
+	lines := region.Lines()
+	cores := []topology.CoreID{0, 1, 6}
+	access := func(i int) {
+		i %= len(lines)
+		c := cores[i%len(cores)]
+		if i%4 == 0 {
+			e.Write(c, lines[i])
+		} else {
+			e.Read(c, lines[i])
+		}
+	}
+	for i := range lines {
+		access(i)
+	}
+	return e, lines, access
+}
+
+// BenchmarkPerTxNoCheck is the floor: the transaction alone.
+func BenchmarkPerTxNoCheck(b *testing.B) {
+	_, _, access := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		access(i)
+	}
+}
+
+// BenchmarkPerTxIncremental is the always-on mode: the transaction plus a
+// reusable Checker validating its dirty set.
+func BenchmarkPerTxIncremental(b *testing.B) {
+	e, _, access := benchStream(b)
+	e.SetDirtyTracking(true)
+	c := NewChecker(e.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		access(i)
+		c.CheckLines(e.DirtyLines())
+	}
+}
+
+// BenchmarkPerTxFull is the mode Attach used to force on harness users: a
+// full machine Check after every transaction, O(every cached line).
+func BenchmarkPerTxFull(b *testing.B) {
+	e, _, access := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		access(i)
+		Check(e.M)
+	}
+}
+
+// BenchmarkFullCheck prices one machine-wide Check on the populated
+// machine — the cost AttachIncremental pays once per epoch.
+func BenchmarkFullCheck(b *testing.B) {
+	e, _, _ := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Check(e.M)
+	}
+}

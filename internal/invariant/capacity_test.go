@@ -26,6 +26,12 @@ func TestCapacityPressure(t *testing.T) {
 	m := machine.MustNew(cfg)
 	e := mesif.New(m)
 
+	// Always-on incremental checking: every transaction's dirty lines are
+	// validated the moment it completes, with a periodic full Check as the
+	// epoch safety net — the same wiring the experiment harness uses.
+	rec := &Recorder{}
+	AttachIncremental(e, 16384, rec.Record)
+
 	const footprint = 24 * units.MiB // 1.6x the home cluster's L3
 	region := m.MustAlloc(0, footprint)
 	lines := region.Lines()
@@ -50,13 +56,11 @@ func TestCapacityPressure(t *testing.T) {
 			back := lines[i-1-rng.Intn(window)]
 			e.Read(cores[(i+1)%len(cores)], back)
 		}
-		// A full Check each transaction is O(cached lines) and the stream
-		// is ~400k transactions; sampling every 16k still lands dozens of
-		// full validations across all eviction phases.
-		if i%16384 == 0 {
-			if hard := Hard(Check(m)); len(hard) != 0 {
-				t.Fatalf("violation at line %d of the stream:\n  %v", i, hard[0])
-			}
+		// The attached checker has already validated every line this
+		// transaction touched; fail at the first recorded violation so the
+		// report points near the offending stream position.
+		if rec.HardCount != 0 {
+			t.Fatalf("violation by line %d of the stream:\n  %v", i, rec.Violations[0])
 		}
 	}
 	found := Check(m)

@@ -1,0 +1,253 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/fault"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+)
+
+// The differential tests pin down the equivalence the incremental checker
+// rests on: a transaction's dirty set (Engine.DirtyLines) fully explains
+// every change in the checker's findings. Two statements are asserted after
+// every transaction:
+//
+//  1. On dirty lines, CheckLines over just the dirty set reproduces exactly
+//     what a fresh check of those lines finds (reused scratch buffers and
+//     visit order change nothing).
+//  2. On every line NOT in the dirty set, the findings are bit-identical to
+//     the findings before the transaction — the engine really did leave the
+//     line's standing alone.
+//  3. The triage-fidelity checker (NewFastChecker) reports the same
+//     (kind, class, line) findings over the dirty set as the full-fidelity
+//     one. Its documented blind spots — misplaced L3 entries and private
+//     copies stranded without a core-valid bit — are states no engine path
+//     and no injected fault produce, so on every reachable state triage
+//     fidelity may differ from full fidelity only in the rendered detail
+//     text. This is the claim that makes Fast mode safe as the experiment
+//     harness default.
+//
+// Together these are "incremental ≡ full": the incremental view, carried
+// forward line by line, matches a from-scratch full check at every step.
+// The sweep and fuzz rigs run statement 1+2 per transaction (dirtyDiff);
+// TestIncrementalMatchesFull additionally reconstructs the full-machine
+// finding set from increments alone and compares it against a real Check —
+// including collectLines and the agent-filing scan — per transaction.
+
+// dirtyDiff asserts the dirty-set contract after every transaction on a
+// rig whose accesses stay within a known line universe.
+type dirtyDiff struct {
+	e        *mesif.Engine
+	inc      *Checker
+	fastInc  *Checker
+	full     *Checker
+	universe []addr.LineAddr
+	inUni    map[addr.LineAddr]bool
+	// prev holds the previous transaction's findings per line.
+	prev map[addr.LineAddr][]string
+}
+
+func newDirtyDiff(e *mesif.Engine, universe []addr.LineAddr) *dirtyDiff {
+	e.SetDirtyTracking(true)
+	inUni := make(map[addr.LineAddr]bool, len(universe))
+	for _, l := range universe {
+		inUni[l] = true
+	}
+	return &dirtyDiff{
+		e:        e,
+		inc:      NewChecker(e.M),
+		fastInc:  NewFastChecker(e.M),
+		full:     NewChecker(e.M),
+		universe: universe,
+		inUni:    inUni,
+		prev:     map[addr.LineAddr][]string{},
+	}
+}
+
+// keyStrings renders findings as sorted (kind, class, line) keys — the
+// comparison form for triage fidelity, which elides detail text.
+func keyStrings(vs []Violation) []string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = fmt.Sprintf("%v/%v/%#x", v.Kind, v.Class, v.Line.Addr())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// groupByLine buckets findings per line as sorted strings, the comparison
+// form the differential uses.
+func groupByLine(vs []Violation) map[addr.LineAddr][]string {
+	g := map[addr.LineAddr][]string{}
+	for _, v := range vs {
+		g[v.Line] = append(g[v.Line], v.String())
+	}
+	for _, s := range g {
+		sort.Strings(s)
+	}
+	return g
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// afterTx checks the contract for the transaction that just completed and
+// returns the full findings over the universe (for the caller's own hard-
+// violation gate). ctx is only evaluated on failure.
+func (d *dirtyDiff) afterTx(t *testing.T, ctx func() string) []Violation {
+	t.Helper()
+	dirty := d.e.DirtyLines()
+	dirtySet := make(map[addr.LineAddr]bool, len(dirty))
+	for _, l := range dirty {
+		if !d.inUni[l] {
+			t.Fatalf("%s: dirty set names line %#x outside the rig's universe", ctx(), l.Addr())
+		}
+		dirtySet[l] = true
+	}
+	incFound := d.inc.CheckLines(dirty)
+	incBy := groupByLine(incFound)
+	incKeys := keyStrings(incFound)
+	if fastKeys := keyStrings(d.fastInc.CheckLines(dirty)); !equalStrings(incKeys, fastKeys) {
+		t.Fatalf("%s: triage checker diverges from full fidelity on the dirty set\n  full:   %v\n  triage: %v",
+			ctx(), incKeys, fastKeys)
+	}
+	all := d.full.CheckLines(d.universe)
+	allBy := groupByLine(all)
+	for _, l := range d.universe {
+		want := d.prev[l]
+		if dirtySet[l] {
+			want = incBy[l]
+		}
+		if !equalStrings(allBy[l], want) {
+			t.Fatalf("%s: dirty-set contract broken for line %#x (in dirty set: %v)\n  full check:  %v\n  incremental: %v\n  pre-tx:      %v",
+				ctx(), l.Addr(), dirtySet[l], allBy[l], incBy[l], d.prev[l])
+		}
+	}
+	d.prev = allBy
+	return all
+}
+
+// TestIncrementalMatchesFull enumerates the depth-3 full-alphabet sweep —
+// healthy and under aggressive fault injection — on all three sweep
+// systems, maintaining a finding view from incremental checks alone: after
+// each transaction, the dirty lines' findings are recomputed and spliced
+// into the view, and nothing else is touched. The view must equal a real
+// full-machine Check (collectLines + agent-filing scan included) after
+// every single transaction. Any line the engine mutated but failed to
+// report dirty, or any cross-line effect the per-line checks cannot see,
+// breaks the equality immediately.
+func TestIncrementalMatchesFull(t *testing.T) {
+	depth := 3
+	if testing.Short() {
+		depth = 2
+	}
+	ops := []mesif.Op{mesif.OpRead, mesif.OpWrite, mesif.OpFlush}
+	aggressive := fault.Uniform(0xD1FF, 0.3)
+	for _, sys := range sweepSystems() {
+		sys := sys
+		for _, tc := range []struct {
+			name string
+			plan *fault.Plan
+		}{
+			{name: "healthy", plan: nil},
+			{name: "faulted", plan: &aggressive},
+		} {
+			tc := tc
+			t.Run(sys.name+"/"+tc.name, func(t *testing.T) {
+				runIncrementalDiff(t, sys, ops, depth, tc.plan)
+			})
+		}
+	}
+}
+
+func runIncrementalDiff(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int, plan *fault.Plan) {
+	t.Helper()
+	m := machine.MustNew(sys.cfg)
+	e := mesif.New(m)
+	if plan != nil {
+		e.Faults = fault.MustInjector(*plan)
+	}
+	e.SetDirtyTracking(true)
+	lines := []addr.LineAddr{
+		m.MustAlloc(0, 64).Lines()[0],
+		m.MustAlloc(1, 64).Lines()[0],
+	}
+
+	var alphabet []sweepAction
+	for _, op := range ops {
+		for _, c := range sys.cores {
+			for li := range lines {
+				alphabet = append(alphabet, sweepAction{op: op, core: c, line: li})
+			}
+		}
+	}
+
+	c := NewChecker(m)
+	view := map[addr.LineAddr][]string{} // the machine's findings, reconstructed incrementally
+	verify := func(ctx func() string) {
+		// Splice the dirty lines' fresh findings into the view...
+		incBy := groupByLine(c.CheckLines(e.DirtyLines()))
+		for _, l := range e.DirtyLines() {
+			if len(incBy[l]) == 0 {
+				delete(view, l)
+			} else {
+				view[l] = incBy[l]
+			}
+		}
+		// ...and demand it equals a from-scratch full check.
+		allBy := groupByLine(Check(m))
+		if len(allBy) != len(view) {
+			t.Fatalf("%s: incremental view has findings on %d lines, full Check on %d\n  view: %v\n  full: %v",
+				ctx(), len(view), len(allBy), view, allBy)
+		}
+		for l, want := range allBy {
+			if !equalStrings(view[l], want) {
+				t.Fatalf("%s: incremental view diverges from full Check on line %#x\n  view: %v\n  full: %v",
+					ctx(), l.Addr(), view[l], want)
+			}
+		}
+	}
+
+	total := 1
+	for i := 0; i < depth; i++ {
+		total *= len(alphabet)
+	}
+	seqBuf := make([]sweepAction, depth)
+	for seq := 0; seq < total; seq++ {
+		n := seq
+		for i := 0; i < depth; i++ {
+			seqBuf[i] = alphabet[n%len(alphabet)]
+			n /= len(alphabet)
+		}
+		for step, a := range seqBuf {
+			if _, err := e.Do(a.op, a.core, lines[a.line]); err != nil {
+				t.Fatalf("%s: %v: %v", sys.name, a, err)
+			}
+			verify(func() string {
+				return fmt.Sprintf("%s: after step %d of sequence %v", sys.name, step, seqBuf[:step+1])
+			})
+		}
+		// Flush-based per-sequence reset (validated by the sweep test);
+		// the reset flushes are transactions too, so verify them as well.
+		for _, l := range lines {
+			e.Flush(sys.cores[0], l)
+			verify(func() string {
+				return fmt.Sprintf("%s: reset flush of %#x after sequence %v", sys.name, l.Addr(), seqBuf)
+			})
+		}
+	}
+	t.Logf("%s: %d sequences (depth %d), view == full Check throughout", sys.name, total, depth)
+}

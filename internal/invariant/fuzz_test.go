@@ -1,6 +1,7 @@
 package invariant
 
 import (
+	"fmt"
 	"testing"
 
 	"haswellep/internal/addr"
@@ -25,6 +26,9 @@ type fuzzRig struct {
 	e        *mesif.Engine
 	lines    []addr.LineAddr
 	alphabet []sweepAction
+	// diff asserts the incremental checker's dirty-set contract after
+	// every fuzzed transaction (see differential_test.go).
+	diff *dirtyDiff
 }
 
 func buildFuzzRigs(plan *fault.Plan) []*fuzzRig {
@@ -47,15 +51,18 @@ func buildFuzzRigs(plan *fault.Plan) []*fuzzRig {
 				}
 			}
 		}
-		rigs = append(rigs, &fuzzRig{sys: sys, m: m, e: e, lines: lines, alphabet: alphabet})
+		rigs = append(rigs, &fuzzRig{sys: sys, m: m, e: e, lines: lines, alphabet: alphabet,
+			diff: newDirtyDiff(e, lines)})
 	}
 	return rigs
 }
 
 // reset returns the rig to power-on state between fuzz inputs.
-func (r *fuzzRig) reset() {
-	r.e.Flush(r.sys.cores[0], r.lines[0])
-	r.e.Flush(r.sys.cores[0], r.lines[1])
+func (r *fuzzRig) reset(t *testing.T) {
+	for _, l := range r.lines {
+		r.e.Flush(r.sys.cores[0], l)
+		r.diff.afterTx(t, func() string { return r.sys.name + ": reset flush" })
+	}
 	if r.e.Faults != nil {
 		r.e.Faults.Reset()
 	}
@@ -74,7 +81,10 @@ func (r *fuzzRig) run(t *testing.T, data []byte) {
 		if _, err := r.e.Do(a.op, a.core, r.lines[a.line]); err != nil {
 			t.Fatalf("%s: action %d (%v): %v", r.sys.name, i, a, err)
 		}
-		if hard := Hard(CheckLines(r.m, r.lines)); len(hard) != 0 {
+		found := r.diff.afterTx(t, func() string {
+			return fmt.Sprintf("%s: after action %d (%v)", r.sys.name, i, a)
+		})
+		if hard := Hard(found); len(hard) != 0 {
 			t.Fatalf("%s: violation after action %d (%v):\n  %v", r.sys.name, i, a, hard[0])
 		}
 		if f := r.e.Faults; f != nil && f.PendingPenaltyNs() != 0 {
@@ -107,7 +117,7 @@ func FuzzEngine(f *testing.F) {
 			return
 		}
 		rig := rigs[int(data[0])%len(rigs)]
-		rig.reset()
+		rig.reset(t)
 		rig.run(t, data[1:])
 	})
 }
@@ -124,7 +134,7 @@ func FuzzEngineFaults(f *testing.F) {
 			return
 		}
 		rig := rigs[int(data[0])%len(rigs)]
-		rig.reset()
+		rig.reset(t)
 		rig.run(t, data[1:])
 	})
 }

@@ -35,9 +35,15 @@
 //     the next touch — reported as Stale.
 //
 // Check validates the whole machine; CheckLines validates a known working
-// set cheaply (the exhaustive sweep test calls it after every transaction).
-// Attach (attach.go) wires Check into a mesif.Engine's AfterTransaction
-// debug hook.
+// set cheaply (the exhaustive sweep test calls it after every transaction),
+// and a reusable Checker makes repeated CheckLines calls allocation-free.
+// Attach (attach.go) wires a full Check into a mesif.Engine's
+// AfterTransaction debug hook; AttachIncremental instead validates only the
+// engine's per-transaction dirty set — every line whose cache, directory,
+// or HitME standing the transaction touched (see Engine.SetDirtyTracking
+// for the contract) — with a periodic full Check every epoch as a safety
+// net. Incremental checking is cheap enough that the experiment harness
+// (package experiments) leaves it enabled by default.
 //
 // The checker holds under capacity pressure too: modified L2 victims keep
 // the evicting core's valid bit while the (non-inclusive) L1 still holds
@@ -190,11 +196,55 @@ func Check(m *machine.Machine) []Violation {
 
 // CheckLines validates the given lines only. It is the cheap form for
 // callers that know the working set (the exhaustive sweep runs it after
-// every transaction); it skips the cross-agent filing scan.
+// every transaction); it skips the cross-agent filing scan. Callers that
+// check after every transaction should keep a Checker instead, which
+// reuses its scratch buffers across calls.
 func CheckLines(m *machine.Machine, lines []addr.LineAddr) []Violation {
-	c := &checker{m: m}
+	return NewChecker(m).CheckLines(lines)
+}
+
+// NewChecker builds a reusable per-line validator for the machine: the
+// per-line scratch buffers are allocated once, so repeated CheckLines calls
+// (the per-transaction incremental mode of AttachIncremental) are
+// allocation-free unless findings are produced. A Checker is not safe for
+// concurrent use.
+func NewChecker(m *machine.Machine) *Checker {
+	return &Checker{
+		m:      m,
+		coreSt: make([]cache.State, m.Topo.Cores()),
+		l3:     make([]cache.Line, m.Topo.Nodes()),
+		l3ok:   make([]bool, m.Topo.Nodes()),
+	}
+}
+
+// NewFastChecker builds the triage-fidelity validator the always-on harness
+// hook runs: per line it inspects only the responsible L3 slice of each
+// node (so an entry misplaced by the address hash is not searched for),
+// walks private caches through the L3 entries' core-valid bits instead of
+// scanning every core (so a private copy stranded without its valid bit or
+// L3 entry is invisible), and records stale findings without composing
+// their detail strings. Every violation class that cross-node coherence,
+// the directory, and the HitME cache can produce — SWMR, forwarder
+// uniqueness, L3/private state disagreement, directory under-approximation
+// — is still checked exactly. The three blind spots are exactly what a
+// periodic or end-of-run full Check (which always uses full fidelity)
+// exists to cover.
+func NewFastChecker(m *machine.Machine) *Checker {
+	c := NewChecker(m)
+	c.fast = true
+	return c
+}
+
+// CheckLines validates the given lines, reusing the Checker's scratch
+// buffers. The returned slice is valid until the next CheckLines call on
+// the same Checker (the findings buffer is reused; nil when clean).
+func (c *Checker) CheckLines(lines []addr.LineAddr) []Violation {
+	c.out = c.out[:0]
 	for _, l := range lines {
 		c.checkLine(l)
+	}
+	if len(c.out) == 0 {
+		return nil
 	}
 	return c.out
 }
@@ -232,7 +282,7 @@ func collectLines(m *machine.Machine) []addr.LineAddr {
 // home agent the address maps to (only reachable by corruption, since the
 // engine always routes through Machine.HA).
 func checkAgentFiling(m *machine.Machine) []Violation {
-	c := &checker{m: m}
+	c := &Checker{m: m}
 	for id, ha := range m.HAs {
 		agent := topology.AgentID(id)
 		misfiled := func(l addr.LineAddr) (topology.AgentID, bool) {
@@ -262,59 +312,118 @@ func checkAgentFiling(m *machine.Machine) []Violation {
 	return c.out
 }
 
-// checker accumulates findings.
-type checker struct {
+// Checker accumulates findings; see NewChecker for the reusable form and
+// NewFastChecker for the reduced-fidelity form the harness hook runs.
+type Checker struct {
 	m   *machine.Machine
 	out []Violation
+	// fast selects triage fidelity: responsible-slice L3 lookups only,
+	// core scans driven by the L3 core-valid bits, detail-free stale
+	// findings. See NewFastChecker for the exact blind spots.
+	fast bool
+	// Scratch buffers reused across checkLine calls (nil on the ad-hoc
+	// checkers built for checkAgentFiling, which never calls checkLine).
+	coreSt []cache.State
+	l3     []cache.Line
+	l3ok   []bool
 }
 
-func (c *checker) add(class Class, kind Kind, l addr.LineAddr, format string, args ...interface{}) {
-	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l, Detail: fmt.Sprintf(format, args...)})
+func (c *Checker) add(class Class, kind Kind, l addr.LineAddr, format string, args ...interface{}) {
+	detail := ""
+	if !c.fast || class != ClassStale {
+		detail = fmt.Sprintf(format, args...)
+	}
+	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l, Detail: detail})
 }
 
 // checkLine runs every per-line invariant.
-func (c *checker) checkLine(l addr.LineAddr) {
+func (c *Checker) checkLine(l addr.LineAddr) {
 	m := c.m
 	topo := m.Topo
 	nCores := topo.Cores()
 	nNodes := topo.Nodes()
+	perDie := topo.Die.Cores()
+
+	// Gather per-node L3 entries; entries must sit in the responsible
+	// slice (the address-hash home of the line within the node). The fast
+	// checker asks only the responsible slice, so a misplaced entry is
+	// simply not found; the full checker scans every slice of the node to
+	// flag the misplacement itself.
+	l3, l3ok := c.l3, c.l3ok
+	for n := 0; n < nNodes; n++ {
+		node := topology.NodeID(n)
+		if c.fast {
+			l3[n], l3ok[n] = m.L3[m.CAForNode(node, l)].Lookup(l)
+			continue
+		}
+		l3ok[n] = false
+		for _, sl := range topo.SlicesOfNode(node) {
+			ln, ok := m.L3[sl].Lookup(l)
+			if !ok {
+				continue
+			}
+			// Resolve the responsible slice only on a hit; most slices
+			// miss, and the hash is not free on this path.
+			if resp := m.CAForNode(node, l); sl != resp {
+				c.add(ClassViolation, KindPlacement, l,
+					"node %d caches the line in slice %d, but the address hash selects slice %d", n, sl, resp)
+				continue
+			}
+			l3[n], l3ok[n] = ln, true
+		}
+	}
 
 	// Gather the strongest private state per core; check L1/L2 agreement
-	// and that cores never hold Forward.
-	coreSt := make([]cache.State, nCores)
-	for i := 0; i < nCores; i++ {
+	// and that cores never hold Forward. The fast checker visits only the
+	// cores the L3 entries' valid bits name (a copy held without its bit —
+	// itself a violation — is invisible to it); the full checker scans
+	// every core in the system.
+	coreSt := c.coreSt
+	scanCore := func(i int) {
 		cc := m.Cores[i]
 		s1, s2 := cc.L1D.StateOf(l), cc.L2.StateOf(l)
 		if s1.Valid() && s2.Valid() && s1 != s2 {
 			c.add(ClassViolation, KindPrivateState, l,
 				"core %d holds the line as %v in L1D but %v in L2", i, s1, s2)
 		}
-		_, st := cc.HighestLevelState(l)
+		// The innermost valid level, as HighestLevelState would return it
+		// (inlined: this loop runs for every core on every checked line).
+		st := s1
+		if !st.Valid() {
+			st = s2
+		}
 		if st == cache.Forward {
 			c.add(ClassViolation, KindPrivateState, l,
 				"core %d holds the line in state F; the engine grants only S/E/M to private caches", i)
 		}
 		coreSt[i] = st
 	}
-
-	// Gather per-node L3 entries; entries must sit in the responsible
-	// slice (the address-hash home of the line within the node).
-	l3 := make([]cache.Line, nNodes)
-	l3ok := make([]bool, nNodes)
-	for n := 0; n < nNodes; n++ {
-		node := topology.NodeID(n)
-		resp := m.CAForNode(node, l)
-		for _, sl := range topo.SlicesOfNode(node) {
-			ln, ok := m.L3[sl].Lookup(l)
-			if !ok {
+	if c.fast {
+		for i := range coreSt {
+			coreSt[i] = cache.Invalid
+		}
+		for n := 0; n < nNodes; n++ {
+			if !l3ok[n] {
 				continue
 			}
-			if sl != resp {
-				c.add(ClassViolation, KindPlacement, l,
-					"node %d caches the line in slice %d, but the address hash selects slice %d", n, sl, resp)
-				continue
+			sock := topo.SocketOfNode(topology.NodeID(n))
+			bits := l3[n].CoreValid
+			for bit := 0; bits != 0; bit++ {
+				if bits&(1<<uint(bit)) == 0 {
+					continue
+				}
+				bits &^= 1 << uint(bit)
+				if bit >= perDie {
+					continue // flagged by the L3-side bit check below
+				}
+				if core := sock*perDie + bit; core < nCores {
+					scanCore(core)
+				}
 			}
-			l3[n], l3ok[n] = ln, true
+		}
+	} else {
+		for i := 0; i < nCores; i++ {
+			scanCore(i)
 		}
 	}
 
@@ -397,7 +506,6 @@ func (c *checker) checkLine(l addr.LineAddr) {
 	// Core-valid bits from the L3 side: bits must name cores of the
 	// entry's own node; a set bit without a private copy is the paper's
 	// documented silent-eviction staleness (Section VI-A).
-	perDie := topo.Die.Cores()
 	for n := 0; n < nNodes; n++ {
 		if !l3ok[n] {
 			continue

@@ -90,6 +90,10 @@ func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int, plan *fa
 		}
 	}
 
+	// The differential rides along: every transaction must also satisfy the
+	// dirty-set contract the incremental checker depends on.
+	diff := newDirtyDiff(e, lines)
+
 	total := 1
 	for i := 0; i < depth; i++ {
 		total *= len(alphabet)
@@ -105,7 +109,10 @@ func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int, plan *fa
 		for step, a := range seqBuf {
 			apply(a)
 			checked++
-			if hard := Hard(CheckLines(m, lines)); len(hard) != 0 {
+			found := diff.afterTx(t, func() string {
+				return fmt.Sprintf("%s: step %d of sequence %v", sys.name, step, seqBuf[:step+1])
+			})
+			if hard := Hard(found); len(hard) != 0 {
 				t.Fatalf("%s: violation after step %d of sequence %v:\n  %v",
 					sys.name, step, seqBuf[:step+1], hard)
 			}
@@ -116,9 +123,15 @@ func runSweep(t *testing.T, sys sweepSystem, ops []mesif.Op, depth int, plan *fa
 		}
 		// Cheap per-sequence reset: a coherent flush of the two tracked
 		// lines returns every structure that saw them to power-on state
-		// (full m.Reset() would clear ~40k cache sets per sequence).
-		e.Flush(sys.cores[0], lines[0])
-		e.Flush(sys.cores[0], lines[1])
+		// (full m.Reset() would clear ~40k cache sets per sequence). The
+		// reset flushes are transactions too; keep the differential's view
+		// of them coherent.
+		for _, l := range lines {
+			e.Flush(sys.cores[0], l)
+			diff.afterTx(t, func() string {
+				return fmt.Sprintf("%s: reset flush of %#x after sequence %v", sys.name, l.Addr(), seqBuf)
+			})
+		}
 		if seq == 0 {
 			// Validate the reset shortcut once per system: the machine
 			// must be globally spotless after the two flushes.

@@ -182,6 +182,14 @@ type Engine struct {
 	Faults *fault.Injector
 
 	stats Stats
+
+	// Dirty-set tracking (see SetDirtyTracking): when enabled, every
+	// transaction records the set of lines whose cache entries, core-valid
+	// bits, directory state, or HitME entries it may have touched, so an
+	// incremental invariant checker can validate only those lines.
+	trackDirty bool
+	dirty      []addr.LineAddr
+	dirtySeen  map[addr.LineAddr]struct{}
 }
 
 // New builds an engine for the machine.
@@ -202,6 +210,54 @@ func (e *Engine) Stats() Stats {
 // ResetStats zeroes the statistics.
 func (e *Engine) ResetStats() {
 	e.stats = Stats{BySource: make(map[Source]uint64)}
+}
+
+// SetDirtyTracking enables (or disables) per-transaction dirty-set
+// recording. While enabled, each Read, Write, and Flush starts a fresh set
+// and the engine adds every line one of its state mutations may have
+// affected: the requested line itself, private-cache eviction victims
+// (including the cascading victims of fillCore/handleL1Victim/
+// handleL2Victim), L3 capacity victims, lines displaced from a HitME
+// directory cache by an allocation, and lines whose in-memory directory
+// entry a fault corrupted and repaired. Lines only read — peeked caches,
+// directory lookups, LRU touches of the requested line — are covered by the
+// requested line's own membership.
+//
+// The contract the engine guarantees: after a transaction completes, any
+// line NOT in the dirty set has exactly the same cache/directory/HitME
+// standing it had before the transaction, so a per-line invariant check of
+// the dirty set alone observes every state change the transaction made.
+// (The inspection helpers EvictCached/EvictDirectoryCache mutate state
+// outside any transaction and are deliberately not tracked.)
+func (e *Engine) SetDirtyTracking(on bool) {
+	e.trackDirty = on
+	if on && e.dirtySeen == nil {
+		e.dirtySeen = make(map[addr.LineAddr]struct{}, 8)
+	}
+	if !on {
+		for _, d := range e.dirty {
+			delete(e.dirtySeen, d)
+		}
+		e.dirty = nil
+	}
+}
+
+// DirtyLines returns the dirty set of the current (or, between
+// transactions, the most recent) transaction. The returned slice is reused
+// by the next transaction; callers that keep it must copy. Empty unless
+// SetDirtyTracking(true) was called.
+func (e *Engine) DirtyLines() []addr.LineAddr { return e.dirty }
+
+// touch adds a line to the current transaction's dirty set.
+func (e *Engine) touch(l addr.LineAddr) {
+	if !e.trackDirty {
+		return
+	}
+	if _, ok := e.dirtySeen[l]; ok {
+		return
+	}
+	e.dirtySeen[l] = struct{}{}
+	e.dirty = append(e.dirty, l)
 }
 
 // lat is shorthand for the machine's latency model.
@@ -232,6 +288,20 @@ func (e *Engine) record(op Op, a Access) Access {
 		e.stats.DirHits++
 	}
 	return a
+}
+
+// begin opens a new transaction: the dirty set restarts at {l} and the
+// fault injector (if any) advances to the next transaction of its schedule.
+// It is the single entry path of Read, Write, and Flush, mirroring finish.
+func (e *Engine) begin(l addr.LineAddr) {
+	if e.trackDirty {
+		for _, d := range e.dirty {
+			delete(e.dirtySeen, d)
+		}
+		e.dirty = e.dirty[:0]
+		e.touch(l)
+	}
+	e.faultBegin()
 }
 
 // finish records the transaction and fires the AfterTransaction hook; it is

@@ -59,6 +59,7 @@ func (e *Engine) faultDirectory(agent topology.AgentID, ha *machine.HomeAgent, l
 	if !struck {
 		return cur
 	}
+	e.touch(l) // corruption + repair rewrite the line's directory entry
 	ha.Dir.SetState(l, bad)
 
 	// Recovery: the poisoned entry fails its integrity check, so the home

@@ -4,6 +4,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/cache"
 	"haswellep/internal/directory"
+	"haswellep/internal/machine"
 	"haswellep/internal/topology"
 )
 
@@ -20,12 +21,23 @@ func (e *Engine) fillCore(core topology.CoreID, l addr.LineAddr, st cache.State)
 	}
 	if v, ev := cc.L1D.Insert(cache.Line{Addr: l, State: st}); ev {
 		e.handleL1Victim(core, v)
+		// The L1 victim's cascade may itself have inserted into the L2 and
+		// evicted the line this fill just installed there, which would
+		// leave an L1-only copy and break the post-fill contract (present
+		// in both levels — see cache.CoreCaches). Re-install it; the
+		// re-insert's own victim goes through the normal L2 path.
+		if !cc.L2.Contains(l) {
+			if v2, ev2 := cc.L2.Insert(cache.Line{Addr: l, State: st}); ev2 {
+				e.handleL2Victim(core, v2)
+			}
+		}
 	}
 }
 
 // handleL1Victim processes a line evicted from an L1: modified data moves
 // to the L2 (possibly cascading), clean lines vanish silently.
 func (e *Engine) handleL1Victim(core topology.CoreID, v cache.Line) {
+	e.touch(v.Addr)
 	if v.State != cache.Modified {
 		return
 	}
@@ -46,6 +58,7 @@ func (e *Engine) handleL1Victim(core topology.CoreID, v cache.Line) {
 // L3 keeps tracking the remaining private copy. Clean victims are dropped
 // silently — their core-valid bits intentionally remain set.
 func (e *Engine) handleL2Victim(core topology.CoreID, v cache.Line) {
+	e.touch(v.Addr)
 	if v.State != cache.Modified {
 		return
 	}
@@ -89,6 +102,7 @@ func (e *Engine) fillL3(node topology.NodeID, l addr.LineAddr, st cache.State, c
 
 // retireL3Victim completes an L3 capacity eviction.
 func (e *Engine) retireL3Victim(node topology.NodeID, victim cache.Line) {
+	e.touch(victim.Addr)
 	dirty := victim.State == cache.Modified
 	// Back-invalidate cores of this node still holding the line.
 	sock := e.M.Topo.SocketOfNode(node)
@@ -116,6 +130,7 @@ func (e *Engine) retireL3Victim(node topology.NodeID, victim cache.Line) {
 // the line up, so a remote owner's writeback returns the directory to
 // remote-invalid and drops any HitME entry.
 func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
+	e.touch(l)
 	ha := e.M.HA(l)
 	ha.DRAM.RecordWrite()
 	if ha.Dir == nil {
@@ -134,6 +149,7 @@ func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
 // writing dirty data home, clearing core-valid bits, and resetting the
 // directory — the semantics of a coherent clflush reaching memory.
 func (e *Engine) invalidateEverywhere(l addr.LineAddr) {
+	e.touch(l)
 	dirty := false
 	var dirtyNode topology.NodeID
 	for c := 0; c < e.M.Topo.Cores(); c++ {
@@ -169,10 +185,18 @@ func (e *Engine) invalidateEverywhere(l addr.LineAddr) {
 // clean sharers exist but none of them holds the forward designation (the
 // new requester becomes the forwarder).
 func (e *Engine) grantStateOnRead(l addr.LineAddr, requester topology.NodeID) cache.State {
-	if e.anyPeerHolds(l, requester) {
-		return cache.Forward
+	if !e.anyPeerHolds(l, requester) {
+		return cache.Exclusive
 	}
-	return cache.Exclusive
+	if _, ok := e.forwarderAmong(l, requester); ok {
+		// A peer already holds the forward designation. This happens on
+		// the directory's no-snoop fill paths (shared-remote / a HitME
+		// shared entry), where the forwarder is never consulted and so
+		// never demoted: the requester takes a plain Shared copy and the
+		// designation stays put, preserving the single-forwarder rule.
+		return cache.Shared
+	}
+	return cache.Forward
 }
 
 // dirOnReadGrant updates the in-memory directory after the home agent
@@ -223,6 +247,16 @@ func (e *Engine) allocateHitME(l addr.LineAddr, requester topology.NodeID, kind 
 	} else {
 		v = e.sharerVector(l).With(int(requester))
 	}
-	ha.HitME.Allocate(l, v, kind)
+	e.hitmeAllocate(ha, l, v, kind)
 	ha.Dir.SetState(l, directory.SnoopAll)
+}
+
+// hitmeAllocate enters a line into the home agent's directory cache,
+// adding any capacity-displaced entry's line to the dirty set (the evicted
+// line's in-memory snoop-all state loses its HitME pinning).
+func (e *Engine) hitmeAllocate(ha *machine.HomeAgent, l addr.LineAddr, v directory.PresenceVector, kind directory.EntryKind) {
+	e.touch(l)
+	if victim, evicted := ha.HitME.Allocate(l, v, kind); evicted {
+		e.touch(victim)
+	}
 }

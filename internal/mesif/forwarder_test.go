@@ -1,0 +1,46 @@
+package mesif_test
+
+import (
+	"testing"
+
+	"haswellep/internal/cache"
+	"haswellep/internal/directory"
+	"haswellep/internal/invariant"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+)
+
+// TestMemoryFillKeepsSingleForwarder pins down a double-forwarder bug on the
+// directory's no-snoop fill path. With the in-memory directory at
+// shared-remote and no HitME entry — exactly the state faultDirectory's
+// repair reconstructs when remote nodes hold only clean copies — a read from
+// a third node is serviced straight from memory without snooping anyone.
+// One of the untouched peers may already hold the forward designation, so
+// the fill must grant plain Shared; granting Forward mints a second
+// forwarder that the single-forwarder invariant (and a later broadcast
+// snoop) trips over.
+func TestMemoryFillKeepsSingleForwarder(t *testing.T) {
+	e := newEngine(t, machine.COD)
+	l := lineOn(t, e, 0)
+	e.Read(6, l)  // node1 takes E
+	e.Read(12, l) // node1 forwards: F migrates to node2, node1 demoted to S
+	// Rebuild the post-repair directory state: remote clean copies only, so
+	// the truthful in-memory state is shared-remote with no HitME entry.
+	ha := e.M.HA(l)
+	ha.HitME.Invalidate(l)
+	ha.Dir.SetState(l, directory.SharedRemote)
+
+	acc := e.Read(18, l) // node3: shared-remote fills from memory, no snoop
+	if acc.Source != mesif.SrcMemory {
+		t.Fatalf("read source = %v, want memory (shared-remote no-snoop fill)", acc.Source)
+	}
+	if st := e.L3StateIn(3, l); st != cache.Shared {
+		t.Errorf("node3 L3 state = %v, want S (node2 keeps the designation)", st)
+	}
+	if fw, ok := e.ForwardNode(l); !ok || fw != 2 {
+		t.Errorf("forwarder = node %d (present=%v), want node 2", fw, ok)
+	}
+	if hard := invariant.Hard(invariant.Check(e.M)); len(hard) != 0 {
+		t.Errorf("hard violations after memory fill: %v", hard)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // the state changes earlier reads caused (a modified line is only forwarded
 // from the owning core once, etc.).
 func (e *Engine) Read(core topology.CoreID, l addr.LineAddr) Access {
-	e.faultBegin()
+	e.begin(l)
 	return e.finish(OpRead, core, l, e.readLine(core, l))
 }
 
@@ -462,7 +462,7 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 			e.fillL3(rn, l, cache.Shared, core)
 			e.fillCore(core, l, cache.Shared)
 			if rn != hn && ha.HitME != nil {
-				ha.HitME.Allocate(l, v.With(int(rn)), directory.EntryShared)
+				e.hitmeAllocate(ha, l, v.With(int(rn)), directory.EntryShared)
 			}
 			return Access{
 				Latency:     memT,

@@ -15,7 +15,7 @@ import (
 // snoops Section VI-A analyzes), and anything else issues a read-for-
 // ownership that invalidates every other copy in the system.
 func (e *Engine) Write(core topology.CoreID, l addr.LineAddr) Access {
-	e.faultBegin()
+	e.begin(l)
 	return e.finish(OpWrite, core, l, e.writeLine(core, l))
 }
 
@@ -338,7 +338,7 @@ func (e *Engine) takeOwnership(core topology.CoreID, rn topology.NodeID, l addr.
 // every cached copy in the system is invalidated, dirty data is written
 // back to the home memory, and the directory returns to remote-invalid.
 func (e *Engine) Flush(core topology.CoreID, l addr.LineAddr) Access {
-	e.faultBegin()
+	e.begin(l)
 	lat := e.lat()
 	e.faultStall()
 	ca := e.M.ResponsibleCA(core, l)

@@ -208,18 +208,17 @@ func (s *System) NodeOfAgent(a AgentID) NodeID {
 	return NodeID(sock*2 + s.LocalAgent(a))
 }
 
-// CoresOfNode returns the cores of a node, ascending.
+// CoresOfNode returns the cores of a node, ascending. The returned slice
+// is the topology's own (both this and SlicesOfNode sit on per-transaction
+// hot paths — address hashing and the invariant checker — where a
+// defensive copy per call dominates); callers must not modify it.
 func (s *System) CoresOfNode(n NodeID) []CoreID {
-	out := make([]CoreID, len(s.nodeCores[n]))
-	copy(out, s.nodeCores[n])
-	return out
+	return s.nodeCores[n]
 }
 
 // SlicesOfNode returns the L3 slices of a node, ascending.
 func (s *System) SlicesOfNode(n NodeID) []SliceID {
-	out := make([]SliceID, len(s.nodeSlice[n]))
-	copy(out, s.nodeSlice[n])
-	return out
+	return s.nodeSlice[n]
 }
 
 // AgentOfNode returns the home agent that owns a node's memory. Without COD
