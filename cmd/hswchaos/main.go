@@ -10,6 +10,7 @@
 //
 //	hswchaos -seed 1 -rates 0,0.02,0.05,0.1
 //	hswchaos -quick -rates 0,0.05        # skip the slow Table V matrix
+//	hswchaos -bundle-dir ./bundles ...   # write a repro bundle on failure
 //
 // The same seed always reproduces the same fault schedule, the same
 // latencies, and byte-identical output. Rate 0 reproduces the baseline
@@ -43,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "fault schedule seed")
 	ratesFlag := fs.String("rates", "0,0.02,0.05,0.1", "comma-separated fault rates in [0,1]")
 	quick := fs.Bool("quick", false, "skip the Table V memory-latency matrix (~5x faster)")
+	bundleDir := fs.String("bundle-dir", os.Getenv("HSW_BUNDLE_DIR"),
+		"directory for repro bundles on invariant failure (default $HSW_BUNDLE_DIR; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,7 +69,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("no rates given")
 	}
 
-	res, err := experiments.ChaosSweepWith(*seed, rates, !*quick)
+	if *bundleDir != "" {
+		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
+			return fail("%v", err)
+		}
+	}
+	res, err := experiments.ChaosSweepOpts(*seed, rates,
+		experiments.ChaosOptions{IncludeT5: !*quick, BundleDir: *bundleDir})
 	if err != nil {
 		return fail("%v", err)
 	}

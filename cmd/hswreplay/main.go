@@ -1,0 +1,170 @@
+// Command hswreplay re-executes, verifies, and minimizes repro bundles
+// written by the failure flight recorder (internal/trace): deterministic
+// captures of coherence-invariant violations, produced by the invariant
+// recorder's capture hook, the chaos sweep, or the fuzz rigs.
+//
+// Usage:
+//
+//	hswreplay bundle.json                 # replay + verify (digest and finding)
+//	hswreplay -show bundle.json           # print the bundle without replaying
+//	hswreplay -shrink -o min.json b.json  # ddmin the event stream (and fault plan)
+//	hswreplay -selftest                   # record a seeded failing run, replay,
+//	                                      # shrink, and check the finding matches
+//
+// Verification is exact: the replayed run must reproduce the recorded
+// latency sum (integer picoseconds), per-source counters, and fault
+// counters byte-identically, and re-detect the same (kind, class, line)
+// finding. Exit status 0 means the bundle reproduces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"haswellep/internal/replay"
+	"haswellep/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "hswreplay: "+format+"\n", a...)
+		return 1
+	}
+
+	fs := flag.NewFlagSet("hswreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	show := fs.Bool("show", false, "print the bundle summary without replaying")
+	shrink := fs.Bool("shrink", false, "minimize the bundle (ddmin over events, then the fault plan)")
+	out := fs.String("o", "", "write the minimized bundle here (with -shrink; default <bundle>.min.json)")
+	selftest := fs.Bool("selftest", false, "record a seeded failing run end to end, then replay and shrink it")
+	seed := fs.Int64("seed", 7, "selftest seed")
+	ops := fs.Int("ops", 1200, "selftest random transactions before the violation")
+	keep := fs.String("keep", "", "selftest: write its bundles into this directory instead of a temp dir")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *selftest {
+		return runSelftest(stdout, fail, *seed, *ops, *keep)
+	}
+	if fs.NArg() != 1 {
+		return fail("exactly one bundle file expected (or -selftest); see -h")
+	}
+	path := fs.Arg(0)
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	printBundle(stdout, path, b)
+
+	if *show {
+		return 0
+	}
+	if *shrink {
+		min, st, err := replay.Shrink(b)
+		if err != nil {
+			return fail("%v", err)
+		}
+		min, pst, err := replay.ShrinkPlan(min)
+		if err != nil {
+			return fail("%v", err)
+		}
+		dst := *out
+		if dst == "" {
+			ext := filepath.Ext(path)
+			dst = path[:len(path)-len(ext)] + ".min" + ext
+		}
+		if err := trace.WriteFile(dst, min); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "shrunk %d -> %d events in %d replays (%d plan fields zeroed, plan kept: %v)\n",
+			st.FromEvents, len(min.Events), st.Replays+pst.Replays, pst.PlanFieldsZeroed, min.Plan != nil)
+		fmt.Fprintf(stdout, "minimized bundle: %s\n", dst)
+		b = min
+	}
+	res, err := replay.Verify(b)
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(stdout, "replay ok: digest byte-identical (%d ops, %d ps total latency)",
+		res.Digest.Ops, int64(res.Digest.LatencyPs))
+	if b.Finding != nil {
+		fmt.Fprintf(stdout, "; finding reproduced: %v", *b.Finding)
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+// runSelftest exercises the whole pipeline: record a seeded faulted run
+// with a manufactured violation, replay the captured bundle, shrink it,
+// and verify the finding survives minimization.
+func runSelftest(stdout io.Writer, fail func(string, ...interface{}) int, seed int64, ops int, keep string) int {
+	dir := keep
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "hswreplay-selftest-")
+		if err != nil {
+			return fail("%v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail("%v", err)
+	}
+	path, err := replay.RecordSeededViolation(dir, seed, ops)
+	if err != nil {
+		return fail("selftest record: %v", err)
+	}
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		return fail("selftest read: %v", err)
+	}
+	printBundle(stdout, path, b)
+	if _, err := replay.Verify(b); err != nil {
+		return fail("selftest verify: %v", err)
+	}
+	fmt.Fprintln(stdout, "replay ok: digest byte-identical, finding reproduced")
+	min, st, err := replay.Shrink(b)
+	if err != nil {
+		return fail("selftest shrink: %v", err)
+	}
+	min, pst, err := replay.ShrinkPlan(min)
+	if err != nil {
+		return fail("selftest plan shrink: %v", err)
+	}
+	if _, err := replay.Verify(min); err != nil {
+		return fail("selftest verify minimized: %v", err)
+	}
+	minPath := filepath.Join(dir, "minimized.json")
+	if err := trace.WriteFile(minPath, min); err != nil {
+		return fail("%v", err)
+	}
+	fmt.Fprintf(stdout, "shrunk %d -> %d events in %d replays; minimized bundle still reproduces %v\n",
+		st.FromEvents, len(min.Events), st.Replays+pst.Replays, *min.Finding)
+	if keep != "" {
+		fmt.Fprintf(stdout, "bundles kept in %s\n", dir)
+	}
+	fmt.Fprintln(stdout, "selftest ok")
+	return 0
+}
+
+// printBundle summarizes a bundle for humans.
+func printBundle(w io.Writer, path string, b *trace.Bundle) {
+	fmt.Fprintf(w, "%s: v%d bundle, %d events (%d ops)", path, b.Version, len(b.Events), b.Ops())
+	if b.Plan != nil {
+		fmt.Fprintf(w, ", fault plan seed %d", b.Plan.Seed)
+	}
+	if b.Truncated() {
+		fmt.Fprintf(w, ", TRUNCATED (%d events lost — not replayable)", b.Overflow)
+	}
+	fmt.Fprintln(w)
+	if b.Finding != nil {
+		fmt.Fprintf(w, "finding: %v\n", *b.Finding)
+	}
+}

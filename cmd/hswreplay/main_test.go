@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelftest: the end-to-end record/replay/shrink pipeline succeeds and
+// keeps its bundles where asked.
+func TestSelftest(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-seed", "3", "-ops", "64", "-keep", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "selftest ok") {
+		t.Errorf("missing success line:\n%s", out.String())
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(m) < 2 {
+		t.Errorf("expected captured + minimized bundles in %s, got %v", dir, m)
+	}
+}
+
+// TestReplayFile: a kept selftest bundle replays and shrinks through the
+// file-based code paths.
+func TestReplayFile(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest", "-seed", "11", "-ops", "48", "-keep", dir}, &out, &errb); code != 0 {
+		t.Fatalf("selftest: exit %d, stderr: %s", code, errb.String())
+	}
+	bundles, _ := filepath.Glob(filepath.Join(dir, "repro-*.json"))
+	if len(bundles) == 0 {
+		t.Fatalf("no captured bundle in %s", dir)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{bundles[0]}, &out, &errb); code != 0 {
+		t.Fatalf("verify: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "digest byte-identical") {
+		t.Errorf("missing verification line:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	min := filepath.Join(dir, "min.json")
+	if code := run([]string{"-shrink", "-o", min, bundles[0]}, &out, &errb); code != 0 {
+		t.Fatalf("shrink: exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-show", min}, &out, &errb); code != 0 {
+		t.Fatalf("show minimized: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "finding:") {
+		t.Errorf("minimized bundle lost its finding:\n%s", out.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"a.json", "b.json"},
+		{"/nonexistent/bundle.json"},
+		{"-unknown"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"haswellep/internal/bwmodel"
 	"haswellep/internal/fault"
 	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
 	"haswellep/internal/report"
+	"haswellep/internal/trace"
 )
 
 // The chaos sweep is the robustness extension of the reproduction: it
@@ -93,13 +95,34 @@ func ChaosSweep(seed int64, rates []float64) (ChaosResult, error) {
 // checks) skip it. Skipped points report a zero Table5 and "-" in the
 // summary row.
 func ChaosSweepWith(seed int64, rates []float64, includeT5 bool) (ChaosResult, error) {
+	return ChaosSweepOpts(seed, rates, ChaosOptions{IncludeT5: includeT5})
+}
+
+// ChaosOptions tunes ChaosSweepOpts.
+type ChaosOptions struct {
+	// IncludeT5 measures the memory-latency matrix too (see
+	// ChaosSweepWith).
+	IncludeT5 bool
+	// BundleDir, when non-empty, attaches a flight recorder to every
+	// point's engine and writes a repro bundle there when the point's
+	// acceptance gate finds a hard violation — the sweep's abort error
+	// then names the bundle. A point's full matrix run overflows the
+	// recorder's ring, in which case the bundle is marked truncated: it
+	// still documents the finding, plan, and digest, but cmd/hswreplay
+	// will refuse to re-execute it.
+	BundleDir string
+}
+
+// ChaosSweepOpts is the fully optioned chaos sweep.
+func ChaosSweepOpts(seed int64, rates []float64, o ChaosOptions) (ChaosResult, error) {
+	includeT5 := o.IncludeT5
 	res := ChaosResult{Seed: seed}
 	res.Table = report.NewTable(
 		fmt.Sprintf("Chaos sweep (seed %d): Table IV/V under fault injection", seed),
 		"rate", "T4 mean ns", "T5 mean ns", "faults", "retries", "dir repairs",
 		"wasted snoops", "penalty ns", "remote read GB/s", "stale")
 	for _, rate := range rates {
-		pt, err := chaosPointWith(seed, rate, includeT5)
+		pt, err := chaosPointOpts(seed, rate, o)
 		if err != nil {
 			return ChaosResult{}, fmt.Errorf("chaos sweep rate %g: %w", rate, err)
 		}
@@ -129,20 +152,25 @@ func ChaosSweepWith(seed int64, rates []float64, includeT5 bool) (ChaosResult, e
 
 // chaosPoint measures one fault rate.
 func chaosPoint(seed int64, rate float64) (ChaosPoint, error) {
-	return chaosPointWith(seed, rate, true)
+	return chaosPointOpts(seed, rate, ChaosOptions{IncludeT5: true})
 }
 
-func chaosPointWith(seed int64, rate float64, includeT5 bool) (ChaosPoint, error) {
+func chaosPointOpts(seed int64, rate float64, o ChaosOptions) (ChaosPoint, error) {
 	plan := ChaosPlanAt(seed, rate)
 	env, err := NewEnvWithFaults(machine.COD, plan)
 	if err != nil {
 		return ChaosPoint{}, err
 	}
+	var tr *trace.Recorder
+	if o.BundleDir != "" {
+		tr = env.AttachFlightRecorder(o.BundleDir, 0)
+		defer tr.Detach()
+	}
 	pt := ChaosPoint{Rate: rate, Plan: env.E.Faults.Plan()}
 	if pt.Table4, err = Table4In(env); err != nil {
 		return ChaosPoint{}, err
 	}
-	if includeT5 {
+	if o.IncludeT5 {
 		if pt.Table5, err = Table5In(env); err != nil {
 			return ChaosPoint{}, err
 		}
@@ -160,7 +188,18 @@ func chaosPointWith(seed int64, rate float64, includeT5 bool) (ChaosPoint, error
 	// per-line checks skip), and the source of the stale-findings tally.
 	found := invariant.Check(env.M)
 	if hard := invariant.Hard(found); len(hard) != 0 {
-		return ChaosPoint{}, fmt.Errorf("%d hard violations after recovery, first: %v", len(hard), hard[0])
+		err := fmt.Errorf("%d hard violations after recovery, first: %v", len(hard), hard[0])
+		// The per-transaction gate above did not fire for this damage
+		// (cross-line filing, or a sampled-out window), so the recorder's
+		// capture did not either — bundle the trace for it here.
+		if tr != nil {
+			f := invariant.ToTraceFinding(invariant.TxViolation{Op: -1, Core: -1, V: hard[0]})
+			path := filepath.Join(o.BundleDir, fmt.Sprintf("repro-%s-%x.json", f.KindName, uint64(f.Line)))
+			if werr := trace.WriteFile(path, tr.Bundle(&f)); werr == nil {
+				err = fmt.Errorf("%w (repro bundle: %s)", err, path)
+			}
+		}
+		return ChaosPoint{}, err
 	}
 	pt.StaleFindings = len(found)
 	if ns := env.E.Faults.PendingPenaltyNs(); ns != 0 {

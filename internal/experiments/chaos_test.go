@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"reflect"
 	"testing"
 
@@ -115,5 +116,51 @@ func TestMatrixMean(t *testing.T) {
 	}
 	if got := matrixMean(uniform); got != 3.25 {
 		t.Fatalf("matrixMean of a uniform matrix = %v, want 3.25", got)
+	}
+}
+
+// TestFlightRecorderIsPureObserver is the no-overhead acceptance criterion:
+// a sweep point measured with the flight recorder attached produces results
+// byte-identical to one measured without it, and a clean run writes no
+// bundles. The recorder only reads completed transactions, so this must
+// hold exactly, not approximately.
+func TestFlightRecorderIsPureObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep comparison")
+	}
+	const seed = 0xF11467
+	rates := []float64{0, 0.08}
+	bare, err := ChaosSweepOpts(seed, rates, ChaosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	recorded, err := ChaosSweepOpts(seed, rates, ChaosOptions{BundleDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Table.String() != recorded.Table.String() {
+		t.Errorf("recorder changed the sweep summary:\nwithout:\n%s\nwith:\n%s",
+			bare.Table.String(), recorded.Table.String())
+	}
+	for i := range bare.Points {
+		b, r := bare.Points[i], recorded.Points[i]
+		if b.Table4.Values != r.Table4.Values {
+			t.Errorf("rate %g: Table IV differs with recorder attached", b.Rate)
+		}
+		if b.Counters != r.Counters || b.FaultEvents != r.FaultEvents {
+			t.Errorf("rate %g: fault counters differ with recorder attached:\n%+v\n%+v",
+				b.Rate, b.Counters, r.Counters)
+		}
+		if b.Traffic != r.Traffic {
+			t.Errorf("rate %g: traffic stats differ with recorder attached", b.Rate)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("clean sweep wrote %d bundles: %v", len(ents), ents)
 	}
 }

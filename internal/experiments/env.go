@@ -18,6 +18,7 @@ import (
 	"haswellep/internal/mesif"
 	"haswellep/internal/placement"
 	"haswellep/internal/topology"
+	"haswellep/internal/trace"
 	"haswellep/internal/units"
 )
 
@@ -112,6 +113,20 @@ func (env *Env) Alloc(node int, size int64) addr.Region {
 func (env *Env) Fresh() {
 	env.M.Reset()
 	env.E.ResetStats()
+}
+
+// AttachFlightRecorder attaches a trace flight recorder to the env's
+// engine and arms Check to write a repro bundle into dir on the first hard
+// violation (Check.BundlePath names it afterwards; Check.Err mentions it).
+// capacity bounds the recorder's ring, 0 meaning trace.DefaultCapacity —
+// a run longer than the ring still captures a bundle, but a truncated one
+// that documents the failure without being replayable. The recorder only
+// observes (its digest is its own; engine stats are untouched), so results
+// with it attached are byte-identical to results without.
+func (env *Env) AttachFlightRecorder(dir string, capacity int) *trace.Recorder {
+	tr := trace.Attach(env.E, trace.Options{Capacity: capacity})
+	env.Check.CaptureTo(tr, dir)
+	return tr
 }
 
 // Standard dataset sizes the point measurements use: comfortably inside the

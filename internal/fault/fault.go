@@ -130,7 +130,22 @@ type Plan struct {
 	RetryBackoffNs float64
 	RetryBudget    int
 	StallNs        float64
+
+	// MaxEvents caps the injector's event log: once the cap is reached,
+	// further scheduled faults are still injected and counted, but their
+	// Event entries are dropped (Counters.DroppedEvents counts them). The
+	// log therefore holds the *first* MaxEvents events — a truncated
+	// schedule prefix, not a sliding window. 0 means DefaultMaxEvents;
+	// negative disables the cap (the pre-cap unbounded behavior, for
+	// short runs that must observe every event).
+	MaxEvents int
 }
+
+// DefaultMaxEvents is the event-log cap applied when Plan.MaxEvents is 0.
+// At 16 bytes per Event the default bounds the log at ~16 MiB; a chaos run
+// injecting at a few percent per transaction reaches it only after tens of
+// millions of transactions, which previously leaked memory without bound.
+const DefaultMaxEvents = 1 << 20
 
 // Uniform returns a plan injecting every dynamic fault kind at the same
 // rate, with healthy links and default pricing.
@@ -197,6 +212,9 @@ func (p Plan) withDefaults() Plan {
 	if p.StallNs == 0 {
 		p.StallNs = DefaultStallNs
 	}
+	if p.MaxEvents == 0 {
+		p.MaxEvents = DefaultMaxEvents
+	}
 	return p
 }
 
@@ -235,6 +253,10 @@ type Counters struct {
 	WastedSnoops uint64
 	// PenaltyNs is the total recovery latency charged into transactions.
 	PenaltyNs float64
+	// DroppedEvents counts scheduled faults whose Event entries were
+	// discarded because the log had reached Plan.MaxEvents. The faults
+	// themselves still struck and are included in Injected.
+	DroppedEvents uint64
 }
 
 // Event is one scheduled fault: the 1-based transaction sequence number it
@@ -305,7 +327,11 @@ func (i *Injector) roll(k Kind, p float64) bool {
 		return false
 	}
 	i.counters.Injected[k]++
-	i.events = append(i.events, Event{Seq: i.seq, Kind: k})
+	if i.plan.MaxEvents < 0 || len(i.events) < i.plan.MaxEvents {
+		i.events = append(i.events, Event{Seq: i.seq, Kind: k})
+	} else {
+		i.counters.DroppedEvents++
+	}
 	return true
 }
 
@@ -403,7 +429,10 @@ func (i *Injector) PendingPenaltyNs() float64 { return i.pending }
 // Counters returns a copy of the accumulated counters.
 func (i *Injector) Counters() Counters { return i.counters }
 
-// Events returns a copy of the fault schedule executed so far.
+// Events returns a copy of the fault schedule executed so far: the first
+// Plan.MaxEvents scheduled faults in injection order. When the cap was hit,
+// the copy is the schedule's prefix — Counters().DroppedEvents tells how
+// many later events are missing (the fault *counters* are never capped).
 func (i *Injector) Events() []Event {
 	out := make([]Event, len(i.events))
 	copy(out, i.events)

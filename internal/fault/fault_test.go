@@ -224,3 +224,60 @@ func TestMustInjectorPanics(t *testing.T) {
 	}()
 	MustInjector(Plan{DropSnoopResponse: 2})
 }
+
+func TestMaxEventsBoundsLog(t *testing.T) {
+	p := Uniform(7, 0.5)
+	p.MaxEvents = 3
+	i := MustInjector(p)
+	for tx := 0; tx < 200; tx++ {
+		i.BeginTransaction()
+		i.Stall()
+		i.SnoopRetryPenalty()
+		i.CorruptDirectory(directory.RemoteInvalid)
+		i.DrainPenaltyNs()
+	}
+	c := i.Counters()
+	if got := len(i.Events()); got > 3 {
+		t.Errorf("event log holds %d entries, cap is 3", got)
+	}
+	var injected uint64
+	for _, n := range c.Injected {
+		injected += n
+	}
+	if injected <= 3 {
+		t.Fatalf("only %d injections at rate 0.5 over 200 transactions; test needs the cap exceeded", injected)
+	}
+	if c.DroppedEvents != injected-3 {
+		t.Errorf("DroppedEvents = %d, want %d (injected %d minus cap 3)", c.DroppedEvents, injected-3, injected)
+	}
+	// The log keeps the schedule's prefix: event seqs must be the earliest.
+	evs := i.Events()
+	for j := 1; j < len(evs); j++ {
+		if evs[j].Seq < evs[j-1].Seq {
+			t.Errorf("event log out of order: %v", evs)
+		}
+	}
+
+	// The cap changes only observability, never behavior: an uncapped run
+	// of the same plan injects identically.
+	p2 := Uniform(7, 0.5)
+	p2.MaxEvents = -1
+	i2 := MustInjector(p2)
+	for tx := 0; tx < 200; tx++ {
+		i2.BeginTransaction()
+		i2.Stall()
+		i2.SnoopRetryPenalty()
+		i2.CorruptDirectory(directory.RemoteInvalid)
+		i2.DrainPenaltyNs()
+	}
+	c2 := i2.Counters()
+	if c.Injected != c2.Injected || c.PenaltyNs != c2.PenaltyNs {
+		t.Errorf("capped run diverged from uncapped run:\n capped:   %+v\n uncapped: %+v", c, c2)
+	}
+	if c2.DroppedEvents != 0 {
+		t.Errorf("uncapped run dropped %d events", c2.DroppedEvents)
+	}
+	if uint64(len(i2.Events())) != injected {
+		t.Errorf("uncapped log holds %d events, want %d", len(i2.Events()), injected)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/mesif"
 	"haswellep/internal/topology"
+	"haswellep/internal/trace"
 )
 
 // ReportFunc receives the findings a checking hook produced for one
@@ -181,6 +182,15 @@ type Recorder struct {
 	// imprecision, never an error).
 	HardCount  int
 	StaleCount int
+
+	// BundlePath names the repro bundle written for the first hard
+	// violation when CaptureTo armed the recorder (capture.go);
+	// BundleErr holds the write failure instead, if any.
+	BundlePath string
+	BundleErr  error
+
+	capture    *trace.Recorder
+	captureDir string
 }
 
 // Record is the ReportFunc that feeds the recorder.
@@ -191,8 +201,12 @@ func (r *Recorder) Record(op mesif.Op, core topology.CoreID, l addr.LineAddr, fo
 			continue
 		}
 		r.HardCount++
+		tv := TxViolation{Op: op, Core: core, V: v}
 		if len(r.Violations) < maxRecorded {
-			r.Violations = append(r.Violations, TxViolation{Op: op, Core: core, V: v})
+			r.Violations = append(r.Violations, tv)
+		}
+		if r.HardCount == 1 {
+			r.maybeCapture(tv)
 		}
 	}
 }
@@ -203,12 +217,18 @@ func (r *Recorder) Err() error {
 	if r.HardCount == 0 {
 		return nil
 	}
-	return fmt.Errorf("invariant checker recorded %d hard violation(s); first: %v", r.HardCount, r.Violations[0])
+	err := fmt.Errorf("invariant checker recorded %d hard violation(s); first: %v", r.HardCount, r.Violations[0])
+	if r.BundlePath != "" {
+		err = fmt.Errorf("%w (repro bundle: %s)", err, r.BundlePath)
+	}
+	return err
 }
 
-// Reset clears the recorder for reuse.
+// Reset clears the recorder for reuse and re-arms the bundle capture.
 func (r *Recorder) Reset() {
 	r.Violations = r.Violations[:0]
 	r.HardCount = 0
 	r.StaleCount = 0
+	r.BundlePath = ""
+	r.BundleErr = nil
 }

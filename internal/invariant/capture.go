@@ -1,0 +1,53 @@
+package invariant
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"haswellep/internal/trace"
+)
+
+// ToTraceFinding converts a captured violation into the protocol-
+// independent form repro bundles carry (package trace cannot import this
+// package — the dependency runs the other way so the invariant test rigs
+// can write bundles).
+func ToTraceFinding(t TxViolation) trace.Finding {
+	return trace.Finding{
+		Kind:      int(t.V.Kind),
+		KindName:  t.V.Kind.String(),
+		Class:     int(t.V.Class),
+		ClassName: t.V.Class.String(),
+		Line:      t.V.Line,
+		Detail:    t.V.Detail,
+		Op:        int(t.Op),
+		Core:      int(t.Core),
+	}
+}
+
+// CaptureTo arms the recorder's flight-recorder capture: when the first
+// hard violation is recorded, a repro bundle — the trace recorder's
+// buffered events plus the violation as the triggering finding — is
+// written into dir. BundlePath/BundleErr report the outcome; Reset
+// re-arms. The trace recorder must be attached to the same engine the
+// invariant hook watches (trace attaches to AfterAccess, which fires
+// first, so the bundle contains the violating transaction).
+func (r *Recorder) CaptureTo(tr *trace.Recorder, dir string) {
+	r.capture = tr
+	r.captureDir = dir
+}
+
+// maybeCapture writes the repro bundle for the first hard violation.
+func (r *Recorder) maybeCapture(t TxViolation) {
+	if r.capture == nil || r.BundlePath != "" || r.BundleErr != nil {
+		return
+	}
+	f := ToTraceFinding(t)
+	b := r.capture.Bundle(&f)
+	path := filepath.Join(r.captureDir,
+		fmt.Sprintf("repro-%s-%x.json", f.KindName, uint64(f.Line)))
+	if err := trace.WriteFile(path, b); err != nil {
+		r.BundleErr = err
+		return
+	}
+	r.BundlePath = path
+}

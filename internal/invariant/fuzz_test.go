@@ -2,12 +2,15 @@ package invariant
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"haswellep/internal/addr"
 	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
+	"haswellep/internal/trace"
 )
 
 // The fuzz targets decode arbitrary bytes into access sequences over the
@@ -29,15 +32,26 @@ type fuzzRig struct {
 	// diff asserts the incremental checker's dirty-set contract after
 	// every fuzzed transaction (see differential_test.go).
 	diff *dirtyDiff
+	// tr is the flight recorder, attached when HSW_BUNDLE_DIR is set so a
+	// fuzz-found violation leaves a replayable repro bundle behind.
+	tr        *trace.Recorder
+	bundleDir string
 }
 
 func buildFuzzRigs(plan *fault.Plan) []*fuzzRig {
+	bundleDir := os.Getenv("HSW_BUNDLE_DIR")
 	var rigs []*fuzzRig
 	for _, sys := range sweepSystems() {
 		m := machine.MustNew(sys.cfg)
 		e := mesif.New(m)
 		if plan != nil {
 			e.Faults = fault.MustInjector(*plan)
+		}
+		var tr *trace.Recorder
+		if bundleDir != "" {
+			// Attach before the allocations so the bundle's preamble can
+			// reproduce them.
+			tr = trace.Attach(e, trace.Options{})
 		}
 		lines := []addr.LineAddr{
 			m.MustAlloc(0, 64).Lines()[0],
@@ -51,8 +65,13 @@ func buildFuzzRigs(plan *fault.Plan) []*fuzzRig {
 				}
 			}
 		}
+		if tr != nil {
+			if err := tr.SetBaseline(); err != nil {
+				panic(err)
+			}
+		}
 		rigs = append(rigs, &fuzzRig{sys: sys, m: m, e: e, lines: lines, alphabet: alphabet,
-			diff: newDirtyDiff(e, lines)})
+			diff: newDirtyDiff(e, lines), tr: tr, bundleDir: bundleDir})
 	}
 	return rigs
 }
@@ -66,6 +85,27 @@ func (r *fuzzRig) reset(t *testing.T) {
 	if r.e.Faults != nil {
 		r.e.Faults.Reset()
 	}
+	if r.tr != nil {
+		// The flush-reset above returned the machine to power-on state and
+		// the injector restarted its stream, so the next input's trace can
+		// begin at the baseline again.
+		r.tr.ResetToBaseline()
+	}
+}
+
+// bundleViolation freezes the rig's trace into a repro bundle when a fuzzed
+// input produced a hard violation; the returned note joins the failure
+// message. Replay it with: go run ./cmd/hswreplay <path>.
+func (r *fuzzRig) bundleViolation(a sweepAction, v Violation) string {
+	if r.tr == nil {
+		return ""
+	}
+	f := ToTraceFinding(TxViolation{Op: a.op, Core: a.core, V: v})
+	path := filepath.Join(r.bundleDir, fmt.Sprintf("repro-fuzz-%s-%x.json", f.KindName, uint64(f.Line)))
+	if err := trace.WriteFile(path, r.tr.Bundle(&f)); err != nil {
+		return fmt.Sprintf(" (bundle write failed: %v)", err)
+	}
+	return fmt.Sprintf(" (repro bundle: %s)", path)
 }
 
 // run decodes data[1:] as actions (data[0] picks the system elsewhere) and
@@ -85,7 +125,8 @@ func (r *fuzzRig) run(t *testing.T, data []byte) {
 			return fmt.Sprintf("%s: after action %d (%v)", r.sys.name, i, a)
 		})
 		if hard := Hard(found); len(hard) != 0 {
-			t.Fatalf("%s: violation after action %d (%v):\n  %v", r.sys.name, i, a, hard[0])
+			t.Fatalf("%s: violation after action %d (%v):\n  %v%s",
+				r.sys.name, i, a, hard[0], r.bundleViolation(a, hard[0]))
 		}
 		if f := r.e.Faults; f != nil && f.PendingPenaltyNs() != 0 {
 			t.Fatalf("%s: undrained fault penalty after action %d (%v)", r.sys.name, i, a)
@@ -107,11 +148,52 @@ func seedCorpus(f *testing.F) {
 	f.Add([]byte{0, 10, 4, 6, 2, 12, 8, 0, 14}) // mixed ops across all cores
 }
 
+// seedFromBundles maps the minimized repro bundles committed under
+// testdata/ back into the fuzz byte alphabet: each bundle's EvOp events are
+// matched against the alphabet of the rig whose machine spec the bundle was
+// recorded on, so a past failure's minimal access pattern keeps steering
+// the fuzzer. Events with no byte encoding (allocations, deliberate
+// corruptions) are skipped — the seed carries the access pattern, not the
+// sabotage, so it must run violation-free like any other input.
+func seedFromBundles(f *testing.F, rigs []*fuzzRig) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		b, err := trace.ReadFile(path)
+		if err != nil {
+			f.Fatalf("corpus bundle %s: %v", path, err)
+		}
+		for ri, rig := range rigs {
+			if trace.SpecOf(rig.m.Cfg) != b.Spec {
+				continue
+			}
+			data := []byte{byte(ri)}
+			for _, ev := range b.Events {
+				if ev.Kind != trace.EvOp {
+					continue
+				}
+				for ai, a := range rig.alphabet {
+					if a.op == ev.Op && a.core == ev.Core && rig.lines[a.line] == ev.Line {
+						data = append(data, byte(ai))
+						break
+					}
+				}
+			}
+			if len(data) > 1 {
+				f.Add(data)
+			}
+		}
+	}
+}
+
 // FuzzEngine: arbitrary access sequences against a healthy engine in all
 // three snoop modes must preserve every coherence invariant.
 func FuzzEngine(f *testing.F) {
-	seedCorpus(f)
 	rigs := buildFuzzRigs(nil)
+	seedCorpus(f)
+	seedFromBundles(f, rigs)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return
@@ -126,9 +208,10 @@ func FuzzEngine(f *testing.F) {
 // attached — every injected fault must recover into a legal state with its
 // penalty priced into the transaction.
 func FuzzEngineFaults(f *testing.F) {
-	seedCorpus(f)
 	plan := fault.Uniform(0xF0472, 0.25)
 	rigs := buildFuzzRigs(&plan)
+	seedCorpus(f)
+	seedFromBundles(f, rigs)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return

@@ -39,6 +39,18 @@ type Machine struct {
 	// HAs holds every home agent, indexed by global AgentID.
 	HAs []*HomeAgent
 
+	// OnAlloc, when non-nil, is invoked after every successful AllocOnNode
+	// with the node, the requested size, and the region handed out. The
+	// flight recorder (package trace) logs allocations through it so a
+	// replay can re-issue them in order — allocation bases are a pure
+	// function of the per-node allocation history.
+	OnAlloc func(node topology.NodeID, size int64, r addr.Region)
+
+	// OnReset, when non-nil, is invoked at the end of every Reset, after
+	// all cached state has been dropped. Package trace logs resets through
+	// it so a replayed run resets at the same points.
+	OnReset func()
+
 	// next allocation offset per NUMA node.
 	allocOffset []addr.PAddr
 }
@@ -114,6 +126,9 @@ func (m *Machine) Reset() {
 			ha.HitME.Clear()
 		}
 	}
+	if m.OnReset != nil {
+		m.OnReset()
+	}
 }
 
 // AllocOnNode reserves size bytes of line-aligned memory homed on the given
@@ -132,7 +147,11 @@ func (m *Machine) AllocOnNode(node topology.NodeID, size int64) (addr.Region, er
 	}
 	base := nodeStride*addr.PAddr(node+1) + off
 	m.allocOffset[node] = off + aligned
-	return addr.Region{Base: base, Size: int64(aligned)}, nil
+	r := addr.Region{Base: base, Size: int64(aligned)}
+	if m.OnAlloc != nil {
+		m.OnAlloc(node, size, r)
+	}
+	return r, nil
 }
 
 // MustAlloc is AllocOnNode but panics on error.

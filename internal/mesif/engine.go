@@ -64,6 +64,9 @@ const (
 	// the strength of a HitME directory-cache hit proving the line is
 	// only shared (COD mode, Section VI-C / Figure 7).
 	SrcMemoryForward
+
+	// NumSources sizes fixed-width per-source counter arrays.
+	NumSources
 )
 
 // String names the source.
@@ -173,6 +176,15 @@ type Engine struct {
 	// hook package invariant attaches its machine-wide MESIF checker to;
 	// nil (the default) costs nothing on the transaction path.
 	AfterTransaction func(op Op, core topology.CoreID, l addr.LineAddr)
+
+	// AfterAccess, when non-nil, is invoked like AfterTransaction but
+	// additionally receives the completed Access (latency, source, and
+	// counter bits). It fires BEFORE AfterTransaction, so a trace recorder
+	// installed here has logged the transaction by the time a checker
+	// chained on AfterTransaction inspects the machine — a violation's
+	// repro bundle then contains the transaction that exposed it. Package
+	// trace attaches its flight recorder to this hook.
+	AfterAccess func(op Op, core topology.CoreID, l addr.LineAddr, a Access)
 
 	// Faults, when non-nil, injects the faults of a fault.Plan into the
 	// transaction paths (see fault.go in this package). nil — and any
@@ -313,6 +325,9 @@ func (e *Engine) finish(op Op, core topology.CoreID, l addr.LineAddr, a Access) 
 		a.Latency += nsT(e.Faults.DrainPenaltyNs())
 	}
 	a = e.record(op, a)
+	if e.AfterAccess != nil {
+		e.AfterAccess(op, core, l, a)
+	}
 	if e.AfterTransaction != nil {
 		e.AfterTransaction(op, core, l)
 	}

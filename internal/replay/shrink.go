@@ -1,0 +1,218 @@
+package replay
+
+import (
+	"fmt"
+
+	"haswellep/internal/trace"
+)
+
+// ShrinkStats reports what a shrink did.
+type ShrinkStats struct {
+	// FromEvents/ToEvents are the event counts before and after.
+	FromEvents, ToEvents int
+	// Replays counts candidate replays executed by the ddmin loop.
+	Replays int
+	// PlanFieldsZeroed counts fault-plan probabilities ShrinkPlan
+	// eliminated (0 when only the event stream was shrunk).
+	PlanFieldsZeroed int
+}
+
+// Shrink minimizes the bundle's event stream with ddmin (Zeller's
+// delta-debugging minimization) while the triggering finding keeps
+// reappearing under replay. Every event kind is fair game — allocations
+// and resets are dropped like transactions when the finding survives
+// without them (engine addressing does not require lines to have been
+// allocated, only to be in range). The returned bundle has its digest,
+// and event totals recomputed from a final replay of the minimal stream,
+// so it Verifies on its own.
+//
+// The bundle must carry a finding and must reproduce it as-is; Shrink
+// errors out otherwise rather than minimize against a vacuous predicate.
+func Shrink(b *trace.Bundle) (*trace.Bundle, ShrinkStats, error) {
+	st := ShrinkStats{FromEvents: len(b.Events)}
+	if b.Finding == nil {
+		return nil, st, fmt.Errorf("replay: bundle has no finding to shrink against")
+	}
+	test := func(events []trace.Event) bool {
+		st.Replays++
+		nb := *b
+		nb.Events = events
+		nb.Total = uint64(len(events))
+		res, err := Run(&nb)
+		return err == nil && res.Matched(*b.Finding)
+	}
+	// Removing events shifts every later transaction's position in the
+	// injector's PRNG stream, so the recorded per-op sequence numbers
+	// cannot hold for any proper subset — strip them up front (the
+	// full-stream baseline run keeps them and validates the recording).
+	if !test(b.Events) {
+		return nil, st, fmt.Errorf("replay: bundle does not reproduce its finding; nothing to shrink")
+	}
+	min := ddmin(stripSeqs(b.Events), test)
+	nb := *b
+	nb.Events = min
+	nb.Total = uint64(len(min))
+	res, err := Run(&nb)
+	if err != nil || !res.Matched(*b.Finding) {
+		// test() just accepted this subset; a disagreement means the
+		// replay is nondeterministic, which is itself a bug.
+		return nil, st, fmt.Errorf("replay: minimized bundle stopped reproducing (nondeterministic replay?): %v", err)
+	}
+	nb.Digest = res.Digest
+	st.ToEvents = len(min)
+	return &nb, st, nil
+}
+
+// ShrinkPlan additionally minimizes the fault schedule: it zeroes each of
+// the plan's per-site probabilities (keeping the zero when the finding
+// still reproduces) and drops the plan entirely when none is needed. Run
+// after Shrink — fewer events mean cheaper candidate replays. The
+// returned bundle's digest is recomputed.
+func ShrinkPlan(b *trace.Bundle) (*trace.Bundle, ShrinkStats, error) {
+	st := ShrinkStats{FromEvents: len(b.Events), ToEvents: len(b.Events)}
+	if b.Finding == nil {
+		return nil, st, fmt.Errorf("replay: bundle has no finding to shrink against")
+	}
+	if b.Plan == nil {
+		return b, st, nil
+	}
+	test := func(nb *trace.Bundle) bool {
+		st.Replays++
+		res, err := Run(nb)
+		return err == nil && res.Matched(*b.Finding)
+	}
+	cur := *b
+	plan := *b.Plan
+	cur.Plan = &plan
+	if !test(&cur) {
+		return nil, st, fmt.Errorf("replay: bundle does not reproduce its finding; nothing to shrink")
+	}
+	// Zeroing a probability removes that fault site's PRNG draws, which
+	// re-aligns the stream for the remaining sites — the finding either
+	// survives the re-alignment or the candidate is rejected; recorded
+	// per-op injector seqs are only enforced for the original plan, so
+	// strip them once the schedule changes.
+	for _, field := range []*float64{
+		&plan.DropSnoopResponse, &plan.StaleDirectory, &plan.HitMEFalseHit,
+		&plan.HitMEFalseMiss, &plan.AgentStall,
+	} {
+		if *field == 0 {
+			continue
+		}
+		saved := *field
+		*field = 0
+		cand := cur
+		cand.Events = stripSeqs(cur.Events)
+		cand.Plan = &plan
+		if test(&cand) {
+			cur = cand
+			st.PlanFieldsZeroed++
+		} else {
+			*field = saved
+		}
+	}
+	if !plan.Active() {
+		cand := cur
+		cand.Plan = nil
+		cand.Events = stripSeqs(cur.Events)
+		if test(&cand) {
+			cur = cand
+		}
+	}
+	res, err := Run(&cur)
+	if err != nil || !res.Matched(*b.Finding) {
+		return nil, st, fmt.Errorf("replay: plan-shrunk bundle stopped reproducing (nondeterministic replay?): %v", err)
+	}
+	cur.Digest = res.Digest
+	return &cur, st, nil
+}
+
+// stripSeqs clears the recorded injector sequence numbers of op events;
+// they document the original schedule and cannot hold once the plan
+// changes.
+func stripSeqs(events []trace.Event) []trace.Event {
+	out := make([]trace.Event, len(events))
+	copy(out, events)
+	for i := range out {
+		if out[i].Kind == trace.EvOp {
+			out[i].Seq = 0
+		}
+	}
+	return out
+}
+
+// ddmin is the classic delta-debugging minimization over event slices:
+// split the stream into n chunks, try each chunk and each complement,
+// recurse with finer granularity until single events cannot be removed.
+// test must be deterministic; the result is 1-minimal (removing any one
+// remaining chunk of size 1 breaks the predicate), not globally minimal.
+func ddmin(events []trace.Event, test func([]trace.Event) bool) []trace.Event {
+	cur := events
+	n := 2
+	for len(cur) >= 2 {
+		chunks := splitChunks(cur, n)
+		reduced := false
+		for _, c := range chunks {
+			if len(c) < len(cur) && test(c) {
+				cur, n, reduced = c, 2, true
+				break
+			}
+		}
+		if !reduced {
+			for i := range chunks {
+				if len(chunks) <= 2 {
+					break // complements of halves are the halves
+				}
+				comp := complementOf(chunks, i)
+				if test(comp) {
+					cur, reduced = comp, true
+					if n > 2 {
+						n--
+					}
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// splitChunks splits events into n nearly equal contiguous chunks.
+func splitChunks(events []trace.Event, n int) [][]trace.Event {
+	out := make([][]trace.Event, 0, n)
+	size := len(events) / n
+	rem := len(events) % n
+	start := 0
+	for i := 0; i < n && start < len(events); i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		if end > len(events) {
+			end = len(events)
+		}
+		out = append(out, events[start:end])
+		start = end
+	}
+	return out
+}
+
+// complementOf concatenates every chunk except chunks[i].
+func complementOf(chunks [][]trace.Event, i int) []trace.Event {
+	var out []trace.Event
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"haswellep/internal/fault"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+)
+
+// Version is the bundle format version this build reads and writes.
+// ReadFile rejects other versions instead of guessing.
+const Version = 1
+
+// Spec is the machine portion of a bundle: the knobs that select among the
+// configurations this repo's harnesses build. DRAM, QPI, and latency-model
+// parameters are NOT serialized — the spec always rebuilds from
+// machine.TestSystem (the paper's Table II machine) and then applies the
+// bundle's fault plan via Plan.Configure, which is how every recorded
+// harness (experiments.Env, the chaos sweep, the sweep/fuzz rigs) builds
+// its machine. A harness with hand-tuned DRAM/QPI parameters would need a
+// format version bump to round-trip.
+type Spec struct {
+	Sockets          int   `json:"sockets"`
+	Die              int   `json:"die"`
+	Mode             int   `json:"mode"`
+	ForceDirectory   bool  `json:"force_directory,omitempty"`
+	DisableDirectory bool  `json:"disable_directory,omitempty"`
+	DisableHitME     bool  `json:"disable_hitme,omitempty"`
+	HitMEBytes       int64 `json:"hitme_bytes,omitempty"`
+}
+
+// SpecOf captures a machine configuration's identifying knobs.
+func SpecOf(cfg machine.Config) Spec {
+	return Spec{
+		Sockets:          cfg.Sockets,
+		Die:              int(cfg.Die),
+		Mode:             int(cfg.Mode),
+		ForceDirectory:   cfg.ForceDirectory,
+		DisableDirectory: cfg.DisableDirectory,
+		DisableHitME:     cfg.DisableHitME,
+		HitMEBytes:       cfg.HitMEBytes,
+	}
+}
+
+// Config rebuilds the machine configuration the spec describes (fault-plan
+// degradation not yet applied — replay applies Plan.Configure on top).
+func (s Spec) Config() machine.Config {
+	cfg := machine.TestSystem(machine.SnoopMode(s.Mode))
+	cfg.Sockets = s.Sockets
+	cfg.Die = topology.DieVariant(s.Die)
+	cfg.ForceDirectory = s.ForceDirectory
+	cfg.DisableDirectory = s.DisableDirectory
+	cfg.DisableHitME = s.DisableHitME
+	cfg.HitMEBytes = s.HitMEBytes
+	return cfg
+}
+
+// Bundle is one self-contained failing run: everything needed to rebuild
+// the machine, re-execute the recorded events, and check that the same
+// finding reappears. Bundles serialize as JSON (WriteFile/ReadFile).
+type Bundle struct {
+	Version int  `json:"version"`
+	Spec    Spec `json:"machine"`
+	// Plan is the fault plan of the recorded engine's injector (pricing
+	// defaults applied), nil when the engine ran without one.
+	Plan *fault.Plan `json:"fault_plan,omitempty"`
+	// Events is the recorded stream, oldest first.
+	Events []Event `json:"events"`
+	// Total counts events appended since the recorder's baseline;
+	// Overflow counts the ones the bounded ring dropped. When Overflow
+	// is nonzero the events no longer start at a reconstructible
+	// machine state and the bundle documents the failure but cannot be
+	// replayed.
+	Total    uint64 `json:"total_events"`
+	Overflow uint64 `json:"overflow_events,omitempty"`
+	// Digest summarizes the recorded run; a replay must reproduce it
+	// byte-identically.
+	Digest Digest `json:"digest"`
+	// Finding is the invariant violation that triggered the capture,
+	// nil for bundles recorded without one.
+	Finding *Finding `json:"finding,omitempty"`
+}
+
+// Bundle freezes the recorder's current state into a bundle. The finding
+// may be nil (a trace captured for its own sake).
+func (r *Recorder) Bundle(f *Finding) *Bundle {
+	var plan *fault.Plan
+	if r.e.Faults != nil {
+		p := r.e.Faults.Plan()
+		plan = &p
+	}
+	return &Bundle{
+		Version:  Version,
+		Spec:     SpecOf(r.m.Cfg),
+		Plan:     plan,
+		Events:   r.Events(),
+		Total:    r.total,
+		Overflow: r.overflow,
+		Digest:   r.Digest(),
+		Finding:  f,
+	}
+}
+
+// Truncated reports whether the ring dropped events, making the bundle
+// non-replayable.
+func (b *Bundle) Truncated() bool { return b.Overflow > 0 }
+
+// Ops counts the engine transactions (EvOp events) in the bundle.
+func (b *Bundle) Ops() int {
+	n := 0
+	for _, ev := range b.Events {
+		if ev.Kind == EvOp {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the bundle's structural integrity.
+func (b *Bundle) Validate() error {
+	if b.Version != Version {
+		return fmt.Errorf("trace: bundle version %d, this build reads version %d", b.Version, Version)
+	}
+	if b.Plan != nil {
+		if err := b.Plan.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := b.Spec.Config().Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteFile serializes the bundle to path (0644, indented JSON).
+func WriteFile(path string, b *Bundle) error {
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a bundle.
+func ReadFile(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &b, nil
+}

@@ -133,3 +133,38 @@ func TestRepoIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestResetcheckCatchesFixture(t *testing.T) {
+	got := byAnalyzer(lintFixture(t, "resetbad"))
+	rc := got["resetcheck"]
+	// coldLatency (1) + coldStreams (2); the fresh, reset-first, and
+	// delegating-wrapper functions stay clean.
+	if len(rc) != 3 {
+		t.Fatalf("resetcheck findings = %d, want 3:\n%v", len(rc), rc)
+	}
+	for _, f := range rc {
+		if !strings.HasPrefix(f.Diagnostic.Message, "cold") {
+			t.Errorf("finding not attributed to a cold function: %v", f)
+		}
+	}
+	var hasLatency, hasRead, hasWrite bool
+	for _, f := range rc {
+		switch {
+		case strings.Contains(f.Diagnostic.Message, "bench.Latency"):
+			hasLatency = true
+		case strings.Contains(f.Diagnostic.Message, "bwmodel.ReadStream"):
+			hasRead = true
+		case strings.Contains(f.Diagnostic.Message, "bwmodel.WriteStream"):
+			hasWrite = true
+		}
+	}
+	if !hasLatency || !hasRead || !hasWrite {
+		t.Errorf("missing a measured-function finding (latency %v, read %v, write %v):\n%v",
+			hasLatency, hasRead, hasWrite, rc)
+	}
+	for name, fs := range got {
+		if name != "resetcheck" && len(fs) > 0 {
+			t.Errorf("unexpected %s findings on resetbad: %v", name, fs)
+		}
+	}
+}

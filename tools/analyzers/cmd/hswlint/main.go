@@ -1,12 +1,15 @@
 // Command hswlint runs the repository's custom lint suite (unitcheck,
-// nogoroutine, statsguard) over the module.
+// nogoroutine, statsguard, resetcheck) over the module.
 //
 // Two modes:
 //
-//	hswlint [-C dir] [import-path ...]
+//	hswlint [-C dir] [-importcfg file] [import-path ...]
 //	    Standalone: parse and type-check the module from source (no build
 //	    cache needed) and lint every package, or just the listed import
-//	    paths. Exits 1 when findings are reported.
+//	    paths. With -importcfg, dependencies listed in the compiler import
+//	    configuration are read from their export data instead of being
+//	    re-type-checked (generate one with go list -export -deps). Exits 1
+//	    when findings are reported.
 //
 //	go vet -vettool=$(which hswlint) ./...
 //	    Vet-tool protocol: cmd/go drives the tool once per package with
@@ -37,6 +40,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("hswlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	moduleRoot := fs.String("C", ".", "module root directory (holds go.mod)")
+	importcfg := fs.String("importcfg", "",
+		"compiler importcfg (packagefile path=file lines); mapped imports are read from export data instead of re-type-checked")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -45,6 +50,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if *importcfg != "" {
+		files, err := load.ReadImportConfig(*importcfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := ld.SetExportData(files); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {

@@ -1,0 +1,111 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"go/importer"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Export-data reuse: type-checking every dependency from source is the
+// loader's hermetic default, but it re-does work the compiler already did.
+// When the caller hands the loader a compiler import configuration — the
+// same "packagefile path=file" format cmd/compile consumes, producible with
+//
+//	go list -export -deps -f '{{if .Export}}packagefile {{.ImportPath}}={{.Export}}{{end}}' ./...
+//
+// — imports resolved by the config are read from their .a export data via
+// the gc importer instead of being re-type-checked. Only the packages being
+// linted are parsed from source; everything below them is a cheap binary
+// read. Paths missing from the config silently fall back to source mode, so
+// a stale or partial config degrades to correctness, not failure.
+
+// ParseImportConfig parses importcfg content: one "packagefile
+// <import-path>=<export-file>" per line. Blank lines and # comments are
+// ignored, as are directives other than packagefile (modinfo,
+// importmap, ...), which the compiler accepts but the importer does not
+// need.
+func ParseImportConfig(r io.Reader) (map[string]string, error) {
+	files := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(text, "packagefile ")
+		if !ok {
+			continue
+		}
+		path, file, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: importcfg line %d: malformed packagefile directive %q", line, text)
+		}
+		files[strings.TrimSpace(path)] = strings.TrimSpace(file)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: reading importcfg: %v", err)
+	}
+	return files, nil
+}
+
+// ReadImportConfig loads an importcfg file (see ParseImportConfig).
+func ReadImportConfig(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	defer f.Close()
+	m, err := ParseImportConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %v", path, err)
+	}
+	return m, nil
+}
+
+// SetExportData teaches the loader to satisfy imports of the mapped paths
+// from compiler export data instead of source. The map is import path →
+// export data file (.a or .x), as produced by ParseImportConfig.
+func (ld *Loader) SetExportData(files map[string]string) error {
+	if len(files) == 0 {
+		ld.exports, ld.gc = nil, nil
+		return nil
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q in importcfg", path)
+		}
+		return os.Open(file)
+	}
+	gc, ok := importer.ForCompiler(ld.fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		return fmt.Errorf("load: gc importer does not implement ImporterFrom")
+	}
+	ld.exports, ld.gc = files, gc
+	return nil
+}
+
+// fromExportData imports path from export data when the loader has a
+// mapping for it; ok is false when the import must fall back to source.
+// A mapped file that fails to read is an error, not a fallback: silently
+// re-type-checking it could mask a corrupt build cache.
+func (ld *Loader) fromExportData(path, srcDir string, mode types.ImportMode) (*types.Package, bool, error) {
+	if ld.gc == nil {
+		return nil, false, nil
+	}
+	if _, ok := ld.exports[path]; !ok {
+		return nil, false, nil
+	}
+	pkg, err := ld.gc.ImportFrom(path, srcDir, mode)
+	if err != nil {
+		return nil, true, fmt.Errorf("load: export data for %s: %v", path, err)
+	}
+	return pkg, true, nil
+}

@@ -4,6 +4,9 @@
 // library imports through the compiler-independent source importer. No
 // export data, build cache, or network access is required — which is the
 // point: the linter must run in the same hermetic environment as the build.
+// When export data IS available (the build just ran), SetExportData lets
+// the loader reuse it instead of re-type-checking every dependency; see
+// exportdata.go.
 package load
 
 import (
@@ -43,6 +46,11 @@ type Loader struct {
 	fset *token.FileSet
 	std  types.ImporterFrom
 	pkgs map[string]*entry
+
+	// exports maps import paths to compiler export data files and gc reads
+	// them; both are set by SetExportData (see exportdata.go).
+	exports map[string]string
+	gc      types.ImporterFrom
 }
 
 // entry tracks one load in progress or completed (for cycle detection and
@@ -177,10 +185,14 @@ func (ld *Loader) Import(path string) (*types.Package, error) {
 	return ld.ImportFrom(path, "", 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-internal paths load from
-// source within the module; everything else goes to the standard library's
-// source importer.
+// ImportFrom implements types.ImporterFrom: paths covered by export data
+// (SetExportData) are read from the compiler's .a files; remaining
+// module-internal paths load from source within the module; everything else
+// goes to the standard library's source importer.
 func (ld *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok, err := ld.fromExportData(path, srcDir, mode); ok {
+		return pkg, err
+	}
 	if dir, ok := ld.dirOf(path); ok {
 		pkg, err := ld.LoadDir(dir, path)
 		if err != nil {

@@ -1,0 +1,172 @@
+package load
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseImportConfig(t *testing.T) {
+	cfg := `
+# comment
+packagefile fmt=/cache/fmt.a
+packagefile haswellep/internal/addr=/cache/addr.a
+modinfo "xyz"
+importmap example.com/x=example.com/x@v1
+
+packagefile strings = /cache/strings.a
+`
+	files, err := ParseImportConfig(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"fmt":                     "/cache/fmt.a",
+		"haswellep/internal/addr": "/cache/addr.a",
+		"strings":                 "/cache/strings.a",
+	}
+	if len(files) != len(want) {
+		t.Fatalf("parsed %d entries, want %d: %v", len(files), len(want), files)
+	}
+	for path, file := range want {
+		if files[path] != file {
+			t.Errorf("files[%q] = %q, want %q", path, files[path], file)
+		}
+	}
+}
+
+func TestParseImportConfigMalformed(t *testing.T) {
+	if _, err := ParseImportConfig(strings.NewReader("packagefile fmt\n")); err == nil {
+		t.Error("packagefile directive without '=' accepted")
+	}
+}
+
+func TestSetExportDataEmptyDisables(t *testing.T) {
+	ld, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.SetExportData(map[string]string{"fmt": "/x.a"}); err != nil {
+		t.Fatal(err)
+	}
+	if ld.gc == nil {
+		t.Fatal("gc importer not installed")
+	}
+	if err := ld.SetExportData(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ld.gc != nil || ld.exports != nil {
+		t.Error("empty map did not disable export-data mode")
+	}
+}
+
+// TestExportDataPathIsTaken proves mapped imports really go through the gc
+// importer: a mapping to a nonexistent file must fail the load instead of
+// silently falling back to source.
+func TestExportDataPathIsTaken(t *testing.T) {
+	ld, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.SetExportData(map[string]string{
+		ld.ModulePath + "/internal/addr": filepath.Join(t.TempDir(), "missing.a"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// internal/mesif imports internal/addr, which is mapped.
+	if _, err := ld.Load(ld.ModulePath + "/internal/mesif"); err == nil {
+		t.Error("load succeeded despite unreadable export data for a mapped dependency")
+	} else if !strings.Contains(err.Error(), "export data") {
+		t.Errorf("failure does not mention export data: %v", err)
+	}
+}
+
+// TestLoadWithRealExportData is the end-to-end check: generate an importcfg
+// with the go tool (skipped when unavailable), then type-check a package
+// whose whole dependency tree comes from export data and verify the result
+// matches a pure source-mode load.
+func TestLoadWithRealExportData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command(goTool, "list", "-export", "-deps",
+		"-f", "{{if .Export}}packagefile {{.ImportPath}}={{.Export}}{{end}}", "./internal/mesif")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Skipf("go list -export failed (no build cache?): %v", err)
+	}
+	files, err := ParseImportConfig(strings.NewReader(string(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("go list produced no export data")
+	}
+
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.SetExportData(files); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ld.Load(ld.ModulePath + "/internal/mesif")
+	if err != nil {
+		t.Fatalf("export-data load: %v", err)
+	}
+
+	src, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPkg, err := src.Load(src.ModulePath + "/internal/mesif")
+	if err != nil {
+		t.Fatalf("source load: %v", err)
+	}
+	if pkg.Types.Name() != srcPkg.Types.Name() {
+		t.Errorf("package names differ: %q vs %q", pkg.Types.Name(), srcPkg.Types.Name())
+	}
+	got := pkg.Types.Scope().Names()
+	want := srcPkg.Types.Scope().Names()
+	if len(got) != len(want) {
+		t.Errorf("top-level scopes differ: %d names via export data, %d via source", len(got), len(want))
+	}
+	// None of mesif's dependencies may have gone through the source path
+	// (the pkgs memo holds only source loads). mesif itself is exempt: the
+	// root package is always parsed from source — that is what gets linted.
+	for path := range files {
+		if path == ld.ModulePath+"/internal/mesif" {
+			continue
+		}
+		if _, loadedFromSource := ld.pkgs[path]; loadedFromSource {
+			t.Errorf("%s was re-type-checked from source despite export data", path)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

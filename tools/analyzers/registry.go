@@ -8,6 +8,7 @@ package analyzers
 import (
 	"haswellep/tools/analyzers/analysis"
 	"haswellep/tools/analyzers/nogoroutine"
+	"haswellep/tools/analyzers/resetcheck"
 	"haswellep/tools/analyzers/statsguard"
 	"haswellep/tools/analyzers/unitcheck"
 )
@@ -18,5 +19,6 @@ func All() []*analysis.Analyzer {
 		unitcheck.Analyzer,
 		nogoroutine.Analyzer,
 		statsguard.Analyzer,
+		resetcheck.Analyzer,
 	}
 }

@@ -1,0 +1,136 @@
+// Package resetcheck enforces the measurement-hygiene discipline of the
+// reproduction: the point measurements — bench.Latency, bwmodel.ReadStream,
+// bwmodel.WriteStream — are only meaningful on a machine whose cache and
+// directory state the experiment just established. A measurement on an
+// engine carrying leftover state from a previous experiment reproduces
+// nothing; it measures the accident of whatever ran before.
+//
+// The rule is lexical, per function: a call to one of the measured
+// functions must be preceded, somewhere earlier in the same enclosing
+// function, by a state-establishing call — a Reset or Fresh (machine reset,
+// env reset), or a constructor (New*, MustNew*: a freshly built machine is
+// by definition in power-on state). Thin delegating wrappers whose entire
+// body is a single return statement (the public Measure* API surface) are
+// exempt: they pass the discipline to their caller. Test files are skipped
+// — tests deliberately measure mid-scenario.
+//
+// The check is a heuristic, not a proof: one establishing call licenses
+// every later measurement in the function, even if state mutates in
+// between. It exists to catch the common failure mode — a new experiment
+// function that never resets at all — cheaply and at compile time.
+package resetcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Analyzer is the resetcheck instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetcheck",
+	Doc: "reports bench.Latency / bwmodel.ReadStream / bwmodel.WriteStream call sites " +
+		"with no preceding machine-state-establishing call (Reset, Fresh, New*, MustNew*) " +
+		"in the enclosing function",
+	Run: run,
+}
+
+// measured maps package name → function names whose call sites need
+// established machine state.
+var measured = map[string]map[string]bool{
+	"bench":   {"Latency": true},
+	"bwmodel": {"ReadStream": true, "WriteStream": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isDelegatingWrapper(fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isDelegatingWrapper reports whether the function body is a single return
+// statement — a thin wrapper that exposes a measurement without owning the
+// reset discipline (the caller does).
+func isDelegatingWrapper(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	_, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	return ok
+}
+
+// checkFunc walks one function in lexical order, tracking whether a
+// state-establishing call has been seen before each measured call.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	established := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := measuredCall(pass, call); ok {
+			if !established {
+				pass.Reportf(call.Pos(),
+					"%s calls %s with no preceding Reset/Fresh/New* in %s; "+
+						"measurements need freshly established machine state",
+					fn.Name.Name, name, fn.Name.Name)
+			}
+			return true
+		}
+		if isEstablishing(call) {
+			established = true
+		}
+		return true
+	})
+}
+
+// measuredCall reports whether the call targets one of the measured
+// functions, identified as a package-qualified selector (bench.Latency,
+// bwmodel.ReadStream, bwmodel.WriteStream).
+func measuredCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[qual].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	fns, ok := measured[pn.Imported().Name()]
+	if !ok || !fns[sel.Sel.Name] {
+		return "", false
+	}
+	return pn.Imported().Name() + "." + sel.Sel.Name, true
+}
+
+// isEstablishing reports whether the call plausibly establishes machine
+// state: a Reset or Fresh by name, or any constructor (New*, MustNew*).
+func isEstablishing(call *ast.CallExpr) bool {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return name == "Reset" || name == "Fresh" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "MustNew")
+}

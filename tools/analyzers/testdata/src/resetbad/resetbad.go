@@ -1,0 +1,57 @@
+// Package resetbad is the negative fixture for the resetcheck analyzer:
+// measurement calls (bench.Latency, bwmodel.ReadStream/WriteStream) must be
+// preceded by a state-establishing call in the same function.
+package resetbad
+
+import (
+	"haswellep/internal/addr"
+	"haswellep/internal/bench"
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+)
+
+// coldLatency measures an engine of unknown state: reported.
+func coldLatency(e *mesif.Engine, r addr.Region) float64 {
+	stat := bench.Latency(e, 0, r)
+	return stat.MeanNs
+}
+
+// coldStreams measures both stream directions without a reset: two
+// findings.
+func coldStreams(e *mesif.Engine, r addr.Region) (float64, float64) {
+	rd := bwmodel.ReadStream(e, 0, r, bwmodel.AVX256, bwmodel.Concurrency{})
+	wr := bwmodel.WriteStream(e, 0, r, bwmodel.DefaultWriteConcurrency)
+	return rd.GBps, wr.GBps
+}
+
+// freshLatency builds the machine it measures: allowed (a constructor is
+// power-on state by definition).
+func freshLatency() float64 {
+	m := machine.MustNew(machine.TestSystem(machine.SourceSnoop))
+	e := mesif.New(m)
+	r := m.MustAlloc(0, addr.LineSize)
+	stat := bench.Latency(e, 0, r)
+	return stat.MeanNs
+}
+
+// resetThenMeasure resets first: allowed, including the second measurement
+// (the rule is lexical, one establishing call licenses the function).
+func resetThenMeasure(m *machine.Machine, e *mesif.Engine, r addr.Region) float64 {
+	m.Reset()
+	a := bench.Latency(e, 0, r)
+	b := bwmodel.ReadStream(e, 0, r, bwmodel.AVX256, bwmodel.Concurrency{})
+	return a.MeanNs + b.GBps
+}
+
+// measureLatency is a single-return delegating wrapper: exempt, the caller
+// owns the reset discipline.
+func measureLatency(e *mesif.Engine, r addr.Region) bench.LatencyStat {
+	return bench.Latency(e, 0, r)
+}
+
+var _ = coldLatency
+var _ = coldStreams
+var _ = freshLatency
+var _ = resetThenMeasure
+var _ = measureLatency
