@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchBaseline guards the checked-in BENCH_1.json: it must parse
+// under the current schema, carry the current version, and hold the three
+// scenarios with sane counters. (Regenerate with
+// `go run ./cmd/hswbench -bench -bench-out BENCH_1.json` from the repo
+// root; the sim-side fields must come out identical, only the wall-clock
+// fields move.)
+func TestBenchBaseline(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("baseline does not parse under the current schema: %v", err)
+	}
+	if rep.Version != benchVersion {
+		t.Errorf("baseline version = %d, tool emits %d; regenerate BENCH_1.json", rep.Version, benchVersion)
+	}
+	want := []string{"pointer-chase-16mib", "capacity-pressure-24mib", "chaos-stream-8mib"}
+	if len(rep.Scenarios) != len(want) {
+		t.Fatalf("baseline has %d scenarios, want %d", len(rep.Scenarios), len(want))
+	}
+	for i, sc := range rep.Scenarios {
+		if sc.Name != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, want[i])
+		}
+		if sc.Transactions == 0 || sc.TxPerSec <= 0 || sc.WallSeconds <= 0 {
+			t.Errorf("scenario %s has empty counters: %+v", sc.Name, sc)
+		}
+	}
+}
+
+// TestPointerChaseScenario re-runs the cheapest scenario end to end and
+// pins its deterministic anchors against the checked-in baseline: if a
+// sim-side number moves, engine behavior changed — a regression (or an
+// intentional change that must regenerate the baseline).
+func TestPointerChaseScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run skipped in -short mode")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchPointerChase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rep.Scenarios[0]
+	if got.Transactions != base.Transactions || got.SimMeanNs != base.SimMeanNs || got.SimSnoops != base.SimSnoops {
+		t.Errorf("pointer-chase anchors drifted from baseline:\n got tx=%d mean=%v snoops=%d\nbase tx=%d mean=%v snoops=%d\nregenerate BENCH_1.json if the change is intentional",
+			got.Transactions, got.SimMeanNs, got.SimSnoops,
+			base.Transactions, base.SimMeanNs, base.SimSnoops)
+	}
+}

@@ -7,10 +7,20 @@
 //	hswbench -exp all               # everything (slow)
 //	hswbench -exp fig4 -out dir     # write figure CSVs into dir
 //	hswbench -list                  # list experiment ids
+//	hswbench -bench -bench-out BENCH_1.json
+//	                                # throughput scenarios -> versioned JSON
 //
 // Experiment ids follow DESIGN.md: table1, table2, table3, table4, table5,
 // table6, table7, table8, l3scaling, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10.
+//
+// The -bench mode (see bench.go) runs three engine-throughput scenarios —
+// pointer chase, capacity pressure, chaos stream — and emits BENCH_1.json:
+// deterministic simulation-side counters as regression anchors plus
+// wall-clock transactions/second as the performance trajectory. The
+// checked-in BENCH_1.json at the repository root records the baseline.
+//
+//hsw:tier tool
 package main
 
 import (
@@ -45,10 +55,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "directory for figure CSV files (default: print to stdout)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	compare := fs.Bool("compare", true, "print paper-vs-measured comparisons where available")
+	doBench := fs.Bool("bench", false, "run the throughput scenarios and emit versioned benchmark JSON")
+	benchOut := fs.String("bench-out", "", "file for -bench JSON (default: print to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *doBench {
+		if err := runBench(stdout, *benchOut); err != nil {
+			fmt.Fprintf(stderr, "hswbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experimentIDs, "\n"))
 		return 0

@@ -15,6 +15,8 @@
 // The same seed always reproduces the same fault schedule, the same
 // latencies, and byte-identical output. Rate 0 reproduces the baseline
 // tables exactly.
+//
+//hsw:tier tool
 package main
 
 import (

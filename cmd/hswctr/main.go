@@ -7,6 +7,8 @@
 //
 //	hswctr -mode cod -state shared -placer 6 -sharer 12 -node 1 -core 0
 //	hswctr -state modified -placer 12 -node 1       # remote HITM forwards
+//
+//hsw:tier tool
 package main
 
 import (

@@ -6,6 +6,8 @@
 //
 //	hswmlc              # default configuration (2 nodes)
 //	hswmlc -mode cod    # Cluster-on-Die (4x4 matrices)
+//
+//hsw:tier tool
 package main
 
 import (

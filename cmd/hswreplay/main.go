@@ -15,6 +15,8 @@
 // latency sum (integer picoseconds), per-source counters, and fault
 // counters byte-identically, and re-detect the same (kind, class, line)
 // finding. Exit status 0 means the bundle reproduces.
+//
+//hsw:tier tool
 package main
 
 import (

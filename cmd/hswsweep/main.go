@@ -10,6 +10,8 @@
 // The placement puts every cache line of a growing buffer into the given
 // coherence state on the placer core (buffer homed on -node), then measures
 // from -core, printing one CSV row per dataset size.
+//
+//hsw:tier tool
 package main
 
 import (

@@ -7,6 +7,8 @@
 //	hswtopo              # default configuration (source snoop)
 //	hswtopo -mode cod    # Cluster-on-Die
 //	hswtopo -mode home   # home snoop
+//
+//hsw:tier tool
 package main
 
 import (

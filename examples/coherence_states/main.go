@@ -5,6 +5,8 @@
 // The example places the same buffer in every interesting (location, state)
 // combination, measures the first-access latency from core 0, and prints
 // the paper's reference values next to the simulated ones.
+//
+//hsw:tier tool
 package main
 
 import (

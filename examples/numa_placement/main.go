@@ -4,6 +4,8 @@
 // node of its data, in the default configuration and in COD mode — the
 // practical takeaway of the paper's Tables III and VI for NUMA-aware
 // software.
+//
+//hsw:tier tool
 package main
 
 import (

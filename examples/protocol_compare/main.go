@@ -3,6 +3,8 @@
 // characterizes the machine in all three configurations, prints the
 // micro-metrics side by side, and evaluates the application models on top,
 // ending with the paper's recommendation matrix.
+//
+//hsw:tier tool
 package main
 
 import (

@@ -1,6 +1,8 @@
 // Quickstart: build the simulated dual-socket Haswell-EP test system, place
 // a buffer in a controlled coherence state, and measure read latency and
 // bandwidth — the 30-second tour of the library.
+//
+//hsw:tier tool
 package main
 
 import (

@@ -3,6 +3,8 @@
 // configurations and watch where the time goes — streaming loves COD's
 // local memory, migratory lines love the directory cache, cross-socket
 // pipelines love home snooping's bandwidth.
+//
+//hsw:tier tool
 package main
 
 import (

@@ -21,6 +21,8 @@
 //
 // See the examples directory for complete programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology and results.
+//
+//hsw:tier engine
 package haswellep
 
 import (

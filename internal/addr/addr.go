@@ -7,6 +7,8 @@
 // we use a deterministic XOR-fold hash with the same property that matters
 // for the reproduction: lines of a contiguous buffer distribute evenly over
 // the slices of the owning node.
+//
+//hsw:tier engine
 package addr
 
 import "haswellep/internal/units"

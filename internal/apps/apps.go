@@ -12,6 +12,8 @@
 // per-configuration micro-characteristics are MEASURED on the simulated
 // machine, so the config-to-config deltas of Figure 10 are genuinely
 // computed rather than transcribed.
+//
+//hsw:tier engine
 package apps
 
 import (
@@ -221,7 +223,8 @@ type Profile struct {
 // relative to the baseline characterization.
 func (p Profile) RelativeRuntime(base, cfg Characterization) float64 {
 	rt := p.Compute
-	for m, w := range p.Weights {
+	for _, m := range p.sortedMetrics() {
+		w := p.Weights[m]
 		ratio := cfg.Values[m] / base.Values[m]
 		if m.inverse() {
 			ratio = base.Values[m] / cfg.Values[m]
@@ -231,10 +234,25 @@ func (p Profile) RelativeRuntime(base, cfg Characterization) float64 {
 	return rt
 }
 
+// sortedMetrics returns the profile's weighted metrics in ascending order.
+// The runtime estimate is a float sum, and float addition is not
+// associative, so the accumulation order must be pinned for experiment
+// tables to replay bit-identically.
+func (p Profile) sortedMetrics() []Metric {
+	ms := make([]Metric, 0, len(p.Weights))
+	//hsw:unordered key collection; order restored by the sort below
+	for m := range p.Weights {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
+
 // Validate checks that the profile's fractions are sane.
 func (p Profile) Validate() error {
 	sum := p.Compute
-	for m, w := range p.Weights {
+	for _, m := range p.sortedMetrics() {
+		w := p.Weights[m]
 		if w < 0 {
 			return fmt.Errorf("apps: %s has negative weight for %v", p.Name, m)
 		}

@@ -3,6 +3,8 @@
 // chase over a placed buffer, and the dataset-size sweeps behind the
 // latency figures. Bandwidth measurements build on these passes in package
 // bwmodel.
+//
+//hsw:tier engine
 package bench
 
 import (
@@ -80,6 +82,7 @@ func Latency(e *mesif.Engine, core topology.CoreID, r addr.Region) LatencyStat {
 func (s LatencyStat) DominantSource() mesif.Source {
 	var best mesif.Source
 	bestN := -1
+	//hsw:unordered argmax with a total tie-break on the key; any visit order yields the same winner
 	for src, n := range s.BySource {
 		if n > bestN || (n == bestN && src < best) {
 			best, bestN = src, n

@@ -14,6 +14,8 @@
 // fitted to the paper's single-threaded measurements (Figure 8/9, Table VI)
 // in the default configuration; all cross-configuration predictions then
 // follow from the simulated latencies.
+//
+//hsw:tier engine
 package bwmodel
 
 import (

@@ -1,6 +1,8 @@
 package bwmodel
 
 import (
+	"sort"
+
 	"haswellep/internal/addr"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
@@ -57,11 +59,31 @@ func (a *streamAccum) add(b bucket, latNs float64) {
 	a.latNs[b] += latNs
 }
 
+// sortedBuckets returns the populated buckets in a fixed order
+// (class-major, on-chip before cross-socket). The stream-time reductions
+// below are float sums, and float addition is not associative, so the
+// iteration order must be pinned for runs to replay bit-identically.
+func (a *streamAccum) sortedBuckets() []bucket {
+	bs := make([]bucket, 0, len(a.n))
+	//hsw:unordered key collection; order restored by the sort below
+	for b := range a.n {
+		bs = append(bs, b)
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].class != bs[j].class {
+			return bs[i].class < bs[j].class
+		}
+		return !bs[i].cross && bs[j].cross
+	})
+	return bs
+}
+
 // readTime returns the total stream time in ns under a read concurrency
 // table.
 func (a *streamAccum) readTime(w Width, conc Concurrency) float64 {
 	total := 0.0
-	for b, n := range a.n {
+	for _, b := range a.sortedBuckets() {
+		n := a.n[b]
 		mean := a.latNs[b] / float64(n)
 		c := conc[b.class]
 		if b.class == ClassMemRemote && b.cross {
@@ -87,7 +109,8 @@ func (a *streamAccum) readTime(w Width, conc Concurrency) float64 {
 // model.
 func (a *streamAccum) writeTime(wc WriteConcurrency) float64 {
 	total := 0.0
-	for b, n := range a.n {
+	for _, b := range a.sortedBuckets() {
+		n := a.n[b]
 		mean := a.latNs[b] / float64(n)
 		c := wc.Mem
 		switch b.class {

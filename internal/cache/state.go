@@ -2,6 +2,8 @@
 // machine: per-core L1D and L2 caches and the distributed, inclusive L3
 // slices with per-core valid bits, all keeping 64-byte lines in MESIF
 // coherence states with true-LRU replacement.
+//
+//hsw:tier engine
 package cache
 
 import "fmt"

@@ -10,10 +10,13 @@
 //
 // Both are consulted and maintained by the home agents in package mesif when
 // the machine runs in COD mode.
+//
+//hsw:tier engine
 package directory
 
 import (
 	"fmt"
+	"sort"
 
 	"haswellep/internal/addr"
 	"haswellep/internal/units"
@@ -85,10 +88,19 @@ func (d *InMemory) SetState(l addr.LineAddr, s MemState) {
 func (d *InMemory) Writes() uint64 { return d.writes }
 
 // ForEach calls fn for every line in a non-default (non-RemoteInvalid)
-// state. Iteration order is unspecified; fn must not mutate the directory.
+// state, in ascending address order. The deterministic order matters:
+// invariant checkers emit violations from inside this callback, and those
+// reach replay digests and flight-recorder captures, which require
+// byte-identical re-execution. fn must not mutate the directory.
 func (d *InMemory) ForEach(fn func(addr.LineAddr, MemState)) {
-	for l, s := range d.m {
-		fn(l, s)
+	lines := make([]addr.LineAddr, 0, len(d.m))
+	//hsw:unordered key collection; order restored by the sort below
+	for l := range d.m {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		fn(l, d.m[l])
 	}
 }
 

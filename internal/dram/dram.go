@@ -6,6 +6,8 @@
 // Each Haswell-EP socket has four DDR4 channels (two per memory controller)
 // running at 2133 MT/s, i.e. 17.06 GB/s per channel and 68.3 GB/s per
 // socket (Section V-A).
+//
+//hsw:tier engine
 package dram
 
 import (
@@ -151,6 +153,13 @@ func (c *Controller) OpenPageHitRate(footprint int64) float64 {
 // It is the controller overhead plus the row-hit CAS time, plus the
 // expected row-activation penalty, scaled by the channel's LatencyFactor
 // when the configuration models a degraded channel.
+//
+// Calibration boundary: the DRAM timing parameters are nanosecond floats
+// (CAS, row miss, controller overhead) and the open-page hit rate is a
+// probability, so the expected latency is computed in float and converted
+// to integer picoseconds exactly once, here.
+//
+//hsw:calibration expected-value DRAM latency model converts ns floats once
 func (c *Controller) AccessTime(footprint int64) units.Time {
 	p := c.OpenPageHitRate(footprint)
 	ns := c.cfg.ControllerNs + c.cfg.CASLatencyNs + (1-p)*c.cfg.RowMissExtraNs

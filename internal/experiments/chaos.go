@@ -215,12 +215,14 @@ func chaosPointOpts(seed int64, rate float64, o ChaosOptions) (ChaosPoint, error
 // remoteReadPoint solves the max-min bandwidth share for all cores of
 // socket 0 streaming reads from socket 1's memory: each flow crosses the
 // (possibly degraded) QPI payload capacity and the remote socket's
-// (possibly degraded) sustained DRAM read capacity.
+// (possibly degraded) sustained DRAM read capacity. The solve goes through
+// env.SolveMaxMin so an attached flight recorder captures it for
+// bit-identical replay verification.
 func remoteReadPoint(env *Env) float64 {
 	caps := bwmodel.CapsFor(env.M.Cfg)
 	n := env.M.Topo.Die.Cores()
 	flows := bwmodel.UniformFlows(n, 1e9, map[int]float64{0: 1, 1: 1})
-	alloc := bwmodel.MaxMin(flows, []float64{
+	alloc := env.SolveMaxMin(flows, []float64{
 		caps.QPIReadCap(env.Mode),
 		caps.MemReadPerSocket,
 	})

@@ -5,8 +5,10 @@ import (
 	"reflect"
 	"testing"
 
+	"haswellep/internal/bwmodel"
 	"haswellep/internal/fault"
 	"haswellep/internal/machine"
+	"haswellep/internal/trace"
 )
 
 func TestChaosPlanAtZeroIsInert(t *testing.T) {
@@ -28,6 +30,9 @@ func TestChaosPlanAtZeroIsInert(t *testing.T) {
 // chaos harness at fault rate 0 measures exactly the baseline — same env
 // plumbing, injector installed, but every cell byte-identical to Table4.
 func TestChaosRateZeroReproducesTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
 	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}
@@ -56,6 +61,9 @@ func TestChaosRateZeroReproducesTable4(t *testing.T) {
 // inside ChaosSweep) and verifies determinism: re-measuring the faulted
 // point from the same seed reproduces every latency cell and every counter.
 func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
 	if testing.Short() {
 		t.Skip("slow chaos sweep")
 	}
@@ -126,6 +134,9 @@ func TestMatrixMean(t *testing.T) {
 // hold exactly, not approximately.
 func TestFlightRecorderIsPureObserver(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow sweep comparison")
 	}
 	const seed = 0xF11467
@@ -162,5 +173,41 @@ func TestFlightRecorderIsPureObserver(t *testing.T) {
 	}
 	if len(ents) != 0 {
 		t.Errorf("clean sweep wrote %d bundles: %v", len(ents), ents)
+	}
+}
+
+// TestSolveMaxMinCaptured: the env's solver entry point logs each
+// invocation into an attached flight recorder — the capture a replay later
+// verifies bit for bit — and stays a pure pass-through when no recorder is
+// attached.
+func TestSolveMaxMinCaptured(t *testing.T) {
+	env := NewEnv(machine.SourceSnoop)
+	flows := bwmodel.UniformFlows(3, 1e9, map[int]float64{0: 1})
+	caps := []float64{2.5e9}
+
+	// No recorder attached: solve works, nothing to log into.
+	bare := env.SolveMaxMin(flows, caps)
+	if got, want := bwmodel.Sum(bare), 2.5e9; got != want {
+		t.Fatalf("unrecorded solve: Sum = %v, want %v", got, want)
+	}
+
+	tr := env.AttachFlightRecorder(t.TempDir(), 0)
+	alloc := env.SolveMaxMin(flows, caps)
+	solves := tr.FlowSolves()
+	if len(solves) != 1 {
+		t.Fatalf("recorder captured %d solves, want 1", len(solves))
+	}
+	if got, want := solves[0].AllocBits, trace.AllocBits(alloc); !reflect.DeepEqual(got, want) {
+		t.Errorf("captured AllocBits %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(solves[0].Flows, flows) || !reflect.DeepEqual(solves[0].Caps, caps) {
+		t.Errorf("captured inputs differ from the solve's inputs")
+	}
+
+	// The capture must be a deep copy: mutating the caller's slices after
+	// the solve must not reach into the recorded invocation.
+	caps[0] = 0
+	if tr.FlowSolves()[0].Caps[0] != 2.5e9 {
+		t.Errorf("recorded caps alias the caller's slice")
 	}
 }

@@ -5,6 +5,8 @@
 // together with paper-vs-measured comparisons.
 //
 // The experiment ids match DESIGN.md's index: table1–table8, fig4–fig10.
+//
+//hsw:tier harness
 package experiments
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
+	"haswellep/internal/bwmodel"
 	"haswellep/internal/fault"
 	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
@@ -42,6 +45,10 @@ type Env struct {
 	// checker finds (and counts stale findings). A healthy engine keeps
 	// Check.Err() nil for any workload.
 	Check *invariant.Recorder
+
+	// tr is the attached flight recorder, nil until
+	// AttachFlightRecorder; SolveMaxMin logs solver invocations into it.
+	tr *trace.Recorder
 
 	// lastAlloc is the most recent Alloc result (see lastRegion).
 	lastAlloc addr.Region
@@ -126,7 +133,21 @@ func (env *Env) Fresh() {
 func (env *Env) AttachFlightRecorder(dir string, capacity int) *trace.Recorder {
 	tr := trace.Attach(env.E, trace.Options{Capacity: capacity})
 	env.Check.CaptureTo(tr, dir)
+	env.tr = tr
 	return tr
+}
+
+// SolveMaxMin runs the multi-flow bandwidth solver and, when a flight
+// recorder is attached, logs the invocation so a captured bundle verifies
+// the solver's allocations bit-for-bit on replay. Harness code measuring
+// bandwidth points must call this instead of bwmodel.MaxMin directly —
+// otherwise the solve escapes the capture.
+func (env *Env) SolveMaxMin(flows []bwmodel.Flow, caps []float64) []float64 {
+	alloc := bwmodel.MaxMin(flows, caps)
+	if env.tr != nil {
+		env.tr.RecordFlowSolve(flows, caps, alloc)
+	}
+	return alloc
 }
 
 // Standard dataset sizes the point measurements use: comfortably inside the

@@ -70,6 +70,9 @@ func TestWorkloadStudy(t *testing.T) {
 // properties in both the default and COD configurations.
 func TestNodeMatrix(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow extension test")
 	}
 	def := NodeMatrix(machine.SourceSnoop)

@@ -48,6 +48,9 @@ func expectNear(t *testing.T, fig *report.Figure, series string, size int64, wan
 // levels of Section VI-A.
 func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow figure test")
 	}
 	fig := Fig4()
@@ -83,6 +86,9 @@ func TestFig4Shape(t *testing.T) {
 // latency; remote memory is unaffected (Section VI-B).
 func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow figure test")
 	}
 	fig := Fig5()
@@ -112,6 +118,9 @@ func TestFig5Shape(t *testing.T) {
 // TestFig8Shape pins the bandwidth plateaus of Section VII-A.
 func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow figure test")
 	}
 	fig := Fig8()
@@ -129,6 +138,9 @@ func TestFig8Shape(t *testing.T) {
 
 // TestFig9Shape: the forward-location effect on shared-line bandwidth.
 func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
 	if testing.Short() {
 		t.Skip("slow figure test")
 	}
@@ -186,6 +198,9 @@ func TestFig7Shape(t *testing.T) {
 
 // TestFig6Shape: the six distance levels separate cleanly in COD mode.
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
 	if testing.Short() {
 		t.Skip("slow figure test")
 	}

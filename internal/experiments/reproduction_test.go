@@ -24,6 +24,9 @@ func assertWithin(t *testing.T, cs []report.Comparison, tolPct float64) {
 // TestTable3Reproduction: all thirty Table III cells within 6%.
 func TestTable3Reproduction(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}
 	res := Table3()
@@ -69,6 +72,9 @@ func TestTable4Reproduction(t *testing.T) {
 // TestTable5Reproduction: the stale-directory memory matrix within 8%.
 func TestTable5Reproduction(t *testing.T) {
 	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
+	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}
 	res, err := Table5()
@@ -99,6 +105,9 @@ func TestTable5Reproduction(t *testing.T) {
 // (5.9 GB/s single-core node0-node2) disagree about the same quantity; this
 // reproduction follows Table VIII (see EXPERIMENTS.md).
 func TestTable6Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reproduction run; the -short race pass covers the fast tests")
+	}
 	if testing.Short() {
 		t.Skip("slow reproduction test")
 	}

@@ -36,6 +36,8 @@
 //     access-time model, and the bandwidth model's capacities.
 //   - AgentStall: a caching agent transiently stalls a request for
 //     StallNs. Models uncore backpressure (credit exhaustion).
+//
+//hsw:tier engine
 package fault
 
 import (

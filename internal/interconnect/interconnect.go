@@ -7,6 +7,8 @@
 // QPI links at 9.6 GT/s; each link provides 38.4 GB/s bi-directional
 // bandwidth, so the socket pair has 38.4 GB/s of payload bandwidth per
 // direction across both links.
+//
+//hsw:tier engine
 package interconnect
 
 import "haswellep/internal/units"

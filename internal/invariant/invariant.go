@@ -56,6 +56,8 @@
 // recovered fault the machine must read as legal, and Attach additionally
 // reports any injector penalty a transaction failed to drain into its
 // latency (KindRecovery).
+//
+//hsw:tier engine
 package invariant
 
 import (

@@ -7,6 +7,8 @@
 // is NOT safe for concurrent use; multi-core workloads are interleaved
 // access sequences, never goroutines (the nogoroutine analyzer in
 // tools/analyzers enforces this contract).
+//
+//hsw:tier engine
 package machine
 
 import (

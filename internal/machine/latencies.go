@@ -106,7 +106,12 @@ var defaultLatencyModel = LatencyModel{
 // DefaultLatencyModel returns a copy of the calibrated model.
 func DefaultLatencyModel() LatencyModel { return defaultLatencyModel }
 
-// ns converts a nanosecond quantity to simulated time.
+// ns converts a nanosecond quantity to simulated time. This is the
+// calibration boundary of the latency model: the paper's measured values
+// are nanoseconds, and they enter the integer-picosecond domain exactly
+// once, here, at configuration time — never per-access.
+//
+//hsw:calibration paper-measured nanosecond constants enter sim time here
 func ns(v float64) units.Time { return units.FromNanoseconds(v) }
 
 // PathCost prices an on-die hop path.

@@ -17,6 +17,8 @@
 // shared state, and transactions mutate it. Multi-core workloads are
 // expressed as interleaved access sequences (see package workload), not as
 // goroutines.
+//
+//hsw:tier engine
 package mesif
 
 import (
@@ -213,6 +215,7 @@ func New(m *machine.Machine) *Engine {
 func (e *Engine) Stats() Stats {
 	out := e.stats
 	out.BySource = make(map[Source]uint64, len(e.stats.BySource))
+	//hsw:unordered map-to-map copy; the result compares equal regardless of insertion order
 	for k, v := range e.stats.BySource {
 		out.BySource[k] = v
 	}
@@ -275,7 +278,11 @@ func (e *Engine) touch(l addr.LineAddr) {
 // lat is shorthand for the machine's latency model.
 func (e *Engine) lat() machine.LatencyModel { return e.M.Cfg.Lat }
 
-// nsT converts nanoseconds to simulated time.
+// nsT converts nanoseconds to simulated time. Calibration boundary: the
+// protocol engine's configured latencies are nanosecond quantities from the
+// paper's tables, converted to integer picoseconds exactly once here.
+//
+//hsw:calibration configured nanosecond latencies enter sim time here
 func nsT(v float64) units.Time { return units.FromNanoseconds(v) }
 
 // record books a completed transaction into the statistics. Together with

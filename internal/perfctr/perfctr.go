@@ -7,6 +7,8 @@
 // named events with the semantics of the real counters, so experiments can
 // be cross-checked the same way the paper cross-checks its latency curves
 // against counter readings (Section VI-C / Figure 7).
+//
+//hsw:tier engine
 package perfctr
 
 import (

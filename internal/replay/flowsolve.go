@@ -1,0 +1,36 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/trace"
+)
+
+// VerifyFlowSolves re-runs every multi-flow solver invocation a bundle
+// recorded and demands bit-identical allocations. The solver is a pure
+// float fixpoint (bwmodel.MaxMin), so unlike the event stream it needs no
+// machine to re-execute — but its output is exactly as digest-relevant as
+// a latency: the remote-read bandwidth points of the chaos sweep come
+// straight from it. Comparison is on raw IEEE-754 bits; a value-level
+// compare would forgive the evaluation-order drift this check exists to
+// catch.
+func VerifyFlowSolves(b *trace.Bundle) error {
+	for i, fs := range b.FlowSolves {
+		alloc := bwmodel.MaxMin(fs.Flows, fs.Caps)
+		if len(alloc) != len(fs.AllocBits) {
+			return fmt.Errorf("replay: flow solve %d: %d allocations replayed, %d recorded", i, len(alloc), len(fs.AllocBits))
+		}
+		for j, v := range alloc {
+			if got, want := math.Float64bits(v), fs.AllocBits[j]; got != want {
+				return fmt.Errorf("replay: flow solve %d: allocation %d diverged (recorded bits %#x = %v, replayed %#x = %v)",
+					i, j, want, math.Float64frombits(want), got, v)
+			}
+		}
+	}
+	if b.FlowSolveOverflow > 0 {
+		return fmt.Errorf("replay: flow-solve log truncated (%d invocations dropped); the recorded prefix verified, the rest is unknown", b.FlowSolveOverflow)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package replay
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"haswellep/internal/bwmodel"
+	"haswellep/internal/trace"
+)
+
+// solveBundle captures a seeded run, adds two genuine multi-flow solver
+// invocations to the recording before the bundle freezes, and round-trips
+// the result through WriteFile/ReadFile so the test exercises the
+// serialized form, not just the in-memory struct.
+func solveBundle(t *testing.T) *trace.Bundle {
+	t.Helper()
+	path, err := RecordSeededViolation(t.TempDir(), 77, 200)
+	if err != nil {
+		t.Fatalf("RecordSeededViolation: %v", err)
+	}
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(b.FlowSolves) != 0 {
+		t.Fatalf("seeded capture unexpectedly recorded %d flow solves", len(b.FlowSolves))
+	}
+	// Splice solver invocations in by re-recording: rebuild the recorded
+	// run's solves the way experiments.Env.SolveMaxMin does, directly on
+	// the bundle (the event stream is untouched, so replay still matches).
+	for _, n := range []int{4, 18} {
+		flows := bwmodel.UniformFlows(n, 1e9, map[int]float64{0: 1, 1: 1})
+		caps := []float64{12.8e9, 50e9}
+		b.FlowSolves = append(b.FlowSolves, trace.FlowSolve{
+			Flows:     flows,
+			Caps:      caps,
+			AllocBits: trace.AllocBits(bwmodel.MaxMin(flows, caps)),
+		})
+	}
+	out := filepath.Join(t.TempDir(), "bundle.json")
+	if err := trace.WriteFile(out, b); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b2, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatalf("ReadFile (roundtrip): %v", err)
+	}
+	if len(b2.FlowSolves) != 2 {
+		t.Fatalf("roundtrip lost flow solves: got %d, want 2", len(b2.FlowSolves))
+	}
+	return b2
+}
+
+// TestFlowSolveRoundTrip: a bundle carrying solver invocations serializes,
+// reloads, and verifies end to end — Verify re-runs the solver and the
+// allocations match bit for bit.
+func TestFlowSolveRoundTrip(t *testing.T) {
+	b := solveBundle(t)
+	if err := VerifyFlowSolves(b); err != nil {
+		t.Errorf("VerifyFlowSolves: %v", err)
+	}
+	if _, err := Verify(b); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestFlowSolveTamperDetected: flipping the low bit of one recorded
+// allocation — a perturbation far below any value-level epsilon — must
+// fail verification, and a truncated solve log must be reported even when
+// its recorded prefix is intact.
+func TestFlowSolveTamperDetected(t *testing.T) {
+	b := solveBundle(t)
+	b.FlowSolves[1].AllocBits[0] ^= 1
+	err := VerifyFlowSolves(b)
+	if err == nil {
+		t.Fatalf("VerifyFlowSolves accepted a tampered allocation")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("tamper error does not name the divergence: %v", err)
+	}
+	if _, err := Verify(b); err == nil {
+		t.Errorf("Verify accepted a tampered allocation")
+	}
+
+	b.FlowSolves[1].AllocBits[0] ^= 1
+	b.FlowSolveOverflow = 3
+	err = VerifyFlowSolves(b)
+	if err == nil {
+		t.Fatalf("VerifyFlowSolves accepted a truncated solve log")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncation error does not say so: %v", err)
+	}
+}

@@ -12,6 +12,8 @@
 // therefore reproduces not just the finding but every latency (integer
 // picoseconds) and every counter, which Verify checks with a plain struct
 // comparison.
+//
+//hsw:tier engine
 package replay
 
 import (
@@ -153,6 +155,9 @@ func Verify(b *trace.Bundle) (Result, error) {
 	}
 	if res.Digest != b.Digest {
 		return res, fmt.Errorf("replay: digest mismatch:\n recorded: %+v\n replayed: %+v", b.Digest, res.Digest)
+	}
+	if err := VerifyFlowSolves(b); err != nil {
+		return res, err
 	}
 	if b.Finding != nil && !res.Matched(*b.Finding) {
 		return res, fmt.Errorf("replay: recorded finding did not reappear: %v (replay found %d hard finding(s))", *b.Finding, len(res.Findings))

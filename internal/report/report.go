@@ -2,6 +2,8 @@
 // tables that mirror the paper's tables, CSV series for the figures, and
 // paper-vs-measured comparisons used by EXPERIMENTS.md and the reproduction
 // tests.
+//
+//hsw:tier harness
 package report
 
 import (

@@ -9,6 +9,8 @@
 // interface and the PCIe controller on the first ring, and the remaining
 // four cores, four slices, and the second memory controller on the second
 // ring. The two rings are connected via two bi-directional queues.
+//
+//hsw:tier engine
 package topology
 
 import "fmt"

@@ -82,6 +82,13 @@ type Bundle struct {
 	// Finding is the invariant violation that triggered the capture,
 	// nil for bundles recorded without one.
 	Finding *Finding `json:"finding,omitempty"`
+	// FlowSolves logs the multi-flow bandwidth-solver invocations of the
+	// recorded run; replay re-runs each and demands bit-identical
+	// allocations. FlowSolveOverflow counts invocations dropped past the
+	// recorder's cap — nonzero means the log is incomplete (the replayable
+	// prefix is still verified).
+	FlowSolves        []FlowSolve `json:"flow_solves,omitempty"`
+	FlowSolveOverflow uint64      `json:"flow_solve_overflow,omitempty"`
 }
 
 // Bundle freezes the recorder's current state into a bundle. The finding
@@ -93,14 +100,16 @@ func (r *Recorder) Bundle(f *Finding) *Bundle {
 		plan = &p
 	}
 	return &Bundle{
-		Version:  Version,
-		Spec:     SpecOf(r.m.Cfg),
-		Plan:     plan,
-		Events:   r.Events(),
-		Total:    r.total,
-		Overflow: r.overflow,
-		Digest:   r.Digest(),
-		Finding:  f,
+		Version:           Version,
+		Spec:              SpecOf(r.m.Cfg),
+		Plan:              plan,
+		Events:            r.Events(),
+		Total:             r.total,
+		Overflow:          r.overflow,
+		Digest:            r.Digest(),
+		Finding:           f,
+		FlowSolves:        r.flowSolves,
+		FlowSolveOverflow: r.flowSolveOverflow,
 	}
 }
 

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"math"
+
+	"haswellep/internal/bwmodel"
+)
+
+// FlowSolve is one recorded bwmodel.MaxMin invocation: the flows and
+// capacities verbatim, and the allocation as raw IEEE-754 bits. The solver
+// is a pure float fixpoint iteration, so replay re-runs it on the recorded
+// inputs and demands bit-identical output — float comparison by value
+// would hide exactly the evaluation-order drift the flight recorder
+// exists to catch.
+type FlowSolve struct {
+	Flows []bwmodel.Flow `json:"flows"`
+	Caps  []float64      `json:"caps"`
+	// AllocBits is math.Float64bits of each allocation entry. Bits, not
+	// values: JSON round-trips Go floats exactly, but the bit encoding
+	// makes the byte-identity contract explicit in the bundle itself.
+	AllocBits []uint64 `json:"alloc_bits"`
+}
+
+// AllocBits encodes an allocation as raw float bits.
+func AllocBits(alloc []float64) []uint64 {
+	out := make([]uint64, len(alloc))
+	for i, v := range alloc {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+// maxFlowSolves bounds the per-recorder solve log. Harness runs invoke the
+// solver once per measurement point — far below the cap — so hitting it
+// means a runaway loop; the overflow count makes the truncation visible.
+const maxFlowSolves = 4096
+
+// RecordFlowSolve logs one multi-flow solver invocation. Inputs are
+// deep-copied: callers are free to reuse their flow slices and maps.
+func (r *Recorder) RecordFlowSolve(flows []bwmodel.Flow, caps, alloc []float64) {
+	if len(r.flowSolves) >= maxFlowSolves {
+		r.flowSolveOverflow++
+		return
+	}
+	fs := FlowSolve{
+		Flows:     make([]bwmodel.Flow, len(flows)),
+		Caps:      append([]float64(nil), caps...),
+		AllocBits: AllocBits(alloc),
+	}
+	for i, f := range flows {
+		uses := make(map[int]float64, len(f.Uses))
+		//hsw:unordered map-to-map copy; the result compares equal regardless of visit order
+		for k, v := range f.Uses {
+			uses[k] = v
+		}
+		fs.Flows[i] = bwmodel.Flow{Demand: f.Demand, Uses: uses}
+	}
+	r.flowSolves = append(r.flowSolves, fs)
+}
+
+// FlowSolves returns the recorded solver invocations, oldest first. The
+// returned slice is shared; callers must not mutate it.
+func (r *Recorder) FlowSolves() []FlowSolve { return r.flowSolves }

@@ -22,6 +22,8 @@
 // invariant package (and its internal test rigs) import trace to write
 // bundles, so findings cross the boundary as the protocol-independent
 // Finding type here.
+//
+//hsw:tier engine
 package trace
 
 import (
@@ -175,6 +177,11 @@ type Recorder struct {
 	overflow uint64  // events dropped from the ring's head
 	baseline []Event // preamble restored by ResetToBaseline
 
+	// flowSolves logs multi-flow bandwidth-solver invocations (see
+	// flowsolve.go); they ride in bundles next to the event stream.
+	flowSolves        []FlowSolve
+	flowSolveOverflow uint64
+
 	digest Digest
 
 	prevAccess func(mesif.Op, topology.CoreID, addr.LineAddr, mesif.Access)
@@ -324,6 +331,8 @@ func (r *Recorder) ResetToBaseline() {
 	r.overflow = 0
 	r.total = uint64(len(r.buf))
 	r.digest = Digest{}
+	r.flowSolves = nil
+	r.flowSolveOverflow = 0
 }
 
 // CorruptDirectory overwrites the line's in-memory directory entry with

@@ -5,6 +5,8 @@
 // arithmetic is exact and deterministic. The nominal core clock of the
 // modeled machine is 2.5 GHz (400 ps per core cycle), matching the fixed
 // frequency the paper's benchmarks run at (Turbo Boost disabled).
+//
+//hsw:tier engine
 package units
 
 import "fmt"

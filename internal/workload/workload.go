@@ -9,6 +9,8 @@
 // makes those archetypes runnable: a Spec describes the pattern, Run
 // executes it access by access against the live protocol state, and the
 // Result reports per-core latencies, the source mix, and protocol traffic.
+//
+//hsw:tier engine
 package workload
 
 import (
@@ -260,6 +262,7 @@ func statsDelta(a, b mesif.Stats) mesif.Stats {
 		SnoopsQPI:  b.SnoopsQPI - a.SnoopsQPI,
 		BySource:   make(map[mesif.Source]uint64),
 	}
+	//hsw:unordered elementwise map subtraction; the result compares equal regardless of visit order
 	for k, v := range b.BySource {
 		d.BySource[k] = v - a.BySource[k]
 	}

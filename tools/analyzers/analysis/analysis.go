@@ -5,13 +5,18 @@
 // the drivers in tools/analyzers/vettool (go vet -vettool protocol) and
 // tools/analyzers/cmd/hswlint (standalone, source-mode loading) supply the
 // passes.
+//
+//hsw:tier tool
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // Analyzer is one static check.
@@ -35,6 +40,28 @@ type Pass struct {
 	Info     *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// Facts is the driver's cross-package fact store, shared by every
+	// analyzer of one run. Nil when the driver provides no fact transport;
+	// analyzers must degrade gracefully (facts only ever add findings).
+	Facts *FactStore
+}
+
+// ExportPackageFact records a named fact about the package under analysis.
+// It is a no-op when the driver supplied no fact store.
+func (p *Pass) ExportPackageFact(name string, value any) error {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.Export(p.Pkg.Path(), name, value)
+}
+
+// ImportPackageFact decodes the named fact previously exported for the
+// given package path into out, reporting whether it was found.
+func (p *Pass) ImportPackageFact(pkgPath, name string, out any) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.Import(pkgPath, name, out)
 }
 
 // Diagnostic is one finding at a source position.
@@ -53,9 +80,26 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 	return p.Fset.Position(pos)
 }
 
+// IsTestFile reports whether the file is a _test.go file — the vet-tool
+// driver analyzes test variants of a package, and analyzers that govern
+// shipped code only (the determinism suite) skip test files by position.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
 // Run executes every analyzer over one package, collecting diagnostics in
-// file/line order of discovery.
+// file/line order of discovery. Facts are confined to this one package;
+// drivers that lint multiple packages should share a store via RunFacts.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	return RunFacts(analyzers, fset, files, pkg, info, NewFactStore())
+}
+
+// RunFacts is Run with a caller-supplied fact store, so facts exported
+// while analyzing one package are visible when its dependents are analyzed
+// later in the same driver run. Callers must analyze dependencies before
+// dependents (see load.TopoOrder) for facts to propagate.
+func RunFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Finding, error) {
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -64,6 +108,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			Files:    files,
 			Pkg:      pkg,
 			Info:     info,
+			Facts:    facts,
 		}
 		pass.Report = func(d Diagnostic) {
 			findings = append(findings, Finding{Analyzer: a, Diagnostic: d, Position: fset.Position(d.Pos)})
@@ -73,6 +118,100 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 	}
 	return findings, nil
+}
+
+// FactStore holds package-level facts — small JSON-encodable values an
+// analyzer learns about a package and its dependents consume ("this
+// package is engine-tier", "this package uses concurrency"). Facts make
+// per-package analysis transitive: a property checked at every import edge
+// holds across the whole dependency chain.
+//
+// The two drivers transport facts differently: hswlint keeps one in-memory
+// store and analyzes packages in dependency order; the vet-tool driver
+// serializes each package's facts into its .vetx file (EncodePackage) and
+// reloads dependency facts from the files cmd/go hands it (DecodePackage).
+type FactStore struct {
+	// facts maps package path -> fact name -> encoded value.
+	facts map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[string]map[string]json.RawMessage)}
+}
+
+// Export records a named fact about a package, replacing any previous
+// value under the same name.
+func (s *FactStore) Export(pkgPath, name string, value any) error {
+	data, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("facts: encoding %s of %s: %v", name, pkgPath, err)
+	}
+	m := s.facts[pkgPath]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		s.facts[pkgPath] = m
+	}
+	m[name] = data
+	return nil
+}
+
+// Import decodes the named fact about a package into out, reporting
+// whether the fact was present.
+func (s *FactStore) Import(pkgPath, name string, out any) bool {
+	data, ok := s.facts[pkgPath][name]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// EncodePackage serializes every fact recorded for one package — the
+// payload the vet-tool driver writes as the package's .vetx file. The
+// encoding is deterministic (fact names sorted).
+func (s *FactStore) EncodePackage(pkgPath string) ([]byte, error) {
+	m := s.facts[pkgPath]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ordered := make([]encodedFact, 0, len(names))
+	for _, name := range names {
+		ordered = append(ordered, encodedFact{Name: name, Value: m[name]})
+	}
+	return json.Marshal(ordered)
+}
+
+// DecodePackage merges a payload previously produced by EncodePackage as
+// the facts of the given package. Empty payloads (a factless dependency)
+// are accepted and contribute nothing.
+func (s *FactStore) DecodePackage(pkgPath string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var ordered []encodedFact
+	if err := json.Unmarshal(data, &ordered); err != nil {
+		return fmt.Errorf("facts: decoding facts of %s: %v", pkgPath, err)
+	}
+	for _, f := range ordered {
+		m := s.facts[pkgPath]
+		if m == nil {
+			m = make(map[string]json.RawMessage)
+			s.facts[pkgPath] = m
+		}
+		m[f.Name] = f.Value
+	}
+	return nil
+}
+
+// encodedFact is the serialized form of one fact.
+type encodedFact struct {
+	Name  string          `json:"name"`
+	Value json.RawMessage `json:"value"`
 }
 
 // Finding pairs a diagnostic with its analyzer and resolved position.

@@ -1,0 +1,189 @@
+// Package analysistest is a small golden-test harness for the custom lint
+// suite, in the spirit of golang.org/x/tools' package of the same name
+// (re-implemented on the standard library, like the analysis framework it
+// exercises).
+//
+// A test lists fixtures — directories under testdata/src, each loaded under
+// an explicit import path — and the analyzers to run over them. Fixtures
+// are loaded in the listed order with ONE loader and ONE fact store, so a
+// fixture may import an earlier fixture (the loader memoizes by import
+// path) and package facts propagate between them exactly as they do in the
+// real drivers; that is how the cross-package fact-propagation cases are
+// written.
+//
+// Expected findings are declared in the fixture sources themselves:
+//
+//	m := make(map[int]int) // a comment
+//	for k := range m { // want "iteration over a map"
+//
+// Each `// want "re" ...` comment carries one Go-quoted regular expression
+// per expected finding on that line. Findings that match no want, and wants
+// that match no finding, both fail the test. Findings the analyzers anchor
+// to comment lines (tier directives, package clauses with doc comments)
+// cannot carry a want comment of their own; a fixture declares those via
+// Fixture.Extra, matched against the findings of that fixture regardless
+// of position.
+//
+//hsw:tier tool
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/load"
+)
+
+// Fixture is one package-shaped test input.
+type Fixture struct {
+	// Dir is the fixture directory, relative to the testdata/src root the
+	// Run call names.
+	Dir string
+	// Path is the import path to load the fixture as. Paths under the real
+	// module prefix ("haswellep/...") exercise the module-scoped rules
+	// (tier manifest drift, import ordering) and are importable by later
+	// fixtures; plain "fixture/..." paths stay out of module scope.
+	Path string
+	// Extra lists regular expressions for expected findings that cannot be
+	// annotated in-line (they anchor to comment or package-clause lines).
+	Extra []string
+}
+
+// Run loads the fixtures in order and checks the analyzers' findings
+// against the fixtures' want comments.
+func Run(t *testing.T, moduleRoot, srcRoot string, analyzers []*analysis.Analyzer, fixtures []Fixture) {
+	t.Helper()
+	ld, err := load.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("analysistest: NewLoader: %v", err)
+	}
+	facts := analysis.NewFactStore()
+	for _, fx := range fixtures {
+		pkg, err := ld.LoadDir(filepath.Join(srcRoot, fx.Dir), fx.Path)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s as %s: %v", fx.Dir, fx.Path, err)
+		}
+		findings, err := analysis.RunFacts(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts)
+		if err != nil {
+			t.Fatalf("analysistest: running suite on %s: %v", fx.Path, err)
+		}
+		check(t, fx, pkg, findings)
+	}
+}
+
+// want is one expectation: a compiled pattern at a file:line (line 0 for
+// Extra expectations), and whether a finding already claimed it.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check diffs one fixture's findings against its expectations.
+func check(t *testing.T, fx Fixture, pkg *load.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", fx.Dir, err)
+	}
+	for _, raw := range fx.Extra {
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("analysistest: %s: bad Extra pattern %q: %v", fx.Dir, raw, err)
+		}
+		wants = append(wants, &want{re: re, raw: raw})
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected finding: %v", fx.Dir, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			if w.line == 0 {
+				t.Errorf("%s: no finding matched Extra pattern %q", fx.Dir, w.raw)
+			} else {
+				t.Errorf("%s:%d: no finding matched want %q", filepath.Base(w.file), w.line, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first open expectation the finding satisfies:
+// line-anchored wants must share the finding's file and line; Extra
+// expectations (line 0) match anywhere in the fixture.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched {
+			continue
+		}
+		if w.line != 0 && (w.file != f.Position.Filename || w.line != f.Position.Line) {
+			continue
+		}
+		if w.re.MatchString(f.Diagnostic.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantMarker introduces an expectation comment in fixture sources.
+const wantMarker = "// want "
+
+// parseWants extracts the want comments of every fixture file.
+func parseWants(pkg *load.Package) ([]*want, error) {
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, wantMarker)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := quotedStrings(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// quotedStrings parses a space-separated sequence of Go-quoted strings.
+func quotedStrings(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected a quoted pattern at %q", s)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = s[len(prefix):]
+	}
+}

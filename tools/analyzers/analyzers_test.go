@@ -119,17 +119,24 @@ func TestRepoIsClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("suspiciously few packages found: %v", paths)
 	}
+	pkgs := make([]*load.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := ld.Load(path)
 		if err != nil {
 			t.Fatalf("Load(%s): %v", path, err)
 		}
-		findings, err := analysis.Run(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		pkgs = append(pkgs, pkg)
+	}
+	// Mirror the hswlint driver: dependency order with one shared fact
+	// store, so tiercheck's transitive import checks see every fact.
+	facts := analysis.NewFactStore()
+	for _, pkg := range load.TopoOrder(pkgs) {
+		findings, err := analysis.RunFacts(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts)
 		if err != nil {
-			t.Fatalf("Run(%s): %v", path, err)
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
 		}
 		for _, f := range findings {
-			t.Errorf("%s: %v", path, f)
+			t.Errorf("%s: %v", pkg.Path, f)
 		}
 	}
 }

@@ -1,11 +1,13 @@
-// Command hswlint runs the repository's custom lint suite (unitcheck,
-// nogoroutine, statsguard, resetcheck) over the module.
+// Command hswlint runs the repository's custom lint suite (tiercheck,
+// unitcheck, nogoroutine, statsguard, resetcheck, detorder, picoint,
+// hookchain) over the module.
 //
 // Two modes:
 //
 //	hswlint [-C dir] [-importcfg file] [import-path ...]
 //	    Standalone: parse and type-check the module from source (no build
-//	    cache needed) and lint every package, or just the listed import
+//	    cache needed) and lint every package — in dependency order, so
+//	    tiercheck's package facts propagate — or just the listed import
 //	    paths. With -importcfg, dependencies listed in the compiler import
 //	    configuration are read from their export data instead of being
 //	    re-type-checked (generate one with go list -export -deps). Exits 1
@@ -13,17 +15,27 @@
 //
 //	go vet -vettool=$(which hswlint) ./...
 //	    Vet-tool protocol: cmd/go drives the tool once per package with
-//	    compiler export data; findings surface exactly like vet's own.
+//	    compiler export data; package facts ride in the .vetx files cmd/go
+//	    threads through the build graph; findings surface exactly like
+//	    vet's own.
+//
+// hswlint -list-tier <engine|harness|tool> prints the manifest's package
+// paths of one tier (the scope mechanism for tier-targeted CI jobs, e.g.
+// go test -race over the harness tier).
+//
+//hsw:tier tool
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	analyzers "haswellep/tools/analyzers"
 	"haswellep/tools/analyzers/analysis"
 	"haswellep/tools/analyzers/load"
+	"haswellep/tools/analyzers/tier"
 	"haswellep/tools/analyzers/vettool"
 )
 
@@ -42,8 +54,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	moduleRoot := fs.String("C", ".", "module root directory (holds go.mod)")
 	importcfg := fs.String("importcfg", "",
 		"compiler importcfg (packagefile path=file lines); mapped imports are read from export data instead of re-type-checked")
+	listTier := fs.String("list-tier", "",
+		"print the manifest's package paths of one tier (engine|harness|tool) and exit; mechanizes tier-scoped CI jobs")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+
+	if *listTier != "" {
+		t, ok := tier.Parse(*listTier)
+		if !ok {
+			fmt.Fprintf(stderr, "hswlint: unknown tier %q (want engine|harness|tool)\n", *listTier)
+			return 2
+		}
+		fmt.Fprintln(stdout, strings.Join(tier.PackagesOf(t), "\n"))
+		return 0
 	}
 
 	ld, err := load.NewLoader(*moduleRoot)
@@ -72,6 +96,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	exit := 0
+	pkgs := make([]*load.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := ld.Load(path)
 		if err != nil {
@@ -79,7 +104,13 @@ func run(args []string, stdout, stderr *os.File) int {
 			exit = 1
 			continue
 		}
-		findings, err := analysis.Run(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		pkgs = append(pkgs, pkg)
+	}
+	// Dependency order with one shared fact store: a package's facts
+	// (tier, concurrency taint) exist by the time its dependents run.
+	facts := analysis.NewFactStore()
+	for _, pkg := range load.TopoOrder(pkgs) {
+		findings, err := analysis.RunFacts(suite, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			exit = 1

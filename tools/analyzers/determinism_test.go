@@ -1,0 +1,67 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/analysistest"
+	"haswellep/tools/analyzers/detorder"
+	"haswellep/tools/analyzers/hookchain"
+	"haswellep/tools/analyzers/picoint"
+	"haswellep/tools/analyzers/tiercheck"
+)
+
+// runGolden wires the harness to this package's fixture layout: the module
+// root is two levels up, fixtures live under testdata/src.
+func runGolden(t *testing.T, suite []*analysis.Analyzer, fixtures []analysistest.Fixture) {
+	t.Helper()
+	analysistest.Run(t, filepath.Join("..", ".."), filepath.Join("testdata", "src"), suite, fixtures)
+}
+
+func TestTiercheckGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{tiercheck.Analyzer}, []analysistest.Fixture{
+		// Undeclared package under a module path: both declaration findings.
+		{Dir: "tiernodir", Path: "haswellep/internal/tiernodir"},
+		// Directive disagreeing with the manifest (loaded under a real
+		// engine-tier package's path). The finding anchors to the directive
+		// comment line, so it is declared here instead of in a want comment.
+		{Dir: "tierdrift", Path: "haswellep/internal/bench",
+			Extra: []string{`declares tier harness but the manifest records engine`}},
+		// Engine importing harness, with the dependency's tier resolved
+		// from the manifest (no fact for internal/report in this run).
+		{Dir: "tierimport", Path: "haswellep/internal/tierimport"},
+	})
+}
+
+// TestTiercheckFactPropagation is the cross-package fact case: factdep is
+// analyzed first and exports its tier fact (harness, concurrency-tainted);
+// factuse imports it. factdep has no manifest entry, so BOTH of factuse's
+// import findings exist only if the fact made it across packages.
+func TestTiercheckFactPropagation(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{tiercheck.Analyzer}, []analysistest.Fixture{
+		{Dir: "factdep", Path: "haswellep/internal/factdep"},
+		{Dir: "factuse", Path: "haswellep/internal/factuse"},
+	})
+}
+
+func TestDetorderGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{detorder.Analyzer}, []analysistest.Fixture{
+		{Dir: "detorderbad", Path: "fixture/detorderbad"},
+	})
+}
+
+func TestPicointGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{picoint.Analyzer}, []analysistest.Fixture{
+		// The stub units package loads first so picobad's import resolves;
+		// picoint exempts it by name, so it contributes no findings.
+		{Dir: "units", Path: "haswellep/fixture/units"},
+		{Dir: "picobad", Path: "haswellep/fixture/picobad"},
+	})
+}
+
+func TestHookchainGolden(t *testing.T) {
+	runGolden(t, []*analysis.Analyzer{hookchain.Analyzer}, []analysistest.Fixture{
+		{Dir: "hookbad", Path: "fixture/hookbad"},
+	})
+}

@@ -1,0 +1,260 @@
+// Package detorder flags nondeterminism sources in engine- and
+// harness-tier code. The whole verification stack — replay digests,
+// differential tests, the experiment tables — depends on byte-identical
+// re-execution, and the three ways repository code has historically risked
+// breaking that are:
+//
+//   - ranging over a map where the iteration order can reach an emitted
+//     value (a table row, a CSV cell, a digest, a float accumulation —
+//     float addition is not associative, so even a sum is order-sensitive);
+//   - reading the wall clock (time.Now) in a result path;
+//   - drawing from math/rand's global, process-seeded source instead of an
+//     explicitly seeded rand.New(rand.NewSource(seed)).
+//
+// A map range is accepted when the function visibly restores order — the
+// collected values are passed to a sort.*/slices.Sort* call later in the
+// same function — or when the loop is annotated:
+//
+//	//hsw:unordered <why the reduction is order-insensitive>
+//
+// The annotation is a reviewed claim, not an escape hatch: integer sums,
+// max/min with total tie-breaks, and set membership are order-insensitive;
+// float sums and "first match wins" loops are not.
+//
+// Tool-tier packages and test files are out of scope.
+//
+//hsw:tier tool
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/tier"
+)
+
+// Analyzer is the detorder instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "reports nondeterminism sources (map iteration reaching results, " +
+		"time.Now, global math/rand) in engine- and harness-tier packages",
+	Run: run,
+}
+
+// UnorderedMarker annotates a map-range loop whose reduction is
+// order-insensitive.
+const UnorderedMarker = "//hsw:unordered"
+
+// randAllowed lists the math/rand identifiers that do NOT touch the global
+// source: constructors of explicit, seedable generators.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+	switch tier.EffectiveOf(pass.Pkg.Path(), pass.Files) {
+	case tier.Engine, tier.Harness:
+	default:
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		suppressed := markerLines(pass, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, suppressed)
+		}
+		checkClockAndRand(pass, file)
+	}
+	return nil
+}
+
+// markerLines collects the lines carrying an //hsw:unordered annotation; a
+// marker suppresses a map-range finding on its own line or the line below
+// (annotation above the loop).
+func markerLines(pass *analysis.Pass, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, UnorderedMarker) {
+				line := pass.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checkFunc reports map-range loops in one function whose iteration order
+// is neither restored by a later sort nor annotated as order-insensitive.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[int]bool) {
+	// First pass: find the map ranges and what each loop body writes to.
+	type mapRange struct {
+		stmt    *ast.RangeStmt
+		targets map[types.Object]bool // variables the body appends/assigns into
+	}
+	var ranges []mapRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		mr := mapRange{stmt: rs, targets: make(map[types.Object]bool)}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if obj := assignedObject(pass, lhs); obj != nil {
+					mr.targets[obj] = true
+				}
+			}
+			return true
+		})
+		ranges = append(ranges, mr)
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+
+	// Second pass: find sort calls and which objects they order.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	for _, mr := range ranges {
+		if suppressed[pass.Position(mr.stmt.Pos()).Line] {
+			continue
+		}
+		restoresOrder := false
+		for obj := range mr.targets {
+			if sorted[obj] {
+				restoresOrder = true
+				break
+			}
+		}
+		if restoresOrder {
+			continue
+		}
+		pass.Reportf(mr.stmt.Pos(),
+			"iteration over a map: order is nondeterministic and can reach emitted results; sort the keys first, or annotate the loop %s <justification> if the reduction is order-insensitive", UnorderedMarker)
+	}
+}
+
+// assignedObject resolves the variable an assignment LHS ultimately
+// writes: a plain identifier, or the root identifier of an index/selector
+// chain (appending into s, writing s[i], filling m2[k]).
+func assignedObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Defs[e]; obj != nil {
+				return obj
+			}
+			return pass.Info.Uses[e]
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isSortCall reports whether the call orders its argument: anything from
+// package sort, or the Sort*/Compact functions of package slices.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// checkClockAndRand reports wall-clock reads and global math/rand use.
+func checkClockAndRand(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods (e.g. on a *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+				pass.Reportf(sel.Pos(),
+					"time.%s in a deterministic result path: simulated time is integer picoseconds, wall time must not reach results", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !randAllowed[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"global math/rand.%s draws from the process-wide source; construct an explicitly seeded rand.New(rand.NewSource(seed)) so runs replay", fn.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,110 @@
+// Package hookchain protects the engine's observation hooks. The invariant
+// checker, the flight recorder, and future instrumentation all share four
+// hook fields — mesif.Engine.AfterTransaction/AfterAccess and
+// machine.Machine.OnAlloc/OnReset — by *chaining*: each Attach helper saves
+// the previous hook and calls it from its own. A direct assignment
+// (`e.AfterTransaction = f`) silently discards whatever was installed
+// before — exactly the clobbering bug PR 3 fixed by hand when the
+// incremental checker erased the trace recorder.
+//
+// hookchain reports any assignment to one of the hook fields of a type
+// named Engine or Machine outside a function whose name starts with Attach
+// or Detach (any case) — the designated helpers that maintain the chain.
+// Test files are exempt: tests may wire hooks directly to observe one
+// thing in isolation.
+//
+//hsw:tier tool
+package hookchain
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+)
+
+// Analyzer is the hookchain instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "hookchain",
+	Doc: "reports direct assignments to engine hook fields " +
+		"(AfterTransaction, AfterAccess, OnAlloc, OnReset) outside Attach*/Detach* helpers",
+	Run: run,
+}
+
+// hookFields are the chained hook fields.
+var hookFields = map[string]bool{
+	"AfterTransaction": true,
+	"AfterAccess":      true,
+	"OnAlloc":          true,
+	"OnReset":          true,
+}
+
+// hookOwners are the type names carrying the hooks.
+var hookOwners = map[string]bool{
+	"Engine":  true,
+	"Machine": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isAttachHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if field, owner, ok := hookAssignment(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"direct assignment to %s.%s clobbers the hook chain; install hooks through the designated Attach* helper (which saves and calls the previous hook) from %s", owner, field, fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAttachHelper reports whether a function name marks a designated
+// hook-maintenance helper.
+func isAttachHelper(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "attach") || strings.HasPrefix(lower, "detach")
+}
+
+// hookAssignment reports whether the assignment target is a hook field of
+// an Engine/Machine value.
+func hookAssignment(pass *analysis.Pass, lhs ast.Expr) (field, owner string, ok bool) {
+	sel, isSel := lhs.(*ast.SelectorExpr)
+	if !isSel || !hookFields[sel.Sel.Name] {
+		return "", "", false
+	}
+	s, found := pass.Info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	rt := pass.Info.TypeOf(sel.X)
+	if rt == nil {
+		return "", "", false
+	}
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || !hookOwners[named.Obj().Name()] {
+		return "", "", false
+	}
+	return sel.Sel.Name, named.Obj().Name(), true
+}

@@ -7,6 +7,8 @@
 // When export data IS available (the build just ran), SetExportData lets
 // the loader reuse it instead of re-type-checking every dependency; see
 // exportdata.go.
+//
+//hsw:tier tool
 package load
 
 import (
@@ -178,6 +180,38 @@ func (ld *Loader) dirOf(path string) (string, bool) {
 		return "", false
 	}
 	return filepath.Join(ld.ModuleRoot, filepath.FromSlash(rel)), true
+}
+
+// TopoOrder sorts loaded packages dependency-first: every package appears
+// after all of its imports that are themselves in the input set. Analyzers
+// that export package facts (tiercheck) rely on this order so a package's
+// facts exist by the time its dependents are analyzed. Ties (unrelated
+// packages) keep the input order, which callers make deterministic by
+// passing a sorted list.
+func TopoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	done := make(map[string]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if done[p.Path] {
+			return
+		}
+		done[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // Import implements types.Importer.

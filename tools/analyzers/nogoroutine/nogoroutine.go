@@ -1,11 +1,21 @@
-// Package nogoroutine enforces the single-threaded-mutation contract some
-// packages advertise in their package documentation: the MESIF engine and
-// the machine model are one shared simulated state, and "multi-core"
-// workloads are interleaved access sequences — never goroutines. Any
-// package whose package comment promises this (the phrases "NOT safe for
-// concurrent use" or "single-threaded" act as the marker) must not contain
-// go statements, imports of sync or sync/atomic, channel operations, or
-// select statements. Packages without the marker are left alone.
+// Package nogoroutine enforces the engine tier's single-threaded-mutation
+// contract: the MESIF engine and the machine model are one shared simulated
+// state, and "multi-core" workloads are interleaved access sequences —
+// never goroutines. Scope is the package-tier taxonomy (see package tier):
+// every engine-tier package — resolved from its //hsw:tier directive or the
+// checked-in manifest — must not contain go statements, imports of sync or
+// sync/atomic, channel operations, or select statements. The legacy
+// doc-comment markers ("NOT safe for concurrent use", "single-threaded")
+// still opt a package in, so packages outside the manifest (fixtures,
+// vendored examples) can carry the contract too. Harness- and tool-tier
+// packages are exempt; the harness tier is covered by a -race CI job
+// instead.
+//
+// Together with tiercheck's import rule (engine imports only engine), the
+// per-package check makes the property transitive: nothing reachable from
+// an engine API can spawn a goroutine.
+//
+//hsw:tier tool
 package nogoroutine
 
 import (
@@ -15,24 +25,26 @@ import (
 	"strings"
 
 	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/tier"
 )
 
 // Analyzer is the nogoroutine instance.
 var Analyzer = &analysis.Analyzer{
 	Name: "nogoroutine",
 	Doc: "reports goroutines, sync primitives, and channel operations in " +
-		"packages whose doc comment promises single-threaded mutation",
+		"engine-tier packages (and packages whose doc comment promises single-threaded mutation)",
 	Run: run,
 }
 
-// markers are the doc-comment phrases that opt a package into enforcement.
+// markers are the legacy doc-comment phrases that opt a package into
+// enforcement independently of its tier.
 var markers = []string{
 	"NOT safe for concurrent use",
 	"single-threaded",
 }
 
 func run(pass *analysis.Pass) error {
-	if !promisesSingleThreaded(pass.Files) {
+	if !inScope(pass) {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -40,29 +52,43 @@ func run(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				pass.Reportf(n.Pos(),
-					"go statement in a package documented as single-threaded; express concurrency as interleaved access sequences")
+					"go statement in an engine-tier (single-threaded) package; express concurrency as interleaved access sequences")
 			case *ast.ImportSpec:
 				if path, err := strconv.Unquote(n.Path.Value); err == nil &&
 					(path == "sync" || path == "sync/atomic") {
 					pass.Reportf(n.Pos(),
-						"import of %s in a package documented as single-threaded; no synchronization is needed or wanted", path)
+						"import of %s in an engine-tier (single-threaded) package; no synchronization is needed or wanted", path)
 				}
 			case *ast.SendStmt:
 				pass.Reportf(n.Pos(),
-					"channel send in a package documented as single-threaded")
+					"channel send in an engine-tier (single-threaded) package")
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
 					pass.Reportf(n.Pos(),
-						"channel receive in a package documented as single-threaded")
+						"channel receive in an engine-tier (single-threaded) package")
 				}
 			case *ast.SelectStmt:
 				pass.Reportf(n.Pos(),
-					"select statement in a package documented as single-threaded")
+					"select statement in an engine-tier (single-threaded) package")
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// inScope reports whether the package is enforced: engine tier, or the
+// legacy single-threaded doc markers.
+func inScope(pass *analysis.Pass) bool {
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		// External test packages exercise engine packages from outside;
+		// their determinism is the differential suite's job.
+		return promisesSingleThreaded(pass.Files)
+	}
+	if tier.EffectiveOf(pass.Pkg.Path(), pass.Files) == tier.Engine {
+		return true
+	}
+	return promisesSingleThreaded(pass.Files)
 }
 
 // promisesSingleThreaded reports whether any file's package comment carries

@@ -1,0 +1,140 @@
+// Package picoint guards the integer-picosecond timing domain. Simulated
+// time is units.Time — integer picoseconds — precisely so that latency
+// accumulation is exact and replay digests are byte-stable; a float64
+// sneaking into an accumulation path would make results depend on rounding
+// and evaluation order. Float quantities (calibrated nanosecond tables,
+// fault-penalty pricing, DRAM scaling) are legitimate, but they may enter
+// the Time domain only at declared calibration boundaries.
+//
+// In engine-tier packages, picoint reports every call to a float→Time
+// producer of the units package — FromNanoseconds, CoreCycles,
+// Frequency.Cycles, Frequency.Period, Bandwidth.TimeToMove — unless the
+// enclosing function declaration is annotated as a boundary:
+//
+//	//hsw:calibration <why float may enter the timing domain here>
+//
+// (Raw units.Time(float) conversions are unitcheck's finding; picoint
+// completes the fence around the helpers that convert "properly".) The
+// units package itself is exempt: it is the domain's definition.
+//
+//hsw:tier tool
+package picoint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/tier"
+)
+
+// Analyzer is the picoint instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "picoint",
+	Doc: "reports float-to-integer-picosecond conversions in engine-tier " +
+		"timing paths outside //hsw:calibration-annotated boundaries",
+	Run: run,
+}
+
+// CalibrationMarker annotates a function declaration that is a designated
+// float→Time boundary.
+const CalibrationMarker = "//hsw:calibration"
+
+// producers names the float→Time producers of the units package:
+// package-level functions and methods (keyed by receiver type name).
+var producerFuncs = map[string]bool{
+	"FromNanoseconds": true,
+	"CoreCycles":      true,
+}
+
+var producerMethods = map[string]map[string]bool{
+	"Frequency": {"Cycles": true, "Period": true},
+	"Bandwidth": {"TimeToMove": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") || pass.Pkg.Name() == "units" {
+		return nil
+	}
+	if tier.EffectiveOf(pass.Pkg.Path(), pass.Files) != tier.Engine {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isCalibration(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := producerCall(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"%s converts float to integer-picosecond time inside engine-tier function %s; timing accumulation must stay integer — move the conversion to a //hsw:calibration-annotated boundary", name, fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isCalibration reports whether the function declaration carries the
+// calibration-boundary annotation.
+func isCalibration(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, CalibrationMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// producerCall reports whether the call is a float→Time producer of a
+// units package, returning a display name. Matching is by package *name*
+// ("units") rather than full path so fixture packages exercise the same
+// code path as haswellep/internal/units.
+func producerCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "units" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		if producerMethods[named.Obj().Name()][fn.Name()] {
+			return "units." + named.Obj().Name() + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	if producerFuncs[fn.Name()] {
+		return "units." + fn.Name(), true
+	}
+	return "", false
+}

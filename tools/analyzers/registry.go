@@ -3,22 +3,34 @@
 // Each analyzer lives in its own subpackage; this package only assembles
 // the suite for the two drivers (cmd/hswlint standalone, vettool for
 // go vet -vettool).
+//
+//hsw:tier tool
 package analyzers
 
 import (
 	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/detorder"
+	"haswellep/tools/analyzers/hookchain"
 	"haswellep/tools/analyzers/nogoroutine"
+	"haswellep/tools/analyzers/picoint"
 	"haswellep/tools/analyzers/resetcheck"
 	"haswellep/tools/analyzers/statsguard"
+	"haswellep/tools/analyzers/tiercheck"
 	"haswellep/tools/analyzers/unitcheck"
 )
 
-// All returns the full lint suite.
+// All returns the full lint suite. tiercheck runs first: it exports the
+// tier/concurrency facts the rest of the determinism suite's transitive
+// checks consume.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		tiercheck.Analyzer,
 		unitcheck.Analyzer,
 		nogoroutine.Analyzer,
 		statsguard.Analyzer,
 		resetcheck.Analyzer,
+		detorder.Analyzer,
+		picoint.Analyzer,
+		hookchain.Analyzer,
 	}
 }

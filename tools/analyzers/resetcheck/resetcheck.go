@@ -18,6 +18,8 @@
 // every later measurement in the function, even if state mutates in
 // between. It exists to catch the common failure mode — a new experiment
 // function that never resets at all — cheaply and at compile time.
+//
+//hsw:tier tool
 package resetcheck
 
 import (

@@ -7,6 +7,8 @@
 // statsguard reports any assignment or increment that reaches through a
 // field named "stats" from a method not on the allowlist (record,
 // countSnoop, ResetStats).
+//
+//hsw:tier tool
 package statsguard
 
 import (

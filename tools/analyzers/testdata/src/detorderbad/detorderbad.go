@@ -1,0 +1,57 @@
+// Package detorderbad is the detorder negative fixture: each
+// nondeterminism source the analyzer hunts, next to the accepted shape of
+// the same operation.
+//
+//hsw:tier engine
+package detorderbad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Emit leaks map iteration order into its result.
+func Emit(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "iteration over a map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// EmitSorted restores order with a sort in the same function: clean.
+func EmitSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count is an order-insensitive reduction and says so: clean.
+func Count(m map[string]int) int {
+	n := 0
+	//hsw:unordered integer count; any visit order yields the same value
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Clock reads the wall clock in a result path.
+func Clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic result path`
+}
+
+// Draw uses the global, process-seeded rand source.
+func Draw() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+// DrawSeeded builds an explicit generator; the constructor and the method
+// on the resulting *rand.Rand are both clean.
+func DrawSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

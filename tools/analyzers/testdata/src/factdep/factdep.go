@@ -1,0 +1,17 @@
+// Package factdep is the dependency half of the fact-propagation fixture
+// pair: a harness-tier package whose concurrency use must travel to
+// dependents as a package fact. Goroutines are legal in the harness tier,
+// so the only finding here is the missing manifest entry.
+//
+//hsw:tier harness
+package factdep // want "missing from the tier manifest"
+
+// Run executes f on its own goroutine and waits for it.
+func Run(f func()) {
+	done := make(chan struct{})
+	go func() {
+		f()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,16 @@
+// Package factuse is the dependent half of the fact-propagation fixture
+// pair: an engine-tier package importing factdep. factdep has no manifest
+// entry, so BOTH import findings — the tier-ordering violation and the
+// transitive-concurrency taint — can only come from the package fact the
+// earlier factdep pass exported. If facts stop propagating, these wants
+// go stale and the test fails.
+//
+//hsw:tier engine
+package factuse // want "missing from the tier manifest"
+
+import "haswellep/internal/factdep" // want "may not import harness-tier" "uses concurrency"
+
+// Use calls through the tainted dependency.
+func Use() {
+	factdep.Run(func() {})
+}

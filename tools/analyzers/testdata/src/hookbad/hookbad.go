@@ -1,0 +1,50 @@
+// Package hookbad is the hookchain negative fixture. It defines its own
+// Engine and Machine with the chained hook fields (the analyzer matches by
+// type and field name, so the fixture exercises the exact code path the
+// real mesif.Engine and machine.Machine hit) and clobbers them every way
+// the analyzer must catch, next to the Attach-helper shapes it must allow.
+package hookbad
+
+// Engine mirrors the hook surface of mesif.Engine.
+type Engine struct {
+	AfterTransaction func()
+	AfterAccess      func()
+	Label            string
+}
+
+// Machine mirrors the hook surface of machine.Machine.
+type Machine struct {
+	OnAlloc func()
+	OnReset func()
+}
+
+// Clobber overwrites installed hooks directly — the PR 3 bug class.
+func Clobber(e *Engine, m *Machine, f func()) {
+	e.AfterTransaction = f // want `direct assignment to Engine\.AfterTransaction`
+	e.AfterAccess = f      // want `direct assignment to Engine\.AfterAccess`
+	m.OnAlloc = f          // want `direct assignment to Machine\.OnAlloc`
+	m.OnReset = f          // want `direct assignment to Machine\.OnReset`
+}
+
+// Relabel writes a non-hook field of the same type: clean.
+func Relabel(e *Engine, s string) {
+	e.Label = s
+}
+
+// AttachTracer is a designated helper: it saves the previous hook and
+// chains it, and hookchain exempts it by name.
+func AttachTracer(e *Engine, f func()) {
+	prev := e.AfterTransaction
+	e.AfterTransaction = func() {
+		if prev != nil {
+			prev()
+		}
+		f()
+	}
+}
+
+// DetachAll is the symmetric helper: also exempt.
+func DetachAll(e *Engine) {
+	e.AfterTransaction = nil
+	e.AfterAccess = nil
+}

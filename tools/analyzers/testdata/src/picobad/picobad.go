@@ -1,0 +1,31 @@
+// Package picobad is the picoint negative fixture: engine-tier code
+// calling the float→Time producer helpers outside a //hsw:calibration
+// boundary, next to an annotated boundary that is accepted.
+//
+//hsw:tier engine
+package picobad
+
+import "haswellep/fixture/units"
+
+// PerAccess prices a latency per access — the bug class picoint fences.
+func PerAccess(ns float64) units.Time {
+	return units.FromNanoseconds(ns) // want `units\.FromNanoseconds converts float`
+}
+
+// Cycles folds a float cycle count into the timing domain.
+func Cycles(f units.Frequency, n float64) units.Time {
+	return f.Cycles(n) // want `units\.Frequency\.Cycles converts float`
+}
+
+// Transfer adds a datapath transfer time.
+func Transfer(b units.Bandwidth, bytes int64) units.Time {
+	t := units.CoreCycles(4)       // want `units\.CoreCycles converts float`
+	return t + b.TimeToMove(bytes) // want `units\.Bandwidth\.TimeToMove converts float`
+}
+
+// Calibrate is a declared boundary: clean.
+//
+//hsw:calibration fixture boundary; configured constants enter sim time here
+func Calibrate(ns float64) units.Time {
+	return units.FromNanoseconds(ns)
+}

@@ -1,0 +1,11 @@
+// Package tierdrift simulates manifest drift: the test loads it under the
+// import path of a real engine-tier package (haswellep/internal/bench)
+// while its directive claims harness. tiercheck must report the
+// disagreement. The finding anchors to the directive's own comment line,
+// so the expectation lives in the test's Extra list, not a want comment.
+//
+//hsw:tier harness
+package tierdrift
+
+// V keeps the package non-empty.
+var V int

@@ -1,0 +1,13 @@
+// Package tierimport is an engine-tier package that illegally imports a
+// harness-tier package (the real haswellep/internal/report, resolved
+// through the manifest — no fact is available for it in this run).
+//
+//hsw:tier engine
+package tierimport // want "missing from the tier manifest"
+
+import "haswellep/internal/report" // want "engine-tier package .* may not import harness-tier"
+
+// T leaks a harness type through an engine API.
+type T struct {
+	Tab *report.Table
+}

@@ -1,0 +1,8 @@
+// Package tiernodir is the tiercheck negative fixture for an undeclared
+// package: it carries no tier directive and has no manifest entry, so
+// loading it under a module path must produce both declaration findings.
+// This is the "removing a tier declaration fails CI" acceptance case.
+package tiernodir // want "no //hsw:tier declaration" "missing from the tier manifest"
+
+// V keeps the package non-empty.
+var V int

@@ -1,0 +1,29 @@
+// Package units is a minimal stand-in for haswellep/internal/units:
+// picoint matches the float→Time producers by package name, so this
+// fixture exercises the same call shapes without reaching into module
+// internals. The bodies are irrelevant; only the signatures matter.
+package units
+
+// Time is integer picoseconds.
+type Time int64
+
+// FromNanoseconds converts float nanoseconds to Time.
+func FromNanoseconds(v float64) Time { return Time(v * 1000) }
+
+// CoreCycles converts a cycle count at the core clock to Time.
+func CoreCycles(c float64) Time { return Time(c) }
+
+// Frequency is cycles per second.
+type Frequency float64
+
+// Cycles converts a cycle count at this frequency to Time.
+func (f Frequency) Cycles(n float64) Time { return Time(n / float64(f)) }
+
+// Period is the duration of one cycle.
+func (f Frequency) Period() Time { return f.Cycles(1) }
+
+// Bandwidth is bytes per second.
+type Bandwidth float64
+
+// TimeToMove is the transfer time of n bytes.
+func (b Bandwidth) TimeToMove(n int64) Time { return Time(float64(n) / float64(b)) }

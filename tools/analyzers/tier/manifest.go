@@ -1,0 +1,79 @@
+package tier
+
+// ModulePath is the import-path root the manifest governs.
+const ModulePath = "haswellep"
+
+// Manifest is the checked-in tier taxonomy: every package of the module,
+// mapped to its tier. tiercheck fails the build when a module package is
+// missing here, carries no //hsw:tier directive, or declares a tier that
+// disagrees with this table — so the manifest, the directives, and the
+// code can never drift apart silently.
+//
+// When adding a package, decide deliberately: engine packages buy into the
+// full determinism contract (single-threaded, order-stable, integer
+// timing); harness packages trade goroutine freedom for -race CI coverage;
+// tool packages are drivers that only render what the other tiers computed.
+var Manifest = map[string]Tier{
+	// The façade re-exports engine types and measurement entry points; it
+	// carries the same contract as what it exposes.
+	"haswellep": Engine,
+
+	// Engine tier: the deterministic simulation core.
+	"haswellep/internal/addr":         Engine,
+	"haswellep/internal/apps":         Engine,
+	"haswellep/internal/bench":        Engine,
+	"haswellep/internal/bwmodel":      Engine,
+	"haswellep/internal/cache":        Engine,
+	"haswellep/internal/directory":    Engine,
+	"haswellep/internal/dram":         Engine,
+	"haswellep/internal/fault":        Engine,
+	"haswellep/internal/interconnect": Engine,
+	"haswellep/internal/invariant":    Engine,
+	"haswellep/internal/machine":      Engine,
+	"haswellep/internal/mesif":        Engine,
+	"haswellep/internal/perfctr":      Engine,
+	"haswellep/internal/placement":    Engine,
+	"haswellep/internal/replay":       Engine,
+	"haswellep/internal/topology":     Engine,
+	"haswellep/internal/trace":        Engine,
+	"haswellep/internal/units":        Engine,
+	"haswellep/internal/workload":     Engine,
+
+	// Harness tier: experiment orchestration and report rendering. These
+	// are the packages the sharded experiment farm will parallelize; they
+	// run under the dedicated -race CI job.
+	"haswellep/internal/experiments": Harness,
+	"haswellep/internal/report":      Harness,
+
+	// Tool tier: command-line drivers and examples.
+	"haswellep/cmd/hswbench":  Tool,
+	"haswellep/cmd/hswchaos":  Tool,
+	"haswellep/cmd/hswctr":    Tool,
+	"haswellep/cmd/hswmlc":    Tool,
+	"haswellep/cmd/hswreplay": Tool,
+	"haswellep/cmd/hswsweep":  Tool,
+	"haswellep/cmd/hswtopo":   Tool,
+
+	"haswellep/examples/coherence_states": Tool,
+	"haswellep/examples/numa_placement":   Tool,
+	"haswellep/examples/protocol_compare": Tool,
+	"haswellep/examples/quickstart":       Tool,
+	"haswellep/examples/workloads":        Tool,
+
+	// Tool tier: the lint suite itself.
+	"haswellep/tools/analyzers":              Tool,
+	"haswellep/tools/analyzers/analysis":     Tool,
+	"haswellep/tools/analyzers/analysistest": Tool,
+	"haswellep/tools/analyzers/cmd/hswlint":  Tool,
+	"haswellep/tools/analyzers/detorder":     Tool,
+	"haswellep/tools/analyzers/hookchain":    Tool,
+	"haswellep/tools/analyzers/load":         Tool,
+	"haswellep/tools/analyzers/nogoroutine":  Tool,
+	"haswellep/tools/analyzers/picoint":      Tool,
+	"haswellep/tools/analyzers/resetcheck":   Tool,
+	"haswellep/tools/analyzers/statsguard":   Tool,
+	"haswellep/tools/analyzers/tier":         Tool,
+	"haswellep/tools/analyzers/tiercheck":    Tool,
+	"haswellep/tools/analyzers/unitcheck":    Tool,
+	"haswellep/tools/analyzers/vettool":      Tool,
+}

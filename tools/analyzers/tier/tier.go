@@ -1,0 +1,252 @@
+// Package tier defines the repository's package-tier taxonomy — the
+// declarative contract behind the determinism and concurrency analyzers.
+//
+// Every package of the module belongs to exactly one tier:
+//
+//   - engine: the deterministic, single-threaded simulation core (MESIF
+//     state machine, caches, directory, machine model, fault injection,
+//     trace/replay). Engine packages must be byte-identically reproducible:
+//     no goroutines, sync, or channels (nogoroutine), no nondeterminism
+//     sources in result paths (detorder), no float arithmetic entering the
+//     integer-picosecond timing domain outside calibration boundaries
+//     (picoint), and only engine-tier imports — which makes the
+//     single-threaded property transitive.
+//   - harness: experiment orchestration and reporting. Harness packages may
+//     (and, once the experiment farm lands, will) use goroutines — they are
+//     covered by a -race CI job instead — but their result paths must still
+//     be order-stable (detorder applies).
+//   - tool: command-line drivers, examples, and the lint tooling itself.
+//     Exempt from the determinism analyzers; whatever they print comes from
+//     engine/harness values that are already deterministic.
+//
+// A package declares its tier with a doc-comment directive:
+//
+//	//hsw:tier engine
+//
+// and the checked-in manifest (manifest.go) records the same taxonomy for
+// the whole module, so analyzers can resolve the tier of an *import* from
+// its path alone — even when the import is only available as compiler
+// export data. The tiercheck analyzer fails the build on drift between the
+// two.
+//
+//hsw:tier tool
+package tier
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tier classifies one package.
+type Tier int
+
+// The tiers, in increasing order of privilege: engine may import only
+// engine; harness may import engine and harness; tool may import anything.
+const (
+	Unknown Tier = iota
+	Engine
+	Harness
+	Tool
+)
+
+// String returns the directive spelling of the tier.
+func (t Tier) String() string {
+	switch t {
+	case Engine:
+		return "engine"
+	case Harness:
+		return "harness"
+	case Tool:
+		return "tool"
+	default:
+		return "unknown"
+	}
+}
+
+// Parse maps a directive value to its Tier.
+func Parse(s string) (Tier, bool) {
+	switch s {
+	case "engine":
+		return Engine, true
+	case "harness":
+		return Harness, true
+	case "tool":
+		return Tool, true
+	default:
+		return Unknown, false
+	}
+}
+
+// CanImport reports whether a package of tier `from` may import a package
+// of tier `to`: engine stays inside engine (that is what makes the
+// single-threaded and determinism contracts transitive), harness may reach
+// down into engine, and tool may import anything.
+func CanImport(from, to Tier) bool {
+	switch from {
+	case Engine:
+		return to == Engine
+	case Harness:
+		return to == Engine || to == Harness
+	case Tool:
+		return true
+	default:
+		return true
+	}
+}
+
+// DirectivePrefix is the doc-comment directive that declares a package's
+// tier, e.g. "//hsw:tier engine".
+const DirectivePrefix = "//hsw:tier"
+
+// Directive scans the package doc comments of the files for //hsw:tier
+// declarations. It returns the declared tier and the directive's position,
+// the number of directives seen (0 means undeclared, >1 means duplicate
+// declarations — a finding if they disagree), and the raw value of the
+// first malformed directive (empty when all parse).
+func Directive(files []*ast.File) (t Tier, pos token.Pos, n int, malformed string) {
+	for _, file := range files {
+		if file.Doc == nil {
+			continue
+		}
+		for _, c := range file.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			val := strings.TrimSpace(rest)
+			n++
+			parsed, ok := Parse(val)
+			if !ok {
+				if malformed == "" {
+					malformed = val
+					pos = c.Pos()
+				}
+				continue
+			}
+			if t == Unknown {
+				t, pos = parsed, c.Pos()
+			} else if parsed != t {
+				// Conflicting declarations: keep the first, report via n>1
+				// plus the malformed slot if free.
+				if malformed == "" {
+					malformed = val
+				}
+			}
+		}
+	}
+	return t, pos, n, malformed
+}
+
+// EffectiveOf resolves the tier that governs analysis of a package: the
+// doc directive when present, the manifest otherwise. Either source alone
+// is enough to put a package in scope; tiercheck separately enforces that
+// module packages carry both and that they agree.
+func EffectiveOf(pkgPath string, files []*ast.File) Tier {
+	if t, _, _, _ := Directive(files); t != Unknown {
+		return t
+	}
+	if t, ok := Of(pkgPath); ok {
+		return t
+	}
+	return Unknown
+}
+
+// Of returns the manifest tier of a package path (normalized first, so
+// test-variant paths resolve to their base package).
+func Of(path string) (Tier, bool) {
+	t, ok := Manifest[Normalize(path)]
+	return t, ok
+}
+
+// InModule reports whether a (normalized) package path belongs to the
+// module this taxonomy governs.
+func InModule(path string) bool {
+	path = Normalize(path)
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// Normalize strips the decorations cmd/go puts on test-variant package
+// paths ("pkg [pkg.test]", "pkg.test", "pkg_test") so they resolve to the
+// base package's manifest entry.
+func Normalize(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	if _, ok := Manifest[path]; !ok {
+		if base, found := strings.CutSuffix(path, "_test"); found {
+			if _, ok := Manifest[base]; ok {
+				return base
+			}
+		}
+	}
+	return path
+}
+
+// PackagesOf lists the manifest's package paths of one tier, sorted — the
+// mechanized scope for tier-targeted CI jobs (e.g. go test -race over the
+// harness tier).
+func PackagesOf(t Tier) []string {
+	var out []string
+	for path, pt := range Manifest {
+		if pt == t {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsesConcurrency reports whether any non-test file contains a go
+// statement, a channel operation, a select statement, or an import of
+// sync or sync/atomic — the syntactic footprint the engine tier forbids.
+// The result seeds the concurrency fact tiercheck propagates through the
+// import graph.
+func UsesConcurrency(files []*ast.File, isTestFile func(*ast.File) bool) bool {
+	for _, file := range files {
+		if isTestFile != nil && isTestFile(file) {
+			continue
+		}
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt, *ast.SendStmt, *ast.SelectStmt:
+				found = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					found = true
+				}
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil &&
+					(path == "sync" || path == "sync/atomic") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Fact is the package fact tiercheck exports for every package it
+// analyzes, letting dependent packages check their imports transitively
+// even when the import itself is only export data in the current pass.
+type Fact struct {
+	// Tier is the package's effective tier (directive spelling).
+	Tier string `json:"tier"`
+	// Concurrency is true when the package — or anything it imports,
+	// transitively — uses goroutines, channels, select, or sync.
+	Concurrency bool `json:"concurrency"`
+}
+
+// FactName keys the tier fact in the fact store.
+const FactName = "hsw.tier"

@@ -1,0 +1,128 @@
+// Package tiercheck enforces the package-tier taxonomy (see package tier):
+// every module package must declare its tier with a //hsw:tier doc
+// directive that agrees with the checked-in manifest, and the import graph
+// must respect the tier ordering — engine imports only engine, harness
+// imports engine/harness, tool imports anything.
+//
+// The import rule is what makes the engine tier's single-threaded contract
+// transitive: every engine package is itself checked by nogoroutine, and
+// engine packages can only reach other engine packages, so no goroutine
+// can hide anywhere below an engine API. On top of the structural rule,
+// tiercheck exports a package fact (tier + transitive concurrency taint)
+// and re-checks every import against the facts of its dependencies, so a
+// concurrency-using package is reported at every engine-tier import edge
+// that reaches it — even when the dependency is only compiler export data
+// in the current pass.
+//
+//hsw:tier tool
+package tiercheck
+
+import (
+	"strconv"
+	"strings"
+
+	"haswellep/tools/analyzers/analysis"
+	"haswellep/tools/analyzers/tier"
+)
+
+// Analyzer is the tiercheck instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "tiercheck",
+	Doc: "enforces the package-tier taxonomy: tier declarations in sync " +
+		"with the manifest, and imports that respect the tier ordering",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// External test packages (package foo_test) carry no declaration of
+	// their own; they live under the base package's tier for CI purposes
+	// but are not part of the shipped import graph.
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil
+	}
+	path := tier.Normalize(pass.Pkg.Path())
+
+	declared, dirPos, n, malformed := tier.Directive(pass.Files)
+	manifestTier, inManifest := tier.Of(path)
+
+	if tier.InModule(path) {
+		switch {
+		case n == 0:
+			pass.Reportf(pass.Files[0].Package,
+				"package %s has no //hsw:tier declaration; add one (engine|harness|tool) and record it in tools/analyzers/tier/manifest.go", path)
+		case malformed != "":
+			pass.Reportf(dirPos,
+				"package %s: malformed or conflicting //hsw:tier declaration %q (want one of engine|harness|tool, declared once)", path, malformed)
+		case n > 1:
+			pass.Reportf(dirPos,
+				"package %s declares //hsw:tier %d times; declare it exactly once", path, n)
+		}
+		if !inManifest {
+			pass.Reportf(pass.Files[0].Package,
+				"package %s is missing from the tier manifest (tools/analyzers/tier/manifest.go); every module package must be classified", path)
+		} else if declared != tier.Unknown && declared != manifestTier {
+			pass.Reportf(dirPos,
+				"package %s declares tier %s but the manifest records %s; fix whichever is wrong", path, declared, manifestTier)
+		}
+	}
+
+	effective := declared
+	if effective == tier.Unknown {
+		effective = manifestTier
+	}
+	if effective == tier.Unknown {
+		// Unclassified non-module package (e.g. a lint fixture without a
+		// directive): nothing to enforce, nothing to export.
+		return nil
+	}
+
+	taint := tier.UsesConcurrency(pass.Files, pass.IsTestFile)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			depTier, depTaint, known := depInfo(pass, ipath)
+			if !known {
+				continue
+			}
+			if !tier.CanImport(effective, depTier) {
+				pass.Reportf(imp.Pos(),
+					"%s-tier package %s may not import %s-tier package %s; the tier ordering (engine < harness < tool) keeps the engine's determinism contract transitive", effective, path, depTier, ipath)
+			}
+			if depTaint {
+				taint = true
+				if effective == tier.Engine {
+					pass.Reportf(imp.Pos(),
+						"engine-tier package %s imports %s, which uses concurrency (transitively); engine code must be reachable-state deterministic and single-threaded", path, ipath)
+				}
+			}
+		}
+	}
+
+	return pass.ExportPackageFact(tier.FactName, tier.Fact{
+		Tier:        effective.String(),
+		Concurrency: taint,
+	})
+}
+
+// depInfo resolves what is known about an imported package: its tier and
+// concurrency taint from a propagated fact when the dependency was
+// analyzed earlier in this run (or in a dependency vet pass), falling back
+// to the manifest for the tier alone.
+func depInfo(pass *analysis.Pass, ipath string) (t tier.Tier, taint, known bool) {
+	var fact tier.Fact
+	if pass.ImportPackageFact(ipath, tier.FactName, &fact) {
+		if parsed, ok := tier.Parse(fact.Tier); ok {
+			return parsed, fact.Concurrency, true
+		}
+	}
+	if mt, ok := tier.Of(ipath); ok {
+		return mt, false, true
+	}
+	return tier.Unknown, false, false
+}

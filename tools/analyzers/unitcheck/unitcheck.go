@@ -8,6 +8,8 @@
 // The units package itself and the calibrated latency table
 // (internal/machine/latencies.go) are exempt: they are the two designated
 // places where raw nanosecond floats meet units.Time.
+//
+//hsw:tier tool
 package unitcheck
 
 import (

@@ -3,9 +3,14 @@
 // tool once with -V=full (version fingerprint for the build cache), once
 // with -flags (supported flags as JSON), and then once per package with a
 // single *.cfg argument describing the files, the import map, and the
-// compiler export data of the dependencies. This is the same contract
+// compiler export data of the dependencies. Package facts (tiercheck's
+// tier/concurrency taxonomy) are serialized into the per-package .vetx
+// files cmd/go threads through the build graph, so cross-package checks
+// stay transitive under vet too. This is the same contract
 // golang.org/x/tools' unitchecker implements; re-implemented here on the
 // standard library alone.
+//
+//hsw:tier tool
 package vettool
 
 import (
@@ -23,6 +28,11 @@ import (
 
 	"haswellep/tools/analyzers/analysis"
 )
+
+// modulePrefix scopes fact production: only packages of this module export
+// facts, so dependency (VetxOnly) passes on the standard library skip the
+// type-check entirely and just emit an empty facts file.
+const modulePrefix = "haswellep"
 
 // Config mirrors the JSON configuration cmd/go hands a vet tool for one
 // package (see cmd/go/internal/work.vetConfig).
@@ -105,18 +115,44 @@ func runConfig(analyzers []*analysis.Analyzer, cfgPath string) int {
 		return 1
 	}
 
-	// cmd/go expects the facts file to exist afterwards regardless of the
-	// outcome; the suite exports no facts, so an empty file suffices.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	// Package facts ride in the .vetx files cmd/go threads through the
+	// build graph: dependencies' facts are loaded from PackageVetx, and
+	// this package's facts are serialized into VetxOutput. cmd/go expects
+	// the output file to exist regardless of outcome.
+	facts := analysis.NewFactStore()
+	for depPath, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil || len(payload) == 0 {
+			continue // factless dependency (or a stale empty file): fine
+		}
+		if err := facts.DecodePackage(depPath, payload); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	writeVetx := func(pkgPath string) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var payload []byte
+		if pkgPath != "" {
+			var err error
+			if payload, err = facts.EncodePackage(pkgPath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				payload = nil
 			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 	if cfg.VetxOnly {
-		writeVetx()
-		return 0
+		// Fact-production pass on a dependency. Only module-internal
+		// packages export facts; skip the (expensive) type-check for
+		// everything else and emit an empty facts file.
+		if !strings.HasPrefix(cfg.ImportPath, modulePrefix) {
+			writeVetx("")
+			return 0
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -125,7 +161,7 @@ func runConfig(analyzers []*analysis.Analyzer, cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetx("")
 				return 0
 			}
 			fmt.Fprintln(os.Stderr, err)
@@ -159,19 +195,24 @@ func runConfig(analyzers []*analysis.Analyzer, cfgPath string) int {
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx("")
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 
-	findings, err := analysis.Run(analyzers, fset, files, tpkg, info)
+	findings, err := analysis.RunFacts(analyzers, fset, files, tpkg, info, facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	writeVetx()
+	writeVetx(tpkg.Path())
+	if cfg.VetxOnly {
+		// Diagnostics belong to the pass that lints the package as a
+		// target; a facts-production pass only contributes the vetx file.
+		return 0
+	}
 	if len(findings) == 0 {
 		return 0
 	}
