@@ -1,10 +1,10 @@
 package main
 
-// The -bench mode: three throughput scenarios over the simulation engine,
-// reported as a versioned JSON document (BENCH_1.json when written with
+// The -bench mode: four throughput scenarios over the simulation engine,
+// reported as a versioned JSON document (BENCH_2.json when written with
 // the documented invocation:
 //
-//	go run ./cmd/hswbench -bench -bench-out BENCH_1.json
+//	go run ./cmd/hswbench -bench -bench-out BENCH_2.json
 //
 // Each scenario reports two kinds of numbers. The simulation-side fields
 // (transaction counts, mean latencies, snoop and fault counters) are
@@ -16,8 +16,15 @@ package main
 // because commands are tool-tier — detorder fences them out of the engine
 // and harness tiers, which is exactly what makes the sim-side fields
 // trustworthy.
+//
+// The -bench-compare mode diffs the sim-side anchors of two reports:
+// scenarios sharing a name must agree exactly, and a scenario present in
+// the old report may not vanish from the new one. CI uses it to pin the
+// current build against the checked-in baseline and the baseline against
+// its predecessor.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +35,7 @@ import (
 
 	"haswellep/internal/bench"
 	"haswellep/internal/experiments"
+	"haswellep/internal/farm"
 	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
@@ -36,7 +44,7 @@ import (
 )
 
 // benchVersion is the BENCH_<version>.json schema version.
-const benchVersion = 1
+const benchVersion = 2
 
 // benchReport is the full benchmark document.
 type benchReport struct {
@@ -72,6 +80,7 @@ func runBench(stdout io.Writer, outPath string) error {
 		benchPointerChase,
 		benchCapacityPressure,
 		benchChaosStream,
+		benchFarmChaosStream,
 	}
 	for _, s := range scenarios {
 		sc, err := s()
@@ -223,4 +232,163 @@ func benchChaosStream() (benchScenario, error) {
 		WallSeconds:        wall,
 		TxPerSec:           float64(tx) / wall,
 	}, nil
+}
+
+// benchFarmChaosStream measures the experiment farm's deployed shape:
+// eight independent chaos-stream points (one engine each, seeds 100..107)
+// dispatched across four shards. The sim-side anchors are integer sums
+// over all points, so they are independent of shard count and completion
+// order; the wall clock wraps the whole campaign and is where the farm's
+// parallel speedup shows up.
+func benchFarmChaosStream() (benchScenario, error) {
+	const (
+		points = 8
+		shards = 4
+		rate   = 0.01
+	)
+	type pointSums struct {
+		Tx      uint64 `json:"tx"`
+		Snoops  uint64 `json:"snoops"`
+		Faults  uint64 `json:"faults"`
+		Retries uint64 `json:"retries"`
+	}
+	seeds := make([]int64, points)
+	for i := range seeds {
+		seeds[i] = int64(100 + i)
+	}
+
+	start := time.Now()
+	results, err := farm.Run(context.Background(), farm.Options{Shards: shards}, seeds,
+		func(i int, seed int64) string { return fmt.Sprintf("%03d:seed=%d", i, seed) },
+		func(_ *farm.Ctx, seed int64) (pointSums, error) {
+			env, err := experiments.NewEnvWithFaults(machine.COD, experiments.ChaosPlanAt(seed, rate))
+			if err != nil {
+				return pointSums{}, err
+			}
+			region := env.M.MustAlloc(0, 2*units.MiB)
+			cores := []topology.CoreID{0, 6, 12}
+			for i, l := range region.Lines() {
+				c := cores[i%len(cores)]
+				if i%4 == 0 {
+					env.E.Write(c, l)
+				} else {
+					env.E.Read(c, l)
+				}
+			}
+			if err := env.Check.Err(); err != nil {
+				return pointSums{}, fmt.Errorf("farm-chaos-stream seed %d: recovery failed: %w", seed, err)
+			}
+			ctr := env.E.Faults.Counters()
+			var injected uint64
+			for _, n := range ctr.Injected {
+				injected += n
+			}
+			st := env.E.Stats()
+			return pointSums{
+				Tx:      txCount(st),
+				Snoops:  st.SnoopsSent,
+				Faults:  injected,
+				Retries: ctr.Retries,
+			}, nil
+		})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return benchScenario{}, err
+	}
+
+	var total pointSums
+	for _, r := range results {
+		if !r.OK() {
+			return benchScenario{}, r.Failure
+		}
+		total.Tx += r.Value.Tx
+		total.Snoops += r.Value.Snoops
+		total.Faults += r.Value.Faults
+		total.Retries += r.Value.Retries
+	}
+	return benchScenario{
+		Name:               "farm-chaos-stream-8x2mib",
+		IncrementalChecker: true,
+		Transactions:       total.Tx,
+		SimSnoops:          total.Snoops,
+		SimFaults:          total.Faults,
+		SimRetries:         total.Retries,
+		WallSeconds:        wall,
+		TxPerSec:           float64(total.Tx) / wall,
+	}, nil
+}
+
+// readBenchReport loads and sanity-checks a BENCH_*.json document.
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Scenarios) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	return &rep, nil
+}
+
+// runBenchCompare diffs the deterministic sim-side anchors of two bench
+// reports. Every scenario in the old report must appear in the new one
+// with byte-identical sim fields; the new report may add scenarios (that
+// is how the suite grows) but may not drop or drift any. Wall-clock
+// fields are machine-dependent and deliberately ignored.
+func runBenchCompare(stdout io.Writer, oldPath, newPath string) error {
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]benchScenario, len(newRep.Scenarios))
+	for _, sc := range newRep.Scenarios {
+		byName[sc.Name] = sc
+	}
+	shared := 0
+	for _, o := range oldRep.Scenarios {
+		n, ok := byName[o.Name]
+		if !ok {
+			return fmt.Errorf("scenario %q present in %s but dropped from %s", o.Name, oldPath, newPath)
+		}
+		if err := compareScenario(o, n); err != nil {
+			return fmt.Errorf("scenario %q drifted between %s and %s: %w", o.Name, oldPath, newPath, err)
+		}
+		shared++
+		fmt.Fprintf(stdout, "  %-28s ok (%d transactions)\n", o.Name, o.Transactions)
+	}
+	fmt.Fprintf(stdout, "bench compare ok: %d shared scenario(s) sim-identical, %d new in %s\n",
+		shared, len(newRep.Scenarios)-shared, newPath)
+	return nil
+}
+
+// compareScenario checks the deterministic sim-side anchors of one
+// scenario pair.
+func compareScenario(o, n benchScenario) error {
+	if o.IncrementalChecker != n.IncrementalChecker {
+		return fmt.Errorf("incremental_checker %v -> %v", o.IncrementalChecker, n.IncrementalChecker)
+	}
+	if o.Transactions != n.Transactions {
+		return fmt.Errorf("transactions %d -> %d", o.Transactions, n.Transactions)
+	}
+	if o.SimMeanNs != n.SimMeanNs {
+		return fmt.Errorf("sim_mean_ns %v -> %v", o.SimMeanNs, n.SimMeanNs)
+	}
+	if o.SimSnoops != n.SimSnoops {
+		return fmt.Errorf("sim_snoops %d -> %d", o.SimSnoops, n.SimSnoops)
+	}
+	if o.SimFaults != n.SimFaults {
+		return fmt.Errorf("sim_faults %d -> %d", o.SimFaults, n.SimFaults)
+	}
+	if o.SimRetries != n.SimRetries {
+		return fmt.Errorf("sim_retries %d -> %d", o.SimRetries, n.SimRetries)
+	}
+	return nil
 }

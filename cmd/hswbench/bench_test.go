@@ -1,20 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// TestBenchBaseline guards the checked-in BENCH_1.json: it must parse
-// under the current schema, carry the current version, and hold the three
+// TestBenchBaseline guards the checked-in BENCH_2.json: it must parse
+// under the current schema, carry the current version, and hold the four
 // scenarios with sane counters. (Regenerate with
-// `go run ./cmd/hswbench -bench -bench-out BENCH_1.json` from the repo
+// `go run ./cmd/hswbench -bench -bench-out BENCH_2.json` from the repo
 // root; the sim-side fields must come out identical, only the wall-clock
 // fields move.)
 func TestBenchBaseline(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_1.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
 	if err != nil {
 		t.Fatalf("reading checked-in baseline: %v", err)
 	}
@@ -23,9 +25,9 @@ func TestBenchBaseline(t *testing.T) {
 		t.Fatalf("baseline does not parse under the current schema: %v", err)
 	}
 	if rep.Version != benchVersion {
-		t.Errorf("baseline version = %d, tool emits %d; regenerate BENCH_1.json", rep.Version, benchVersion)
+		t.Errorf("baseline version = %d, tool emits %d; regenerate BENCH_2.json", rep.Version, benchVersion)
 	}
-	want := []string{"pointer-chase-16mib", "capacity-pressure-24mib", "chaos-stream-8mib"}
+	want := []string{"pointer-chase-16mib", "capacity-pressure-24mib", "chaos-stream-8mib", "farm-chaos-stream-8x2mib"}
 	if len(rep.Scenarios) != len(want) {
 		t.Fatalf("baseline has %d scenarios, want %d", len(rep.Scenarios), len(want))
 	}
@@ -39,6 +41,67 @@ func TestBenchBaseline(t *testing.T) {
 	}
 }
 
+// TestBenchLineage: the previous baseline's sim-side anchors must survive
+// into the current one — BENCH_2.json extends BENCH_1.json, it does not
+// rewrite history. This is the same check CI runs via -bench-compare.
+func TestBenchLineage(t *testing.T) {
+	var out bytes.Buffer
+	err := runBenchCompare(&out,
+		filepath.Join("..", "..", "BENCH_1.json"),
+		filepath.Join("..", "..", "BENCH_2.json"))
+	if err != nil {
+		t.Fatalf("BENCH_1 -> BENCH_2 lineage broken: %v", err)
+	}
+	if !strings.Contains(out.String(), "3 shared scenario(s) sim-identical, 1 new") {
+		t.Errorf("unexpected compare summary:\n%s", out.String())
+	}
+}
+
+// TestBenchCompareDetectsDrift: a changed sim-side anchor and a dropped
+// scenario must both fail the compare; wall-clock drift must not.
+func TestBenchCompareDetectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep benchReport) string {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := benchReport{Version: benchVersion, Scenarios: []benchScenario{
+		{Name: "a", Transactions: 100, SimSnoops: 7, WallSeconds: 1, TxPerSec: 100},
+		{Name: "b", Transactions: 200, SimRetries: 3, WallSeconds: 1, TxPerSec: 200},
+	}}
+	old := write("old.json", base)
+
+	wallOnly := base
+	wallOnly.Scenarios = append([]benchScenario(nil), base.Scenarios...)
+	wallOnly.Scenarios[0].WallSeconds = 9
+	wallOnly.Scenarios[0].TxPerSec = 100.0 / 9
+	if err := runBenchCompare(&bytes.Buffer{}, old, write("wall.json", wallOnly)); err != nil {
+		t.Errorf("wall-clock-only change rejected: %v", err)
+	}
+
+	drifted := base
+	drifted.Scenarios = append([]benchScenario(nil), base.Scenarios...)
+	drifted.Scenarios[1].SimRetries = 4
+	err := runBenchCompare(&bytes.Buffer{}, old, write("drift.json", drifted))
+	if err == nil || !strings.Contains(err.Error(), "sim_retries") {
+		t.Errorf("sim-side drift not caught: %v", err)
+	}
+
+	dropped := base
+	dropped.Scenarios = base.Scenarios[:1]
+	err = runBenchCompare(&bytes.Buffer{}, old, write("dropped.json", dropped))
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("dropped scenario not caught: %v", err)
+	}
+}
+
 // TestPointerChaseScenario re-runs the cheapest scenario end to end and
 // pins its deterministic anchors against the checked-in baseline: if a
 // sim-side number moves, engine behavior changed — a regression (or an
@@ -47,7 +110,7 @@ func TestPointerChaseScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario run skipped in -short mode")
 	}
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_1.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
 	if err != nil {
 		t.Fatalf("reading checked-in baseline: %v", err)
 	}
@@ -61,8 +124,34 @@ func TestPointerChaseScenario(t *testing.T) {
 	}
 	base := rep.Scenarios[0]
 	if got.Transactions != base.Transactions || got.SimMeanNs != base.SimMeanNs || got.SimSnoops != base.SimSnoops {
-		t.Errorf("pointer-chase anchors drifted from baseline:\n got tx=%d mean=%v snoops=%d\nbase tx=%d mean=%v snoops=%d\nregenerate BENCH_1.json if the change is intentional",
+		t.Errorf("pointer-chase anchors drifted from baseline:\n got tx=%d mean=%v snoops=%d\nbase tx=%d mean=%v snoops=%d\nregenerate BENCH_2.json if the change is intentional",
 			got.Transactions, got.SimMeanNs, got.SimSnoops,
 			base.Transactions, base.SimMeanNs, base.SimSnoops)
+	}
+}
+
+// TestFarmChaosStreamShardIndependent: the farm scenario's sim-side sums
+// must match the checked-in baseline — shard scheduling must not leak
+// into the anchors.
+func TestFarmChaosStreamShardIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run skipped in -short mode")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchFarmChaosStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rep.Scenarios[3]
+	if got.Transactions != base.Transactions || got.SimSnoops != base.SimSnoops ||
+		got.SimFaults != base.SimFaults || got.SimRetries != base.SimRetries {
+		t.Errorf("farm-chaos-stream anchors drifted from baseline:\n got %+v\nbase %+v\nregenerate BENCH_2.json if the change is intentional", got, base)
 	}
 }

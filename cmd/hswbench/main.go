@@ -7,18 +7,24 @@
 //	hswbench -exp all               # everything (slow)
 //	hswbench -exp fig4 -out dir     # write figure CSVs into dir
 //	hswbench -list                  # list experiment ids
-//	hswbench -bench -bench-out BENCH_1.json
+//	hswbench -bench -bench-out BENCH_2.json
 //	                                # throughput scenarios -> versioned JSON
+//	hswbench -bench-compare BENCH_1.json BENCH_2.json
+//	                                # diff deterministic sim-side anchors
 //
 // Experiment ids follow DESIGN.md: table1, table2, table3, table4, table5,
 // table6, table7, table8, l3scaling, fig4, fig5, fig6, fig7, fig8, fig9,
 // fig10.
 //
-// The -bench mode (see bench.go) runs three engine-throughput scenarios —
-// pointer chase, capacity pressure, chaos stream — and emits BENCH_1.json:
-// deterministic simulation-side counters as regression anchors plus
-// wall-clock transactions/second as the performance trajectory. The
-// checked-in BENCH_1.json at the repository root records the baseline.
+// The -bench mode (see bench.go) runs four engine-throughput scenarios —
+// pointer chase, capacity pressure, chaos stream, and the farm-parallel
+// chaos stream — and emits versioned JSON: deterministic simulation-side
+// counters as regression anchors plus wall-clock transactions/second as
+// the performance trajectory. The checked-in BENCH_2.json at the
+// repository root records the current baseline (BENCH_1.json is its
+// predecessor); -bench-compare verifies that the sim-side anchors of
+// every scenario shared by two reports are byte-identical and that no
+// scenario was dropped.
 //
 //hsw:tier tool
 package main
@@ -57,10 +63,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", true, "print paper-vs-measured comparisons where available")
 	doBench := fs.Bool("bench", false, "run the throughput scenarios and emit versioned benchmark JSON")
 	benchOut := fs.String("bench-out", "", "file for -bench JSON (default: print to stdout)")
+	benchCompare := fs.Bool("bench-compare", false, "compare the sim-side anchors of two bench reports: OLD.json NEW.json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *benchCompare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "hswbench: -bench-compare expects exactly two report files: OLD.json NEW.json")
+			return 2
+		}
+		if err := runBenchCompare(stdout, fs.Arg(0), fs.Arg(1)); err != nil {
+			fmt.Fprintf(stderr, "hswbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *doBench {
 		if err := runBench(stdout, *benchOut); err != nil {
 			fmt.Fprintf(stderr, "hswbench: %v\n", err)

@@ -6,36 +6,55 @@
 // degrade. Every point is gated by the coherence-invariant checker: a fault
 // the engine fails to recover from aborts the sweep with a non-zero exit.
 //
+// The sweep runs on the experiment farm (internal/farm): rates fan out
+// across -shards workers (one engine per point, so any shard count is
+// byte-identical), each point can carry a -point-deadline and -retries
+// budget, and -checkpoint journals completed points so an interrupted
+// campaign resumes exactly where it stopped. SIGINT/SIGTERM drain in-flight
+// points and flush the checkpoint before exiting.
+//
 // Usage:
 //
 //	hswchaos -seed 1 -rates 0,0.02,0.05,0.1
 //	hswchaos -quick -rates 0,0.05        # skip the slow Table V matrix
 //	hswchaos -bundle-dir ./bundles ...   # write a repro bundle on failure
+//	hswchaos -shards 4 -checkpoint run.journal -retries 1 ...
+//	hswchaos -max-degraded 2 ...         # tolerate up to 2 degraded points
 //
 // The same seed always reproduces the same fault schedule, the same
 // latencies, and byte-identical output. Rate 0 reproduces the baseline
 // tables exactly.
 //
+// Exit codes: 0 success, 1 failure (including more degraded points than
+// -max-degraded allows), 2 flag errors, 3 interrupted (checkpoint flushed;
+// re-run the same command to resume).
+//
 //hsw:tier tool
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"haswellep/internal/experiments"
 	"haswellep/internal/fault"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fail := func(format string, a ...interface{}) int {
 		fmt.Fprintf(stderr, "hswchaos: "+format+"\n", a...)
 		return 1
@@ -47,7 +66,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ratesFlag := fs.String("rates", "0,0.02,0.05,0.1", "comma-separated fault rates in [0,1]")
 	quick := fs.Bool("quick", false, "skip the Table V memory-latency matrix (~5x faster)")
 	bundleDir := fs.String("bundle-dir", os.Getenv("HSW_BUNDLE_DIR"),
-		"directory for repro bundles on invariant failure (default $HSW_BUNDLE_DIR; empty disables)")
+		"directory for repro bundles on invariant failure or point panic (default $HSW_BUNDLE_DIR; empty disables)")
+	shards := fs.Int("shards", 1, "farm worker count (results are byte-identical at any value)")
+	pointDeadline := fs.Duration("point-deadline", 0, "per-point attempt deadline (0 = unbounded)")
+	retries := fs.Int("retries", 0, "per-point retry budget for failed attempts")
+	checkpoint := fs.String("checkpoint", "", "checkpoint journal path; an interrupted campaign resumes from it")
+	maxDegraded := fs.Int("max-degraded", 0,
+		"tolerate up to this many degraded points (campaign continues past failures; >0 enables tolerant mode)")
+	injectPanic := fs.String("inject-panic", "",
+		"comma-separated point indices whose point function panics (failure-path testing)")
+	cancelAfter := fs.Int("cancel-after", 0,
+		"cancel the campaign after this many completed points (kill-and-resume testing; 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,16 +99,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rates) == 0 {
 		return fail("no rates given")
 	}
+	var inject []int
+	for _, s := range strings.Split(*injectPanic, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		i, err := strconv.Atoi(s)
+		if err != nil || i < 0 || i >= len(rates) {
+			return fail("bad -inject-panic index %q (have %d rates)", s, len(rates))
+		}
+		inject = append(inject, i)
+	}
 
 	if *bundleDir != "" {
 		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
 			return fail("%v", err)
 		}
 	}
-	res, err := experiments.ChaosSweepOpts(*seed, rates,
-		experiments.ChaosOptions{IncludeT5: !*quick, BundleDir: *bundleDir})
+
+	runCtx := ctx
+	var cancelRun context.CancelFunc
+	if *cancelAfter > 0 {
+		runCtx, cancelRun = context.WithCancel(ctx)
+		defer cancelRun()
+	}
+	done := 0
+	o := experiments.ChaosOptions{
+		IncludeT5:      !*quick,
+		BundleDir:      *bundleDir,
+		Shards:         *shards,
+		PointDeadline:  *pointDeadline,
+		Retries:        *retries,
+		CheckpointPath: *checkpoint,
+		Tolerate:       *maxDegraded > 0,
+		InjectPanic:    inject,
+		OnPointDone: func(key string, failed bool) {
+			done++
+			if *cancelAfter > 0 && done >= *cancelAfter {
+				cancelRun()
+			}
+		},
+	}
+	res, err := experiments.ChaosSweepCtx(runCtx, *seed, rates, o)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Progress notes go to stderr: stdout stays byte-identical
+			// between an uninterrupted run and an interrupted+resumed one.
+			fmt.Fprintf(stderr, "hswchaos: interrupted after %d completed point(s)", res.Farm.Completed)
+			if *checkpoint != "" {
+				fmt.Fprintf(stderr, "; checkpoint flushed to %s — re-run the same command to resume", *checkpoint)
+			}
+			fmt.Fprintln(stderr)
+			return 3
+		}
 		return fail("%v", err)
+	}
+	if res.Farm.FromCheckpoint > 0 {
+		fmt.Fprintf(stderr, "hswchaos: resumed %d point(s) from checkpoint %s\n",
+			res.Farm.FromCheckpoint, *checkpoint)
 	}
 
 	fmt.Fprint(stdout, res.Table.String())
@@ -97,6 +175,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, " (dram reads %d, writes %d, dir writes %d)\n",
 			pt.Traffic.DRAMReads, pt.Traffic.DRAMWrites, pt.Traffic.DirWrites)
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Fprintf(stdout, "Degraded points (%d):\n", len(res.Degraded))
+		for _, f := range res.Degraded {
+			fmt.Fprintf(stdout, "  %v\n", f)
+		}
+		fmt.Fprintf(stdout, "Campaign completed: %d/%d points ok, %d degraded.\n",
+			res.Farm.Completed, res.Farm.Points, res.Farm.Degraded)
+		if len(res.Degraded) > *maxDegraded {
+			return fail("%d degraded points exceed -max-degraded %d", len(res.Degraded), *maxDegraded)
+		}
+		return 0
 	}
 	fmt.Fprintln(stdout, "All points passed the coherence-invariant recovery gate.")
 	return 0

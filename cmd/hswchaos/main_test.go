@@ -2,9 +2,26 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"haswellep/internal/replay"
+	"haswellep/internal/trace"
 )
+
+// execRun runs the command with the given args, failing the test on an
+// unexpected exit code.
+func execRun(t *testing.T, wantCode int, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), args, &out, &errb); code != wantCode {
+		t.Fatalf("args %v: exit %d, want %d\nstderr: %s", args, code, wantCode, errb.String())
+	}
+	return out.String(), errb.String()
+}
 
 // TestRunQuickDeterminism: the quick sweep succeeds, reports the invariant
 // gate, and the same seed produces byte-identical output.
@@ -13,11 +30,8 @@ func TestRunQuickDeterminism(t *testing.T) {
 		t.Skip("chaos smoke skipped in -short mode")
 	}
 	exec := func() string {
-		var out, errb bytes.Buffer
-		if code := run([]string{"-quick", "-seed", "7", "-rates", "0,0.1"}, &out, &errb); code != 0 {
-			t.Fatalf("exit %d, stderr: %s", code, errb.String())
-		}
-		return out.String()
+		out, _ := execRun(t, 0, "-quick", "-seed", "7", "-rates", "0,0.1")
+		return out
 	}
 	first := exec()
 	if !strings.Contains(first, "recovery gate") {
@@ -31,6 +45,93 @@ func TestRunQuickDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunShardedMatchesSerial: the farm flags change scheduling, never
+// output — -shards 3 with retries and a deadline is byte-identical to the
+// default serial run.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke skipped in -short mode")
+	}
+	serial, _ := execRun(t, 0, "-quick", "-seed", "7", "-rates", "0,0.1")
+	sharded, _ := execRun(t, 0, "-quick", "-seed", "7", "-rates", "0,0.1",
+		"-shards", "3", "-retries", "2", "-point-deadline", "10m")
+	if sharded != serial {
+		t.Errorf("sharded output differs from serial:\n--- serial\n%s\n--- sharded\n%s", serial, sharded)
+	}
+}
+
+// TestRunInjectedPanicSmoke mirrors CI's farm smoke step: a sharded sweep
+// with one injected panic must exit 0 (within -max-degraded), report the
+// degraded point, and leave a replayable bundle artifact.
+func TestRunInjectedPanicSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out, _ := execRun(t, 0, "-quick", "-seed", "7", "-rates", "0,0.1",
+		"-shards", "2", "-inject-panic", "1", "-max-degraded", "1", "-bundle-dir", dir)
+	if !strings.Contains(out, "degraded (panic)") || !strings.Contains(out, "1/2 points ok, 1 degraded") {
+		t.Errorf("degraded summary missing:\n%s", out)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "panic-*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("bundle artifacts: %v, %v", entries, err)
+	}
+	b, err := trace.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Verify(b); err != nil {
+		t.Errorf("panic bundle does not verify: %v", err)
+	}
+
+	// Exceeding the budget fails the run (after printing the summary).
+	out, _ = execRun(t, 1, "-quick", "-seed", "7", "-rates", "0,0.1",
+		"-inject-panic", "0,1", "-max-degraded", "1", "-bundle-dir", dir)
+	if !strings.Contains(out, "0/2 points ok, 2 degraded") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+// TestRunKillAndResume is the satellite's kill-and-resume proof: a
+// checkpointed campaign cancelled after its first completed point exits 3;
+// re-running the same command resumes from the journal and produces stdout
+// byte-identical to an uninterrupted run.
+func TestRunKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke skipped in -short mode")
+	}
+	reference, _ := execRun(t, 0, "-quick", "-seed", "7", "-rates", "0,0.1")
+
+	ckpt := filepath.Join(t.TempDir(), "chaos.journal")
+	base := []string{"-quick", "-seed", "7", "-rates", "0,0.1", "-checkpoint", ckpt}
+	out, errOut := execRun(t, 3, append(base, "-cancel-after", "1")...)
+	if out != "" {
+		t.Errorf("interrupted run wrote to stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "checkpoint flushed") {
+		t.Errorf("interrupt note missing:\n%s", errOut)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not flushed: %v", err)
+	}
+
+	resumed, errOut := execRun(t, 0, base...)
+	if !strings.Contains(errOut, "resumed 1 point(s) from checkpoint") {
+		t.Errorf("resume note missing:\n%s", errOut)
+	}
+	if resumed != reference {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- reference\n%s\n--- resumed\n%s",
+			reference, resumed)
+	}
+
+	// The journal is bound to its campaign: a different seed refuses it.
+	_, errOut = execRun(t, 1, "-quick", "-seed", "8", "-rates", "0,0.1", "-checkpoint", ckpt)
+	if !strings.Contains(errOut, "different campaign") {
+		t.Errorf("campaign mismatch not reported:\n%s", errOut)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-rates", "2"},
@@ -38,10 +139,12 @@ func TestRunBadFlags(t *testing.T) {
 		{"-rates", "abc"},
 		{"-rates", ""},
 		{"-unknown"},
+		{"-inject-panic", "5", "-rates", "0,0.1"}, // index out of range
+		{"-inject-panic", "x", "-rates", "0,0.1"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if code := run(args, &out, &errb); code == 0 {
+		if code := run(context.Background(), args, &out, &errb); code == 0 {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -7,7 +7,7 @@
 //
 //	hswreplay bundle.json                 # replay + verify (digest and finding)
 //	hswreplay -show bundle.json           # print the bundle without replaying
-//	hswreplay -shrink -o min.json b.json  # ddmin the event stream (and fault plan)
+//	hswreplay -shrink -o min.json b.json  # ddmin the events, fault plan, and geometry
 //	hswreplay -selftest                   # record a seeded failing run, replay,
 //	                                      # shrink, and check the finding matches
 //
@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 
 	"haswellep/internal/replay"
+	"haswellep/internal/topology"
 	"haswellep/internal/trace"
 )
 
@@ -78,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail("%v", err)
 		}
+		min, sst, err := replay.ShrinkSpec(min)
+		if err != nil {
+			return fail("%v", err)
+		}
 		dst := *out
 		if dst == "" {
 			ext := filepath.Ext(path)
@@ -87,7 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("%v", err)
 		}
 		fmt.Fprintf(stdout, "shrunk %d -> %d events in %d replays (%d plan fields zeroed, plan kept: %v)\n",
-			st.FromEvents, len(min.Events), st.Replays+pst.Replays, pst.PlanFieldsZeroed, min.Plan != nil)
+			st.FromEvents, len(min.Events), st.Replays+pst.Replays+sst.Replays, pst.PlanFieldsZeroed, min.Plan != nil)
+		fmt.Fprintf(stdout, "geometry: %d socket(s), %d-core die (%d reduction(s))\n",
+			min.Spec.Sockets, topology.DieVariant(min.Spec.Die).Cores(), sst.SpecShrunk)
 		fmt.Fprintf(stdout, "minimized bundle: %s\n", dst)
 		b = min
 	}
@@ -140,6 +147,10 @@ func runSelftest(stdout io.Writer, fail func(string, ...interface{}) int, seed i
 	if err != nil {
 		return fail("selftest plan shrink: %v", err)
 	}
+	min, sst, err := replay.ShrinkSpec(min)
+	if err != nil {
+		return fail("selftest spec shrink: %v", err)
+	}
 	if _, err := replay.Verify(min); err != nil {
 		return fail("selftest verify minimized: %v", err)
 	}
@@ -148,7 +159,9 @@ func runSelftest(stdout io.Writer, fail func(string, ...interface{}) int, seed i
 		return fail("%v", err)
 	}
 	fmt.Fprintf(stdout, "shrunk %d -> %d events in %d replays; minimized bundle still reproduces %v\n",
-		st.FromEvents, len(min.Events), st.Replays+pst.Replays, *min.Finding)
+		st.FromEvents, len(min.Events), st.Replays+pst.Replays+sst.Replays, *min.Finding)
+	fmt.Fprintf(stdout, "geometry: %d socket(s), %d-core die (%d reduction(s))\n",
+		min.Spec.Sockets, topology.DieVariant(min.Spec.Die).Cores(), sst.SpecShrunk)
 	if keep != "" {
 		fmt.Fprintf(stdout, "bundles kept in %s\n", dir)
 	}

@@ -18,6 +18,11 @@ func TestSelftest(t *testing.T) {
 	if !strings.Contains(out.String(), "selftest ok") {
 		t.Errorf("missing success line:\n%s", out.String())
 	}
+	// The selftest records on the minimal 1-socket COD machine, so the
+	// geometry pass must report a no-op, not damage the bundle.
+	if !strings.Contains(out.String(), "geometry: 1 socket(s), 12-core die (0 reduction(s))") {
+		t.Errorf("missing geometry line:\n%s", out.String())
+	}
 	if m, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(m) < 2 {
 		t.Errorf("expected captured + minimized bundles in %s, got %v", dir, m)
 	}

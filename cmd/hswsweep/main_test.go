@@ -2,32 +2,83 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func TestSmokeLatency(t *testing.T) {
+func execRun(t *testing.T, wantCode int, args ...string) (stdout, stderr string) {
+	t.Helper()
 	var out, errb bytes.Buffer
-	if code := run([]string{"-max", "1"}, &out, &errb); code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	if code := run(context.Background(), args, &out, &errb); code != wantCode {
+		t.Fatalf("args %v: exit %d, want %d\nstderr: %s", args, code, wantCode, errb.String())
 	}
-	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	return out.String(), errb.String()
+}
+
+func TestSmokeLatency(t *testing.T) {
+	out, _ := execRun(t, 0, "-max", "1")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if lines[0] != "size_bytes,latency_ns,dominant_source" {
 		t.Fatalf("bad CSV header: %q", lines[0])
 	}
 	// 16 KiB .. 1 MiB doubling = 7 data rows.
 	if len(lines) != 8 {
-		t.Errorf("row count = %d, want 8:\n%s", len(lines), out.String())
+		t.Errorf("row count = %d, want 8:\n%s", len(lines), out)
 	}
 }
 
 func TestSmokeBandwidth(t *testing.T) {
-	var out, errb bytes.Buffer
-	if code := run([]string{"-kind", "bandwidth", "-max", "1"}, &out, &errb); code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	out, _ := execRun(t, 0, "-kind", "bandwidth", "-max", "1")
+	if !strings.HasPrefix(out, "size_bytes,bandwidth_GBps\n") {
+		t.Errorf("bad CSV header:\n%s", out)
 	}
-	if !strings.HasPrefix(out.String(), "size_bytes,bandwidth_GBps\n") {
-		t.Errorf("bad CSV header:\n%s", out.String())
+}
+
+// TestShardedMatchesSerial: farm flags change scheduling, never the CSV —
+// sharded runs are byte-identical to the serial default for both kinds.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, kind := range []string{"latency", "bandwidth"} {
+		serial, _ := execRun(t, 0, "-kind", kind, "-mode", "cod", "-state", "shared", "-max", "4")
+		sharded, _ := execRun(t, 0, "-kind", kind, "-mode", "cod", "-state", "shared", "-max", "4",
+			"-shards", "4", "-retries", "1")
+		if sharded != serial {
+			t.Errorf("%s: sharded CSV differs from serial:\n--- serial\n%s\n--- sharded\n%s",
+				kind, serial, sharded)
+		}
+	}
+}
+
+// TestKillAndResume: a checkpointed sweep cancelled after two points exits
+// 3; re-running the same command resumes and the CSV is byte-identical to
+// an uninterrupted run.
+func TestKillAndResume(t *testing.T) {
+	reference, _ := execRun(t, 0, "-max", "2")
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.journal")
+	base := []string{"-max", "2", "-checkpoint", ckpt}
+	out, errOut := execRun(t, 3, append(base, "-cancel-after", "2")...)
+	if out != "" {
+		t.Errorf("interrupted run wrote to stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "checkpoint flushed") {
+		t.Errorf("interrupt note missing:\n%s", errOut)
+	}
+
+	resumed, errOut := execRun(t, 0, base...)
+	if !strings.Contains(errOut, "resumed 2 point(s) from checkpoint") {
+		t.Errorf("resume note missing:\n%s", errOut)
+	}
+	if resumed != reference {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- reference\n%s\n--- resumed\n%s",
+			reference, resumed)
+	}
+
+	// The journal is campaign-bound: different sweep parameters refuse it.
+	_, errOut = execRun(t, 1, "-max", "2", "-state", "modified", "-checkpoint", ckpt)
+	if !strings.Contains(errOut, "different campaign") {
+		t.Errorf("campaign mismatch not reported:\n%s", errOut)
 	}
 }
 
@@ -40,7 +91,7 @@ func TestBadArgs(t *testing.T) {
 		{"-node", "99"},
 	} {
 		var out, errb bytes.Buffer
-		if code := run(args, &out, &errb); code != 1 {
+		if code := run(context.Background(), args, &out, &errb); code != 1 {
 			t.Errorf("%v: exit %d, want 1", args, code)
 		}
 	}

@@ -1,10 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
+	"haswellep/internal/bench"
 	"haswellep/internal/bwmodel"
+	"haswellep/internal/farm"
 	"haswellep/internal/fault"
 	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
@@ -20,6 +26,11 @@ import (
 // rate 0 the plan is inert — no randomness is consumed and no penalty is
 // charged — so the sweep's first point reproduces the baseline tables
 // exactly.
+//
+// The sweep runs on the experiment farm (internal/farm): each rate is one
+// point with its own engine, so points are independent and the campaign is
+// byte-identical at any shard count; farm options add per-point deadlines,
+// retry budgets, checkpoint/resume, and panic isolation on top.
 
 // ChaosPoint is one fault-rate step of the sweep.
 type ChaosPoint struct {
@@ -61,12 +72,68 @@ func matrixMean(v [4][4]float64) float64 {
 	return s / float64(n)
 }
 
+// chaosPointRec is the JSON-round-trippable core of a ChaosPoint: exactly
+// the measured numbers, none of the derived presentation. It is what the
+// farm's point function returns and what the checkpoint journal stores —
+// Go's encoding/json emits the shortest float64 representation, which
+// decodes back to the identical bits, so a point restored from a
+// checkpoint reconstructs a ChaosPoint byte-identical to a fresh run.
+type chaosPointRec struct {
+	Rate           float64              `json:"rate"`
+	Plan           fault.Plan           `json:"plan"`
+	Table4         [4][4]float64        `json:"table4"`
+	Table5         [4][4]float64        `json:"table5"`
+	Counters       fault.Counters       `json:"counters"`
+	FaultEvents    int                  `json:"fault_events"`
+	StaleFindings  int                  `json:"stale_findings"`
+	Traffic        machine.TrafficStats `json:"traffic"`
+	RemoteReadGBps float64              `json:"remote_read_gbps"`
+}
+
+// Point rebuilds the full presentation-carrying ChaosPoint from the
+// measured numbers.
+func (r chaosPointRec) Point(includeT5 bool) ChaosPoint {
+	pt := ChaosPoint{
+		Rate:           r.Rate,
+		Plan:           r.Plan,
+		Counters:       r.Counters,
+		FaultEvents:    r.FaultEvents,
+		StaleFindings:  r.StaleFindings,
+		Traffic:        r.Traffic,
+		RemoteReadGBps: r.RemoteReadGBps,
+	}
+	pt.Table4 = MatrixResult{
+		Values:      r.Table4,
+		Table:       matrixTable(table4Title, r.Table4),
+		Comparisons: matrixComparisons("T4", r.Table4, table4Paper),
+	}
+	if includeT5 {
+		pt.Table5 = MatrixResult{
+			Values:      r.Table5,
+			Table:       matrixTable(table5Title, r.Table5),
+			Comparisons: matrixComparisons("T5", r.Table5, table5Paper),
+		}
+	}
+	return pt
+}
+
 // ChaosResult is the full sweep.
 type ChaosResult struct {
-	Seed   int64
+	Seed int64
+	// Points holds the completed points in rate order. In a tolerant
+	// campaign (ChaosOptions.Tolerate) degraded points are absent here and
+	// listed in Degraded instead.
 	Points []ChaosPoint
-	// Table summarizes the sweep, one row per rate.
+	// Table summarizes the sweep, one row per rate (degraded points get a
+	// degraded row).
 	Table *report.Table
+	// Degraded lists tolerated point failures, in rate order. Empty unless
+	// ChaosOptions.Tolerate is set — a non-tolerant sweep aborts on the
+	// first degraded point instead.
+	Degraded []*farm.PointFailure
+	// Farm summarizes the campaign's execution: completed / degraded /
+	// skipped / checkpoint-restored point counts and total retries.
+	Farm farm.Stats
 }
 
 // ChaosPlanAt builds the sweep's plan for one fault rate: every dynamic
@@ -106,74 +173,215 @@ type ChaosOptions struct {
 	// BundleDir, when non-empty, attaches a flight recorder to every
 	// point's engine and writes a repro bundle there when the point's
 	// acceptance gate finds a hard violation — the sweep's abort error
-	// then names the bundle. A point's full matrix run overflows the
+	// then names the bundle — or when the point panics (the farm's capture
+	// hook fires while the panic unwinds; the bundle path lands in the
+	// point's failure record). A point's full matrix run overflows the
 	// recorder's ring, in which case the bundle is marked truncated: it
 	// still documents the finding, plan, and digest, but cmd/hswreplay
 	// will refuse to re-execute it.
 	BundleDir string
+
+	// Shards is the farm's worker count; below 1 means 1. Points are
+	// independent (one engine each), so any shard count produces
+	// byte-identical results.
+	Shards int
+	// PointDeadline bounds one attempt of one point; 0 means unbounded.
+	PointDeadline time.Duration
+	// Retries is the per-point retry budget for failed attempts.
+	Retries int
+	// CheckpointPath, when non-empty, journals completed points there and
+	// resumes from any the journal already holds. The journal is keyed by
+	// the campaign identity (config, seed, rates, T5 flag); reusing a path
+	// across different campaigns is an error.
+	CheckpointPath string
+	// Tolerate keeps the campaign running past degraded points: failures
+	// are collected in ChaosResult.Degraded (with degraded table rows)
+	// instead of aborting the sweep. Without it the first degraded point
+	// aborts, matching the historical serial semantics.
+	Tolerate bool
+	// InjectPanic lists point indices whose point function panics
+	// deliberately after touching a few lines — the farm's failure-path
+	// test hook (exercised by cmd/hswchaos -inject-panic and CI's farm
+	// smoke step).
+	InjectPanic []int
+	// OnPointDone, when non-nil, is invoked after each executed point
+	// (see farm.Options.OnPointDone).
+	OnPointDone func(key string, failed bool)
 }
 
 // ChaosSweepOpts is the fully optioned chaos sweep.
 func ChaosSweepOpts(seed int64, rates []float64, o ChaosOptions) (ChaosResult, error) {
-	includeT5 := o.IncludeT5
+	return ChaosSweepCtx(context.Background(), seed, rates, o)
+}
+
+// chaosCampaignKey is the campaign identity a checkpoint journal is keyed
+// by: anything that changes the points' measured numbers must appear here,
+// so a stale journal can never leak results into a different campaign.
+func chaosCampaignKey(seed int64, rates []float64, o ChaosOptions) string {
+	rs := make([]string, len(rates))
+	for i, r := range rates {
+		rs[i] = strconv.FormatFloat(r, 'g', -1, 64)
+	}
+	return fmt.Sprintf("chaos/v1 mode=%v seed=%d t5=%v rates=%s",
+		machine.COD, seed, o.IncludeT5, strings.Join(rs, ","))
+}
+
+// ChaosSweepCtx is ChaosSweepOpts under a context: cancelling it (e.g. on
+// SIGINT) stops dispatch, drains in-flight points into the checkpoint
+// journal, and returns the partial result with a wrapped context error.
+func ChaosSweepCtx(ctx context.Context, seed int64, rates []float64, o ChaosOptions) (ChaosResult, error) {
 	res := ChaosResult{Seed: seed}
 	res.Table = report.NewTable(
 		fmt.Sprintf("Chaos sweep (seed %d): Table IV/V under fault injection", seed),
 		"rate", "T4 mean ns", "T5 mean ns", "faults", "retries", "dir repairs",
 		"wasted snoops", "penalty ns", "remote read GB/s", "stale")
-	for _, rate := range rates {
-		pt, err := chaosPointOpts(seed, rate, o)
+
+	var journal *farm.Journal
+	if o.CheckpointPath != "" {
+		j, err := farm.OpenJournal(o.CheckpointPath, chaosCampaignKey(seed, rates, o))
 		if err != nil {
-			return ChaosResult{}, fmt.Errorf("chaos sweep rate %g: %w", rate, err)
+			return ChaosResult{}, err
 		}
-		res.Points = append(res.Points, pt)
-		var injected uint64
-		for _, n := range pt.Counters.Injected {
-			injected += n
+		journal = j
+		defer journal.Close()
+	}
+	inject := make(map[int]bool, len(o.InjectPanic))
+	for _, i := range o.InjectPanic {
+		inject[i] = true
+	}
+
+	results, runErr := farm.Run(ctx, farm.Options{
+		Shards:        o.Shards,
+		PointDeadline: o.PointDeadline,
+		Retries:       o.Retries,
+		Journal:       journal,
+		StopOnFailure: !o.Tolerate,
+		OnPointDone:   o.OnPointDone,
+	}, rates,
+		func(i int, rate float64) string { return fmt.Sprintf("%03d:rate=%g", i, rate) },
+		func(c *farm.Ctx, rate float64) (chaosPointRec, error) {
+			return chaosPointRun(seed, rate, o, c, inject[c.Index])
+		})
+	if results == nil {
+		return ChaosResult{}, runErr
+	}
+
+	for _, r := range results {
+		switch {
+		case r.OK():
+			pt := r.Value.Point(o.IncludeT5)
+			res.Points = append(res.Points, pt)
+			addChaosRow(res.Table, rates[r.Index], pt, o.IncludeT5)
+		case r.Failure.Kind == farm.KindSkipped:
+			// Counted in res.Farm; no table row — the point never ran.
+		case !o.Tolerate:
+			return ChaosResult{}, fmt.Errorf("chaos sweep rate %g: %w", rates[r.Index], r.Failure)
+		default:
+			res.Degraded = append(res.Degraded, r.Failure)
+			res.Table.AddRow(fmt.Sprintf("%.3f", rates[r.Index]),
+				"degraded", r.Failure.Kind.String(), "-", "-", "-", "-", "-", "-", "-")
 		}
-		t5cell := "-"
-		if includeT5 {
-			t5cell = fmtNs(pt.Mean5())
-		}
-		res.Table.AddRow(
-			fmt.Sprintf("%.3f", rate),
-			fmtNs(pt.Mean4()), t5cell,
-			fmt.Sprintf("%d", injected),
-			fmt.Sprintf("%d", pt.Counters.Retries),
-			fmt.Sprintf("%d", pt.Counters.DirectoryRepairs),
-			fmt.Sprintf("%d", pt.Counters.WastedSnoops),
-			fmt.Sprintf("%.0f", pt.Counters.PenaltyNs),
-			fmtGB(pt.RemoteReadGBps),
-			fmt.Sprintf("%d", pt.StaleFindings),
-		)
+	}
+	res.Farm = farm.Summarize(results)
+	if runErr != nil {
+		return res, fmt.Errorf("chaos sweep interrupted: %w", runErr)
 	}
 	return res, nil
 }
 
-// chaosPoint measures one fault rate.
-func chaosPoint(seed int64, rate float64) (ChaosPoint, error) {
-	return chaosPointOpts(seed, rate, ChaosOptions{IncludeT5: true})
+// addChaosRow formats one completed point's summary row.
+func addChaosRow(t *report.Table, rate float64, pt ChaosPoint, includeT5 bool) {
+	var injected uint64
+	for _, n := range pt.Counters.Injected {
+		injected += n
+	}
+	t5cell := "-"
+	if includeT5 {
+		t5cell = fmtNs(pt.Mean5())
+	}
+	t.AddRow(
+		fmt.Sprintf("%.3f", rate),
+		fmtNs(pt.Mean4()), t5cell,
+		fmt.Sprintf("%d", injected),
+		fmt.Sprintf("%d", pt.Counters.Retries),
+		fmt.Sprintf("%d", pt.Counters.DirectoryRepairs),
+		fmt.Sprintf("%d", pt.Counters.WastedSnoops),
+		fmt.Sprintf("%.0f", pt.Counters.PenaltyNs),
+		fmtGB(pt.RemoteReadGBps),
+		fmt.Sprintf("%d", pt.StaleFindings),
+	)
 }
 
-func chaosPointOpts(seed int64, rate float64, o ChaosOptions) (ChaosPoint, error) {
+// chaosPoint measures one fault rate (both matrices, no farm hooks).
+func chaosPoint(seed int64, rate float64) (ChaosPoint, error) {
+	rec, err := chaosPointRun(seed, rate, ChaosOptions{IncludeT5: true}, nil, false)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	return rec.Point(true), nil
+}
+
+// sanitizeKey maps a point key to a filename-safe form.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// chaosPointRun measures one fault rate: build a fresh fault-injecting
+// engine, run the matrices, gate on the invariant checker, and return the
+// measured numbers. When the farm drives it (fc non-nil) and a bundle
+// directory is configured, a panic-capture hook is registered as soon as
+// the flight recorder exists, so even an early panic yields a replayable
+// bundle.
+func chaosPointRun(seed int64, rate float64, o ChaosOptions, fc *farm.Ctx, injectPanic bool) (chaosPointRec, error) {
 	plan := ChaosPlanAt(seed, rate)
 	env, err := NewEnvWithFaults(machine.COD, plan)
 	if err != nil {
-		return ChaosPoint{}, err
+		return chaosPointRec{}, err
 	}
 	var tr *trace.Recorder
 	if o.BundleDir != "" {
 		tr = env.AttachFlightRecorder(o.BundleDir, 0)
 		defer tr.Detach()
-	}
-	pt := ChaosPoint{Rate: rate, Plan: env.E.Faults.Plan()}
-	if pt.Table4, err = Table4In(env); err != nil {
-		return ChaosPoint{}, err
-	}
-	if o.IncludeT5 {
-		if pt.Table5, err = Table5In(env); err != nil {
-			return ChaosPoint{}, err
+		if fc != nil {
+			fc.CaptureOnPanic(func(any) (string, error) {
+				path := filepath.Join(o.BundleDir,
+					fmt.Sprintf("panic-%s-attempt%d.json", sanitizeKey(fc.Key), fc.Attempt))
+				if werr := trace.WriteFile(path, tr.Bundle(nil)); werr != nil {
+					return "", werr
+				}
+				return path, nil
+			})
 		}
+	}
+	rec := chaosPointRec{Rate: rate, Plan: env.E.Faults.Plan()}
+	if injectPanic {
+		// The failure-path test hook: touch a few lines first so the
+		// recorder has a replayable event stream, then die the way a
+		// harness bug would.
+		env.Fresh()
+		r := env.Alloc(0, 64*64)
+		bench.Latency(env.E, 0, r)
+		panic(fmt.Sprintf("injected chaos-point panic (rate %g)", rate))
+	}
+	t4, err := Table4In(env)
+	if err != nil {
+		return chaosPointRec{}, err
+	}
+	rec.Table4 = t4.Values
+	if o.IncludeT5 {
+		t5, err := Table5In(env)
+		if err != nil {
+			return chaosPointRec{}, err
+		}
+		rec.Table5 = t5.Values
 	}
 	// The recovery acceptance gate, per transaction: the env's always-on
 	// incremental checker validated every line each faulted transaction
@@ -181,7 +389,7 @@ func chaosPointOpts(seed int64, rate float64, o ChaosOptions) (ChaosPoint, error
 	// latency — the moment it completed, so a fault the engine failed to
 	// recover from is pinned to the transaction that exposed it.
 	if err := env.Check.Err(); err != nil {
-		return ChaosPoint{}, fmt.Errorf("after recovery: %w", err)
+		return chaosPointRec{}, fmt.Errorf("after recovery: %w", err)
 	}
 	// End-of-point epoch boundary: one full machine Check on top of the
 	// incremental gate (it also runs the cross-agent filing scan the
@@ -199,17 +407,17 @@ func chaosPointOpts(seed int64, rate float64, o ChaosOptions) (ChaosPoint, error
 				err = fmt.Errorf("%w (repro bundle: %s)", err, path)
 			}
 		}
-		return ChaosPoint{}, err
+		return chaosPointRec{}, err
 	}
-	pt.StaleFindings = len(found)
+	rec.StaleFindings = len(found)
 	if ns := env.E.Faults.PendingPenaltyNs(); ns != 0 {
-		return ChaosPoint{}, fmt.Errorf("%.1f ns of recovery penalty never charged to a transaction", ns)
+		return chaosPointRec{}, fmt.Errorf("%.1f ns of recovery penalty never charged to a transaction", ns)
 	}
-	pt.Counters = env.E.Faults.Counters()
-	pt.FaultEvents = len(env.E.Faults.Events())
-	pt.Traffic = env.M.Traffic()
-	pt.RemoteReadGBps = remoteReadPoint(env)
-	return pt, nil
+	rec.Counters = env.E.Faults.Counters()
+	rec.FaultEvents = len(env.E.Faults.Events())
+	rec.Traffic = env.M.Traffic()
+	rec.RemoteReadGBps = remoteReadPoint(env)
+	return rec, nil
 }
 
 // remoteReadPoint solves the max-min bandwidth share for all cores of

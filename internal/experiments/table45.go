@@ -9,6 +9,13 @@ import (
 	"haswellep/internal/topology"
 )
 
+// Matrix table titles, shared with the chaos sweep's checkpoint-restore
+// path, which rebuilds the presentation tables from stored values.
+const (
+	table4Title = "Table IV: L3 latency (ns), core in node0 reads shared lines; rows=forward node, cols=home node"
+	table5Title = "Table V: memory latency (ns), core in node0 reads formerly shared data; rows=node that had forward copy, cols=home node"
+)
+
 // MatrixResult is a 4x4 COD node-matrix experiment (Tables IV and V).
 type MatrixResult struct {
 	Table       *report.Table
@@ -91,7 +98,7 @@ func Table4In(env *Env) (MatrixResult, error) {
 			res.Values[fwd][home] = stat.MeanNs
 		}
 	}
-	res.Table = matrixTable("Table IV: L3 latency (ns), core in node0 reads shared lines; rows=forward node, cols=home node", res.Values)
+	res.Table = matrixTable(table4Title, res.Values)
 	res.Comparisons = matrixComparisons("T4", res.Values, table4Paper)
 	return res, nil
 }
@@ -125,7 +132,7 @@ func Table5In(env *Env) (MatrixResult, error) {
 			res.Values[fwd][home] = stat.MeanNs
 		}
 	}
-	res.Table = matrixTable("Table V: memory latency (ns), core in node0 reads formerly shared data; rows=node that had forward copy, cols=home node", res.Values)
+	res.Table = matrixTable(table5Title, res.Values)
 	res.Comparisons = matrixComparisons("T5", res.Values, table5Paper)
 	return res, nil
 }

@@ -1,0 +1,209 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JournalVersion is the checkpoint-journal format version this build reads
+// and writes; OpenJournal rejects other versions instead of guessing.
+const JournalVersion = 1
+
+// ErrCampaignMismatch marks a journal recorded by a different campaign —
+// a different (config, workload, seed) identity. Resuming over it would
+// silently mix results from incompatible runs, so OpenJournal refuses.
+var ErrCampaignMismatch = errors.New("farm: checkpoint journal belongs to a different campaign")
+
+// Journal is the on-disk checkpoint of one campaign: a header line naming
+// the format version and the campaign identity, followed by one JSON line
+// per completed point. Records are appended and fsynced as points
+// complete, so a killed campaign loses at most the point being written;
+// OpenJournal tolerates that torn tail (and rewrites the file clean)
+// before resuming. Safe for concurrent use by the farm's workers.
+type Journal struct {
+	mu        sync.Mutex
+	path      string
+	campaign  string
+	f         *os.File
+	completed map[string]json.RawMessage
+	order     []string // insertion order, for deterministic rewrites
+}
+
+type journalHeader struct {
+	JournalVersion int    `json:"journal_version"`
+	Campaign       string `json:"campaign"`
+}
+
+type journalLine struct {
+	Point  string          `json:"point"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenJournal opens (or creates) the checkpoint journal at path for the
+// campaign with the given identity string, creating parent directories as
+// needed. An existing journal must carry the same version and campaign
+// identity — ErrCampaignMismatch otherwise; delete the file to restart
+// the campaign from scratch. A torn final line (the campaign was killed
+// mid-append) is dropped; everything before it is restored. The file is
+// rewritten atomically on open so appends always start from a clean tail.
+func OpenJournal(path, campaign string) (*Journal, error) {
+	j := &Journal{path: path, campaign: campaign, completed: make(map[string]json.RawMessage)}
+
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("farm: creating checkpoint directory: %w", err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh campaign.
+	case err != nil:
+		return nil, fmt.Errorf("farm: reading checkpoint journal: %w", err)
+	default:
+		if err := j.load(data); err != nil {
+			return nil, err
+		}
+	}
+
+	// Atomic rewrite: header plus every restored entry, in insertion
+	// order, then reopen for append. This drops any torn tail and makes
+	// the resume state durable before the first new point lands.
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(journalHeader{JournalVersion: JournalVersion, Campaign: campaign})
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for _, k := range j.order {
+		line, err := json.Marshal(journalLine{Point: k, Result: j.completed[k]})
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// load parses an existing journal's bytes into the completed map.
+func (j *Journal) load(data []byte) error {
+	lines := bytes.Split(data, []byte("\n"))
+	// Trim trailing empty lines (the file ends with a newline).
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil // empty file: treat as fresh
+	}
+	var h journalHeader
+	if err := json.Unmarshal(lines[0], &h); err != nil {
+		return fmt.Errorf("farm: %s is not a checkpoint journal: %w", j.path, err)
+	}
+	if h.JournalVersion != JournalVersion {
+		return fmt.Errorf("farm: checkpoint journal %s is version %d, this build reads version %d", j.path, h.JournalVersion, JournalVersion)
+	}
+	if h.Campaign != j.campaign {
+		return fmt.Errorf("%w: %s records campaign %q, this run is %q (delete the file to restart)",
+			ErrCampaignMismatch, j.path, h.Campaign, j.campaign)
+	}
+	for i, ln := range lines[1:] {
+		if len(bytes.TrimSpace(ln)) == 0 {
+			continue
+		}
+		var e journalLine
+		if err := json.Unmarshal(ln, &e); err != nil || e.Point == "" {
+			if i == len(lines[1:])-1 {
+				// Torn tail: the campaign was killed mid-append. The
+				// entry was never acknowledged, so dropping it is safe —
+				// the point will simply re-run.
+				break
+			}
+			return fmt.Errorf("farm: checkpoint journal %s: corrupt entry on line %d", j.path, i+2)
+		}
+		if _, dup := j.completed[e.Point]; !dup {
+			j.order = append(j.order, e.Point)
+		}
+		j.completed[e.Point] = e.Result
+	}
+	return nil
+}
+
+// Lookup returns the checkpointed result for a point key.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.completed[key]
+	return raw, ok
+}
+
+// Record checkpoints one completed point: the entry is appended and
+// fsynced before Record returns, so a subsequent kill cannot lose it.
+func (j *Journal) Record(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalLine{Point: key, Result: raw})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("farm: checkpoint journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if _, dup := j.completed[key]; !dup {
+		j.order = append(j.order, key)
+	}
+	j.completed[key] = raw
+	return nil
+}
+
+// Len reports how many completed points the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.completed)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the journal file. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,282 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestJournalRoundtrip: records survive close + reopen, in order, and new
+// records append cleanly after a reopen.
+func TestJournalRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	j, err := OpenJournal(path, "campaign-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record(fmt.Sprintf("p%d", i), map[string]int{"v": i * 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "campaign-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 3 {
+		t.Fatalf("restored %d entries, want 3", j2.Len())
+	}
+	raw, ok := j2.Lookup("p1")
+	if !ok || string(raw) != `{"v":7}` {
+		t.Fatalf("p1 = %q, %v", raw, ok)
+	}
+	if err := j2.Record("p3", map[string]int{"v": 21}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if j2.Len() != 4 {
+		t.Fatalf("len after append = %d", j2.Len())
+	}
+}
+
+// TestJournalCampaignMismatch: a journal from a different campaign identity
+// is refused with ErrCampaignMismatch.
+func TestJournalCampaignMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	j, err := OpenJournal(path, "campaign-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(path, "campaign-b"); !errors.Is(err, ErrCampaignMismatch) {
+		t.Fatalf("err = %v, want ErrCampaignMismatch", err)
+	}
+}
+
+// TestJournalVersionMismatch: a future-version journal is refused, naming
+// both versions.
+func TestJournalVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	hdr := fmt.Sprintf(`{"journal_version":%d,"campaign":"c"}`+"\n", JournalVersion+1)
+	if err := os.WriteFile(path, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(path, "c")
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestJournalTornTail: a half-written final line (kill mid-append) is
+// dropped; the entries before it survive and the file is rewritten clean.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	j, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("p0", 1)
+	j.Record("p1", 2)
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"point":"p2","res`) // torn: kill mid-append
+	f.Close()
+
+	j2, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("restored %d entries, want 2", j2.Len())
+	}
+	if _, ok := j2.Lookup("p2"); ok {
+		t.Error("torn entry restored")
+	}
+	// The rewrite dropped the torn bytes: a third open sees a clean file.
+	j2.Record("p2", 3)
+	j2.Close()
+	j3, err := OpenJournal(path, "c")
+	if err != nil || j3.Len() != 3 {
+		t.Fatalf("after re-append: %v, len %d", err, j3.Len())
+	}
+	j3.Close()
+}
+
+// TestJournalCorruptMiddle: a corrupt line that is NOT the tail is a hard
+// error — silently skipping acknowledged results would fake completion.
+func TestJournalCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	content := `{"journal_version":1,"campaign":"c"}` + "\n" +
+		`{"point":"p0","result":1}` + "\n" +
+		`not json at all` + "\n" +
+		`{"point":"p2","result":3}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, "c"); err == nil || !strings.Contains(err.Error(), "corrupt entry") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunResumesFromJournal: a second Run over the same journal restores
+// every point without executing any of them, and the values are identical.
+func TestRunResumesFromJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	points := []int{4, 5, 6}
+	var executions atomic.Int64
+	run := func(_ *Ctx, p int) (int, error) {
+		executions.Add(1)
+		return p * p, nil
+	}
+
+	j, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), Options{Shards: 2, Journal: j}, points, intKey, run)
+	j.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions.Load() != 3 {
+		t.Fatalf("first run executed %d points", executions.Load())
+	}
+
+	j2, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	second, err := Run(context.Background(), Options{Shards: 2, Journal: j2}, points, intKey, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions.Load() != 3 {
+		t.Fatalf("resume re-executed points: %d total executions", executions.Load())
+	}
+	st := Summarize(second)
+	if st.FromCheckpoint != 3 || st.Completed != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i := range second {
+		if second[i].Value != first[i].Value || !second[i].FromCheckpoint {
+			t.Errorf("point %d: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+}
+
+// TestRunPartialResume: a campaign cancelled partway resumes from the
+// journal and only runs the missing points.
+func TestRunPartialResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	points := []int{0, 1, 2, 3, 4}
+	run := func(_ *Ctx, p int) (int, error) { return p + 1000, nil }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	o := Options{Shards: 1, Journal: j, OnPointDone: func(string, bool) {
+		if done++; done == 2 {
+			cancel()
+		}
+	}}
+	if _, err := Run(ctx, o, points, intKey, run); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("journal holds %d points, want the 2 drained before cancel", j2.Len())
+	}
+	var executed atomic.Int64
+	resumed, err := Run(context.Background(), Options{Shards: 2, Journal: j2}, points, intKey,
+		func(c *Ctx, p int) (int, error) { executed.Add(1); return p + 1000, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 3 {
+		t.Fatalf("resume executed %d points, want 3", executed.Load())
+	}
+	for i, r := range resumed {
+		if !r.OK() || r.Value != i+1000 {
+			t.Errorf("point %d: %+v", i, r)
+		}
+	}
+	if !resumed[0].FromCheckpoint || resumed[4].FromCheckpoint {
+		t.Errorf("checkpoint attribution wrong: %+v / %+v", resumed[0], resumed[4])
+	}
+}
+
+// TestJournalFailedPointsNotRecorded: degraded points are never
+// checkpointed — a resume must retry them.
+func TestJournalFailedPointsNotRecorded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal")
+	j, err := OpenJournal(path, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(_ *Ctx, p int) (int, error) {
+		if p == 1 {
+			return 0, errors.New("flaky")
+		}
+		return p, nil
+	}
+	if _, err := Run(context.Background(), Options{Journal: j}, []int{0, 1, 2}, intKey, run); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal holds %d points, want 2 (failure must not checkpoint)", j.Len())
+	}
+	if _, ok := j.Lookup("001:p=1"); ok {
+		t.Error("degraded point was checkpointed")
+	}
+	j.Close()
+}
+
+// TestOpenJournalCreatesParentDirs: pointing -checkpoint into a directory
+// that does not exist yet must work — campaigns name fresh scratch dirs
+// all the time.
+func TestOpenJournalCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "deeper", "c.journal")
+	j, err := OpenJournal(path, "camp")
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Record("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, "camp")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j2.Len())
+	}
+}

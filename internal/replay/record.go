@@ -31,8 +31,15 @@ import (
 // -selftest, the replay tests, and the CI smoke all build their failing
 // runs with this.
 func RecordSeededViolation(dir string, seed int64, nops int) (string, error) {
+	return recordSeededViolation(dir, seed, nops, 1)
+}
+
+// recordSeededViolation is RecordSeededViolation with the socket count
+// exposed: the ShrinkSpec tests record on an oversized 2-socket machine —
+// the workload never leaves socket 0 — and shrink it back down.
+func recordSeededViolation(dir string, seed int64, nops int, sockets int) (string, error) {
 	cfg := machine.TestSystem(machine.COD)
-	cfg.Sockets = 1 // one 12-core socket = two COD nodes, directory + HitME on
+	cfg.Sockets = sockets // at 1: one 12-core socket = two COD nodes, directory + HitME on
 	plan := fault.Uniform(seed, 0.02)
 	cfg = plan.Configure(cfg)
 	m, err := machine.New(cfg)

@@ -3,6 +3,7 @@ package replay
 import (
 	"fmt"
 
+	"haswellep/internal/topology"
 	"haswellep/internal/trace"
 )
 
@@ -15,6 +16,9 @@ type ShrinkStats struct {
 	// PlanFieldsZeroed counts fault-plan probabilities ShrinkPlan
 	// eliminated (0 when only the event stream was shrunk).
 	PlanFieldsZeroed int
+	// SpecShrunk counts machine-geometry reductions ShrinkSpec applied
+	// (socket count and die variant count separately, so at most 2).
+	SpecShrunk int
 }
 
 // Shrink minimizes the bundle's event stream with ddmin (Zeller's
@@ -122,6 +126,67 @@ func ShrinkPlan(b *trace.Bundle) (*trace.Bundle, ShrinkStats, error) {
 	res, err := Run(&cur)
 	if err != nil || !res.Matched(*b.Finding) {
 		return nil, st, fmt.Errorf("replay: plan-shrunk bundle stopped reproducing (nondeterministic replay?): %v", err)
+	}
+	cur.Digest = res.Digest
+	return &cur, st, nil
+}
+
+// ShrinkSpec minimizes the machine geometry the bundle rebuilds: fewest
+// sockets first (ascending — the smallest machine that still reproduces
+// wins), then the smallest die variant by core count. Geometry changes move
+// every line's home interleave and slice hash and change the number of
+// snoop opportunities, so candidates strip the recorded injector sequence
+// numbers (like ShrinkPlan) and simply test whether the finding reappears;
+// candidates whose machine cannot be built or whose events go out of range
+// (a transaction on a removed core, an allocation on a removed node) are
+// rejected by the replay itself. Run after Shrink — fewer events mean
+// cheaper candidate replays AND fewer events pinning cores/nodes that only
+// the original geometry has. The returned bundle's digest is recomputed
+// from a final replay, so it Verifies on its own.
+func ShrinkSpec(b *trace.Bundle) (*trace.Bundle, ShrinkStats, error) {
+	st := ShrinkStats{FromEvents: len(b.Events), ToEvents: len(b.Events)}
+	if b.Finding == nil {
+		return nil, st, fmt.Errorf("replay: bundle has no finding to shrink against")
+	}
+	test := func(nb *trace.Bundle) bool {
+		st.Replays++
+		res, err := Run(nb)
+		return err == nil && res.Matched(*b.Finding)
+	}
+	cur := *b
+	if !test(&cur) {
+		return nil, st, fmt.Errorf("replay: bundle does not reproduce its finding; nothing to shrink")
+	}
+	for s := 1; s < cur.Spec.Sockets; s++ {
+		cand := cur
+		cand.Spec.Sockets = s
+		cand.Events = stripSeqs(cur.Events)
+		if test(&cand) {
+			cur = cand
+			st.SpecShrunk++
+			break
+		}
+	}
+	curCores := topology.DieVariant(cur.Spec.Die).Cores()
+	for _, d := range []topology.DieVariant{topology.Die8, topology.Die12, topology.Die18} {
+		if d.Cores() >= curCores {
+			break // variants are ordered by core count; nothing smaller left
+		}
+		cand := cur
+		cand.Spec.Die = int(d)
+		cand.Events = stripSeqs(cur.Events)
+		if test(&cand) {
+			cur = cand
+			st.SpecShrunk++
+			break
+		}
+	}
+	if st.SpecShrunk == 0 {
+		return &cur, st, nil // geometry already minimal for this finding
+	}
+	res, err := Run(&cur)
+	if err != nil || !res.Matched(*b.Finding) {
+		return nil, st, fmt.Errorf("replay: spec-shrunk bundle stopped reproducing (nondeterministic replay?): %v", err)
 	}
 	cur.Digest = res.Digest
 	return &cur, st, nil

@@ -1,0 +1,106 @@
+package replay
+
+import (
+	"testing"
+
+	"haswellep/internal/topology"
+	"haswellep/internal/trace"
+)
+
+// TestShrinkSpecRemovesIdleSocket: a violation recorded on a 2-socket
+// machine whose workload never leaves socket 0 shrinks to a 1-socket
+// geometry, and the spec-shrunk bundle verifies on its own.
+func TestShrinkSpecRemovesIdleSocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink pipeline in -short mode")
+	}
+	path, err := recordSeededViolation(t.TempDir(), 7, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Spec.Sockets != 2 {
+		t.Fatalf("recording spec: %+v", b.Spec)
+	}
+
+	// The real pipeline order: events first (cheaper candidates for the
+	// geometry pass), then geometry.
+	min, _, err := Shrink(b)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	min, st, err := ShrinkSpec(min)
+	if err != nil {
+		t.Fatalf("ShrinkSpec: %v", err)
+	}
+	if min.Spec.Sockets != 1 {
+		t.Errorf("sockets not shrunk: %+v", min.Spec)
+	}
+	// Die12 is already minimal here: COD needs two clusters, which Die8
+	// cannot form, so the die candidate is rejected by construction.
+	if topology.DieVariant(min.Spec.Die) != topology.Die12 {
+		t.Errorf("die variant changed unexpectedly: %+v", min.Spec)
+	}
+	if st.SpecShrunk != 1 {
+		t.Errorf("SpecShrunk = %d, want 1", st.SpecShrunk)
+	}
+	if st.Replays == 0 {
+		t.Error("no candidate replays counted")
+	}
+	if _, err := Verify(min); err != nil {
+		t.Errorf("spec-shrunk bundle does not verify: %v", err)
+	}
+}
+
+// TestShrinkSpecMinimalGeometryIsNoop: a 1-socket COD recording cannot
+// shrink (Die8 cannot form COD clusters); ShrinkSpec must return the bundle
+// unchanged rather than damage it.
+func TestShrinkSpecMinimalGeometryIsNoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink pipeline in -short mode")
+	}
+	path, err := RecordSeededViolation(t.TempDir(), 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, st, err := ShrinkSpec(b)
+	if err != nil {
+		t.Fatalf("ShrinkSpec: %v", err)
+	}
+	if st.SpecShrunk != 0 {
+		t.Errorf("SpecShrunk = %d on a minimal geometry", st.SpecShrunk)
+	}
+	if min.Spec != b.Spec {
+		t.Errorf("spec changed: %+v -> %+v", b.Spec, min.Spec)
+	}
+	if _, err := Verify(min); err != nil {
+		t.Errorf("untouched bundle stopped verifying: %v", err)
+	}
+}
+
+// TestShrinkSpecDemandsFinding: like the other shrinkers, ShrinkSpec
+// refuses vacuous predicates.
+func TestShrinkSpecDemandsFinding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink pipeline in -short mode")
+	}
+	path, err := RecordSeededViolation(t.TempDir(), 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Finding = nil
+	if _, _, err := ShrinkSpec(b); err == nil {
+		t.Error("finding-less bundle accepted")
+	}
+}

@@ -4,12 +4,14 @@
 // never goroutines. Scope is the package-tier taxonomy (see package tier):
 // every engine-tier package — resolved from its //hsw:tier directive or the
 // checked-in manifest — must not contain go statements, imports of sync or
-// sync/atomic, channel operations, or select statements. The legacy
+// sync/atomic, channel operations, or select statements. For packages the
+// taxonomy does not classify (fixtures, vendored examples), the legacy
 // doc-comment markers ("NOT safe for concurrent use", "single-threaded")
-// still opt a package in, so packages outside the manifest (fixtures,
-// vendored examples) can carry the contract too. Harness- and tool-tier
-// packages are exempt; the harness tier is covered by a -race CI job
-// instead.
+// still opt a package in, so they can carry the contract too. Harness- and
+// tool-tier packages are exempt — a classified tier is authoritative, even
+// when the doc happens to mention the marker phrases (the farm's doc
+// legitimately talks about its per-worker single-threaded engines) — and
+// the harness tier is covered by a -race CI job instead.
 //
 // Together with tiercheck's import rule (engine imports only engine), the
 // per-package check makes the property transitive: nothing reachable from
@@ -36,8 +38,8 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// markers are the legacy doc-comment phrases that opt a package into
-// enforcement independently of its tier.
+// markers are the legacy doc-comment phrases that opt an *unclassified*
+// package into enforcement; a resolved tier always wins over them.
 var markers = []string{
 	"NOT safe for concurrent use",
 	"single-threaded",
@@ -77,16 +79,21 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// inScope reports whether the package is enforced: engine tier, or the
-// legacy single-threaded doc markers.
+// inScope reports whether the package is enforced: engine tier, or — for
+// packages the taxonomy does not classify — the legacy single-threaded doc
+// markers. A package resolved to the harness or tool tier is exempt no
+// matter what its doc says: concurrency is its legal privilege there.
 func inScope(pass *analysis.Pass) bool {
 	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
 		// External test packages exercise engine packages from outside;
 		// their determinism is the differential suite's job.
 		return promisesSingleThreaded(pass.Files)
 	}
-	if tier.EffectiveOf(pass.Pkg.Path(), pass.Files) == tier.Engine {
+	switch tier.EffectiveOf(pass.Pkg.Path(), pass.Files) {
+	case tier.Engine:
 		return true
+	case tier.Harness, tier.Tool:
+		return false
 	}
 	return promisesSingleThreaded(pass.Files)
 }

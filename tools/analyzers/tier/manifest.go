@@ -39,10 +39,12 @@ var Manifest = map[string]Tier{
 	"haswellep/internal/units":        Engine,
 	"haswellep/internal/workload":     Engine,
 
-	// Harness tier: experiment orchestration and report rendering. These
-	// are the packages the sharded experiment farm will parallelize; they
-	// run under the dedicated -race CI job.
+	// Harness tier: experiment orchestration and report rendering. The farm
+	// is the sharded worker pool that parallelizes whole experiment points
+	// (one single-threaded engine per goroutine); all three run under the
+	// dedicated -race CI job.
 	"haswellep/internal/experiments": Harness,
+	"haswellep/internal/farm":        Harness,
 	"haswellep/internal/report":      Harness,
 
 	// Tool tier: command-line drivers and examples.
