@@ -17,6 +17,7 @@
 //
 //	hswchaos -seed 1 -rates 0,0.02,0.05,0.1
 //	hswchaos -quick -rates 0,0.05        # skip the slow Table V matrix
+//	hswchaos -protocol moesi ...         # sweep under MOESI instead of MESIF
 //	hswchaos -bundle-dir ./bundles ...   # write a repro bundle on failure
 //	hswchaos -shards 4 -checkpoint run.journal -retries 1 ...
 //	hswchaos -max-degraded 2 ...         # tolerate up to 2 degraded points
@@ -44,6 +45,7 @@ import (
 	"strings"
 	"syscall"
 
+	"haswellep/internal/coherence"
 	"haswellep/internal/experiments"
 	"haswellep/internal/fault"
 )
@@ -63,6 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hswchaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 1, "fault schedule seed")
+	protoFlag := fs.String("protocol", "mesif",
+		"coherence protocol the sweep runs under (mesif, mesi, moesi)")
 	ratesFlag := fs.String("rates", "0,0.02,0.05,0.1", "comma-separated fault rates in [0,1]")
 	quick := fs.Bool("quick", false, "skip the Table V memory-latency matrix (~5x faster)")
 	bundleDir := fs.String("bundle-dir", os.Getenv("HSW_BUNDLE_DIR"),
@@ -79,6 +83,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		"cancel the campaign after this many completed points (kill-and-resume testing; 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	proto, err := coherence.Get(coherence.ID(*protoFlag))
+	if err != nil {
+		return fail("%v", err)
 	}
 
 	var rates []float64
@@ -134,6 +143,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CheckpointPath: *checkpoint,
 		Tolerate:       *maxDegraded > 0,
 		InjectPanic:    inject,
+		Protocol:       proto.ID(),
 		OnPointDone: func(key string, failed bool) {
 			done++
 			if *cancelAfter > 0 && done >= *cancelAfter {

@@ -6,6 +6,7 @@
 //
 //	hswsweep -mode cod -state exclusive -placer 6 -core 0
 //	hswsweep -kind bandwidth -state modified -placer 12 -node 1
+//	hswsweep -protocol moesi -state shared ...
 //	hswsweep -shards 4 -checkpoint sweep.journal ...
 //
 // The placement puts every cache line of a growing buffer into the given
@@ -36,6 +37,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
 	"haswellep/internal/bwmodel"
+	"haswellep/internal/coherence"
 	"haswellep/internal/farm"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
@@ -53,6 +55,7 @@ func main() {
 // sweepConfig is everything that determines a point's measured numbers.
 type sweepConfig struct {
 	mode           machine.SnoopMode
+	proto          coherence.ID
 	kind, state    string
 	placer, second topology.CoreID
 	core           topology.CoreID
@@ -73,7 +76,9 @@ type rowRec struct {
 // the offset left by sizes 0..i-1; replaying that prefix keeps physical
 // addresses (and therefore slice hashing and home interleave) identical.
 func runPoint(c sweepConfig, i int) (rowRec, error) {
-	m, err := machine.New(machine.TestSystem(c.mode))
+	cfg := machine.TestSystem(c.mode)
+	cfg.Protocol = c.proto
+	m, err := machine.New(cfg)
 	if err != nil {
 		return rowRec{}, err
 	}
@@ -129,6 +134,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hswsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modeFlag := fs.String("mode", "source", "coherence mode: source, home, cod")
+	protoFlag := fs.String("protocol", "mesif", "coherence protocol: mesif, mesi, moesi")
 	kind := fs.String("kind", "latency", "measurement: latency or bandwidth")
 	state := fs.String("state", "exclusive", "placed state: modified, exclusive, shared, memory")
 	placer := fs.Int("placer", 0, "core that places the data")
@@ -157,6 +163,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	default:
 		return fail("unknown mode %q", *modeFlag)
 	}
+	if _, err := coherence.Get(coherence.ID(*protoFlag)); err != nil {
+		return fail("%v", err)
+	}
+	c.proto = coherence.ID(*protoFlag)
 	if *kind != "latency" && *kind != "bandwidth" {
 		return fail("unknown kind %q", *kind)
 	}
@@ -191,8 +201,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	var journal *farm.Journal
 	if *checkpoint != "" {
-		campaign := fmt.Sprintf("sweep/v1 mode=%s kind=%s state=%s placer=%d sharer=%d core=%d node=%d max=%d",
-			*modeFlag, c.kind, c.state, c.placer, c.second, c.core, c.node, *maxSize)
+		campaign := fmt.Sprintf("sweep/v2 mode=%s proto=%s kind=%s state=%s placer=%d sharer=%d core=%d node=%d max=%d",
+			*modeFlag, coherence.Normalize(c.proto), c.kind, c.state, c.placer, c.second, c.core, c.node, *maxSize)
 		j, err := farm.OpenJournal(*checkpoint, campaign)
 		if err != nil {
 			return fail("%v", err)

@@ -1,0 +1,186 @@
+// Package coherence defines the pluggable cache-coherence protocol
+// interface and registers the three supported protocols: MESIF (the
+// Haswell-EP protocol the paper characterizes), MESI (no forwarder —
+// every read of already-shared data refetches from the home), and MOESI
+// (dirty sharing via the Owned state — a modified line is downgraded to
+// Owned when it services a remote read, and memory is NOT updated).
+//
+// The engine (internal/mesif) hardcodes everything the protocols agree
+// on — the request/snoop/fill flows, the directory and HitME machinery,
+// the timing model — and consults the Protocol only at the points where
+// the three genuinely differ: who may source a cache-to-cache transfer,
+// what state the servicing copy downgrades to (and whether that
+// downgrade writes memory), and what state the recipient is granted.
+// The invariant checker uses the same answers to grade protocol-specific
+// properties (legal state set, single forwarder/owner) per protocol.
+//
+//hsw:tier engine
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"haswellep/internal/cache"
+)
+
+// ID names a registered protocol. The zero value means "default"
+// (MESIF), so configurations and serialized repro bundles from before
+// protocols were pluggable keep working unchanged.
+type ID string
+
+// The registered protocol IDs.
+const (
+	// MESIF is Haswell-EP's protocol: clean sharing with a single
+	// Forward copy that answers requests; dirty forwards write back to
+	// the receiving L3 (absorbed as Modified at the home) or memory.
+	MESIF ID = "mesif"
+	// MESI drops the Forward state: after one cache-to-cache transfer
+	// both copies are Shared and nobody forwards, so reads of shared
+	// data are serviced by the home node's memory.
+	MESI ID = "mesi"
+	// MOESI adds the Owned state: a Modified copy that services a
+	// remote read stays dirty as Owned and keeps answering requests;
+	// memory is not updated until the Owned copy is evicted.
+	MOESI ID = "moesi"
+)
+
+// Normalize maps the zero ID to the default protocol (MESIF).
+func Normalize(id ID) ID {
+	if id == "" {
+		return MESIF
+	}
+	return id
+}
+
+// Protocol answers the questions on which MESIF, MESI, and MOESI differ.
+// Implementations must be stateless: the same Protocol value is shared by
+// the engine, the invariant checker, and every conformance rig.
+type Protocol interface {
+	// ID returns the protocol's registered identifier.
+	ID() ID
+
+	// CanForward reports whether an L3 copy in state st answers read
+	// requests with a cache-to-cache transfer.
+	CanForward(st cache.State) bool
+
+	// HasForward reports whether the protocol mints the Forward state:
+	// a clean shared copy designated to keep forwarding. When false,
+	// clean cache-to-cache grants and shared-hit reclaims degrade to
+	// plain Shared.
+	HasForward() bool
+
+	// HasOwned reports whether the protocol mints the Owned state:
+	// dirty copies survive servicing a remote read without a memory
+	// update. When false, a dirty copy that forwards is cleaned
+	// (written back) and demoted to Shared.
+	HasOwned() bool
+
+	// DowngradeOnForward returns the state a peer L3 copy in state st
+	// transitions to after servicing a remote read, and whether its
+	// data must be written back to memory as part of the transfer.
+	DowngradeOnForward(st cache.State) (next cache.State, writeback bool)
+
+	// RecipientState returns the state granted to the requesting L3 by
+	// a cache-to-cache transfer (Forward under MESIF, Shared otherwise).
+	RecipientState() cache.State
+
+	// LegalL3 reports whether an L3 copy may hold state st under this
+	// protocol. Cores are restricted to I/S/E/M under every protocol —
+	// Forward and Owned live at the L3/caching-agent level only.
+	LegalL3(st cache.State) bool
+}
+
+// proto is the shared implementation: the three protocols differ only in
+// whether they mint Forward and/or Owned.
+type proto struct {
+	id         ID
+	hasForward bool
+	hasOwned   bool
+}
+
+func (p proto) ID() ID           { return p.id }
+func (p proto) HasForward() bool { return p.hasForward }
+func (p proto) HasOwned() bool   { return p.hasOwned }
+
+func (p proto) CanForward(st cache.State) bool {
+	switch st {
+	case cache.Modified, cache.Exclusive:
+		return true
+	case cache.Forward:
+		return p.hasForward
+	case cache.Owned:
+		return p.hasOwned
+	default:
+		return false
+	}
+}
+
+func (p proto) DowngradeOnForward(st cache.State) (cache.State, bool) {
+	if st.Dirty() {
+		if p.hasOwned {
+			return cache.Owned, false
+		}
+		return cache.Shared, true
+	}
+	return cache.Shared, false
+}
+
+func (p proto) RecipientState() cache.State {
+	if p.hasForward {
+		return cache.Forward
+	}
+	return cache.Shared
+}
+
+func (p proto) LegalL3(st cache.State) bool {
+	switch st {
+	case cache.Invalid, cache.Shared, cache.Exclusive, cache.Modified:
+		return true
+	case cache.Forward:
+		return p.hasForward
+	case cache.Owned:
+		return p.hasOwned
+	default:
+		return false
+	}
+}
+
+// registry holds the registered protocols. It is written only during
+// package initialization; all later access is read-only, which keeps the
+// engine tier's single-threaded contract intact.
+var registry = map[ID]Protocol{
+	MESIF: proto{id: MESIF, hasForward: true},
+	MESI:  proto{id: MESI},
+	MOESI: proto{id: MOESI, hasOwned: true},
+}
+
+// Get returns the protocol registered under id (after Normalize), or an
+// error naming the valid choices.
+func Get(id ID) (Protocol, error) {
+	p, ok := registry[Normalize(id)]
+	if !ok {
+		return nil, fmt.Errorf("coherence: unknown protocol %q (choose one of %v)", id, IDs())
+	}
+	return p, nil
+}
+
+// MustGet is Get for statically known IDs; it panics on an unknown one.
+func MustGet(id ID) Protocol {
+	p, err := Get(id)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// IDs lists the registered protocol IDs in sorted order.
+func IDs() []ID {
+	out := make([]ID, 0, len(registry))
+	//hsw:unordered collected into a slice and sorted below
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

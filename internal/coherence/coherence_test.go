@@ -1,0 +1,115 @@
+package coherence
+
+import (
+	"testing"
+
+	"haswellep/internal/cache"
+)
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []ID{MESI, MESIF, MOESI}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		p, err := Get(id)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", id, err)
+		}
+		if p.ID() != id {
+			t.Errorf("Get(%q).ID() = %q", id, p.ID())
+		}
+	}
+	if _, err := Get("dragon"); err == nil {
+		t.Error("Get of an unregistered protocol did not fail")
+	}
+	if p := MustGet(""); p.ID() != MESIF {
+		t.Errorf("zero ID resolved to %q, want mesif", p.ID())
+	}
+	if Normalize("") != MESIF || Normalize(MOESI) != MOESI {
+		t.Error("Normalize mismapped")
+	}
+}
+
+// TestProtocolTables pins each protocol's answers state by state: these
+// are the exact rules the engine and the invariant checker consult, so a
+// change here is a protocol-semantics change.
+func TestProtocolTables(t *testing.T) {
+	type row struct {
+		st        cache.State
+		canFwd    bool
+		legalL3   bool
+		downTo    cache.State
+		writeback bool
+	}
+	cases := []struct {
+		id         ID
+		hasForward bool
+		hasOwned   bool
+		recipient  cache.State
+		rows       []row
+	}{
+		{
+			id: MESIF, hasForward: true, recipient: cache.Forward,
+			rows: []row{
+				{cache.Invalid, false, true, cache.Shared, false},
+				{cache.Shared, false, true, cache.Shared, false},
+				{cache.Exclusive, true, true, cache.Shared, false},
+				{cache.Modified, true, true, cache.Shared, true},
+				{cache.Forward, true, true, cache.Shared, false},
+				{cache.Owned, false, false, cache.Shared, true},
+			},
+		},
+		{
+			id: MESI, recipient: cache.Shared,
+			rows: []row{
+				{cache.Invalid, false, true, cache.Shared, false},
+				{cache.Shared, false, true, cache.Shared, false},
+				{cache.Exclusive, true, true, cache.Shared, false},
+				{cache.Modified, true, true, cache.Shared, true},
+				{cache.Forward, false, false, cache.Shared, false},
+				{cache.Owned, false, false, cache.Shared, true},
+			},
+		},
+		{
+			id: MOESI, hasOwned: true, recipient: cache.Shared,
+			rows: []row{
+				{cache.Invalid, false, true, cache.Shared, false},
+				{cache.Shared, false, true, cache.Shared, false},
+				{cache.Exclusive, true, true, cache.Shared, false},
+				{cache.Modified, true, true, cache.Owned, false},
+				{cache.Forward, false, false, cache.Shared, false},
+				{cache.Owned, true, true, cache.Owned, false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		p := MustGet(tc.id)
+		if p.HasForward() != tc.hasForward || p.HasOwned() != tc.hasOwned {
+			t.Errorf("%s: HasForward=%v HasOwned=%v, want %v/%v",
+				tc.id, p.HasForward(), p.HasOwned(), tc.hasForward, tc.hasOwned)
+		}
+		if got := p.RecipientState(); got != tc.recipient {
+			t.Errorf("%s: RecipientState=%v, want %v", tc.id, got, tc.recipient)
+		}
+		for _, r := range tc.rows {
+			if got := p.CanForward(r.st); got != r.canFwd {
+				t.Errorf("%s: CanForward(%v)=%v, want %v", tc.id, r.st, got, r.canFwd)
+			}
+			if got := p.LegalL3(r.st); got != r.legalL3 {
+				t.Errorf("%s: LegalL3(%v)=%v, want %v", tc.id, r.st, got, r.legalL3)
+			}
+			next, wb := p.DowngradeOnForward(r.st)
+			if next != r.downTo || wb != r.writeback {
+				t.Errorf("%s: DowngradeOnForward(%v)=(%v,%v), want (%v,%v)",
+					tc.id, r.st, next, wb, r.downTo, r.writeback)
+			}
+		}
+	}
+}

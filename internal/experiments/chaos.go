@@ -10,6 +10,7 @@ import (
 
 	"haswellep/internal/bench"
 	"haswellep/internal/bwmodel"
+	"haswellep/internal/coherence"
 	"haswellep/internal/farm"
 	"haswellep/internal/fault"
 	"haswellep/internal/invariant"
@@ -207,6 +208,11 @@ type ChaosOptions struct {
 	// OnPointDone, when non-nil, is invoked after each executed point
 	// (see farm.Options.OnPointDone).
 	OnPointDone func(key string, failed bool)
+	// Protocol selects the coherence protocol every point's engine runs;
+	// the zero value is MESIF. Part of the campaign identity: a
+	// checkpoint journal recorded under one protocol refuses to resume a
+	// sweep under another.
+	Protocol coherence.ID
 }
 
 // ChaosSweepOpts is the fully optioned chaos sweep.
@@ -222,8 +228,8 @@ func chaosCampaignKey(seed int64, rates []float64, o ChaosOptions) string {
 	for i, r := range rates {
 		rs[i] = strconv.FormatFloat(r, 'g', -1, 64)
 	}
-	return fmt.Sprintf("chaos/v1 mode=%v seed=%d t5=%v rates=%s",
-		machine.COD, seed, o.IncludeT5, strings.Join(rs, ","))
+	return fmt.Sprintf("chaos/v2 mode=%v proto=%s seed=%d t5=%v rates=%s",
+		machine.COD, coherence.Normalize(o.Protocol), seed, o.IncludeT5, strings.Join(rs, ","))
 }
 
 // ChaosSweepCtx is ChaosSweepOpts under a context: cancelling it (e.g. on
@@ -231,8 +237,11 @@ func chaosCampaignKey(seed int64, rates []float64, o ChaosOptions) string {
 // journal, and returns the partial result with a wrapped context error.
 func ChaosSweepCtx(ctx context.Context, seed int64, rates []float64, o ChaosOptions) (ChaosResult, error) {
 	res := ChaosResult{Seed: seed}
-	res.Table = report.NewTable(
-		fmt.Sprintf("Chaos sweep (seed %d): Table IV/V under fault injection", seed),
+	title := fmt.Sprintf("Chaos sweep (seed %d): Table IV/V under fault injection", seed)
+	if id := coherence.Normalize(o.Protocol); id != coherence.MESIF {
+		title = fmt.Sprintf("Chaos sweep (seed %d, %s): Table IV/V under fault injection", seed, id)
+	}
+	res.Table = report.NewTable(title,
 		"rate", "T4 mean ns", "T5 mean ns", "faults", "retries", "dir repairs",
 		"wasted snoops", "penalty ns", "remote read GB/s", "stale")
 
@@ -342,7 +351,7 @@ func sanitizeKey(key string) string {
 // bundle.
 func chaosPointRun(seed int64, rate float64, o ChaosOptions, fc *farm.Ctx, injectPanic bool) (chaosPointRec, error) {
 	plan := ChaosPlanAt(seed, rate)
-	env, err := NewEnvWithFaults(machine.COD, plan)
+	env, err := NewEnvWithFaultsProto(machine.COD, plan, o.Protocol)
 	if err != nil {
 		return chaosPointRec{}, err
 	}

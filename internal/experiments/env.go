@@ -15,6 +15,7 @@ import (
 	"haswellep/internal/addr"
 	"haswellep/internal/bench"
 	"haswellep/internal/bwmodel"
+	"haswellep/internal/coherence"
 	"haswellep/internal/fault"
 	"haswellep/internal/invariant"
 	"haswellep/internal/machine"
@@ -54,9 +55,18 @@ type Env struct {
 	lastAlloc addr.Region
 }
 
-// NewEnv builds a fresh test-system machine in the given mode.
+// NewEnv builds a fresh test-system machine in the given mode, running the
+// default MESIF protocol.
 func NewEnv(mode machine.SnoopMode) *Env {
-	m := machine.MustNew(machine.TestSystem(mode))
+	return NewEnvProto(mode, coherence.MESIF)
+}
+
+// NewEnvProto builds a fresh test-system machine in the given mode running
+// the given coherence protocol.
+func NewEnvProto(mode machine.SnoopMode, proto coherence.ID) *Env {
+	cfg := machine.TestSystem(mode)
+	cfg.Protocol = proto
+	m := machine.MustNew(cfg)
 	return newEnv(mode, m, mesif.New(m))
 }
 
@@ -66,7 +76,15 @@ func NewEnv(mode machine.SnoopMode) *Env {
 // injector is NOT reset by Fresh, so one env executes one deterministic
 // fault schedule across all its measurements.
 func NewEnvWithFaults(mode machine.SnoopMode, plan fault.Plan) (*Env, error) {
-	m, err := machine.New(plan.Configure(machine.TestSystem(mode)))
+	return NewEnvWithFaultsProto(mode, plan, coherence.MESIF)
+}
+
+// NewEnvWithFaultsProto is NewEnvWithFaults under an explicit coherence
+// protocol.
+func NewEnvWithFaultsProto(mode machine.SnoopMode, plan fault.Plan, proto coherence.ID) (*Env, error) {
+	cfg := machine.TestSystem(mode)
+	cfg.Protocol = proto
+	m, err := machine.New(plan.Configure(cfg))
 	if err != nil {
 		return nil, err
 	}

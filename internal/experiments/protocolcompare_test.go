@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+
+	"haswellep/internal/coherence"
+)
+
+// TestProtocolCompare runs the full comparison and asserts the matrix
+// actually distinguishes the protocols in the directions the paper's
+// Section IV semantics require — and that it is deterministic.
+func TestProtocolCompare(t *testing.T) {
+	res, err := ProtocolCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[coherence.ID]ProtocolMetrics{}
+	for _, pm := range res.Metrics {
+		byID[pm.Protocol] = pm
+	}
+	mesif, mesi, moesi := byID[coherence.MESIF], byID[coherence.MESI], byID[coherence.MOESI]
+	if mesif.Protocol == "" || mesi.Protocol == "" || moesi.Protocol == "" {
+		t.Fatalf("comparison missing a registered protocol: %+v", res.Metrics)
+	}
+
+	// Patterns the protocols agree on: plain memory reads involve no
+	// forwarding decision at all.
+	for _, other := range []ProtocolMetrics{mesi, moesi} {
+		if other.LocalMemNs != mesif.LocalMemNs || other.RemoteMemNs != mesif.RemoteMemNs {
+			t.Errorf("%s memory latencies (%.1f, %.1f) differ from MESIF (%.1f, %.1f)",
+				other.Protocol, other.LocalMemNs, other.RemoteMemNs,
+				mesif.LocalMemNs, mesif.RemoteMemNs)
+		}
+	}
+
+	// The forwarder's reason to exist: MESIF serves the third node's read
+	// of a clean-shared line from a peer L3; MESI and MOESI go back to
+	// home DRAM and must be strictly slower.
+	if mesif.SharedReadNs >= mesi.SharedReadNs {
+		t.Errorf("MESIF clean-shared read (%.1f ns) not faster than MESI's home refetch (%.1f ns)",
+			mesif.SharedReadNs, mesi.SharedReadNs)
+	}
+	if mesi.SharedReadNs != moesi.SharedReadNs {
+		t.Errorf("MESI and MOESI clean-shared reads differ (%.1f vs %.1f ns); neither has a clean forwarder",
+			mesi.SharedReadNs, moesi.SharedReadNs)
+	}
+
+	// The Owned state's reason to exist: the dirty forward costs MESIF and
+	// MESI a DRAM write-back; MOESI pays nothing until the flush, which
+	// must then write home exactly once.
+	if mesif.DirtyForwardWrites != 1 || mesi.DirtyForwardWrites != 1 {
+		t.Errorf("MESIF/MESI dirty forward write-backs = %d/%d, want 1/1",
+			mesif.DirtyForwardWrites, mesi.DirtyForwardWrites)
+	}
+	if moesi.DirtyForwardWrites != 0 || moesi.FlushWrites != 1 {
+		t.Errorf("MOESI (forward, flush) write-backs = (%d, %d), want (0, 1)",
+			moesi.DirtyForwardWrites, moesi.FlushWrites)
+	}
+
+	// Sharing-workload traffic: MESI refetches what MESIF forwards, so it
+	// reads DRAM strictly more; MOESI never writes dirty lines back during
+	// the workload, so it writes DRAM strictly less than either.
+	if mesi.DRAMReads <= mesif.DRAMReads {
+		t.Errorf("MESI workload DRAM reads (%d) not above MESIF (%d)", mesi.DRAMReads, mesif.DRAMReads)
+	}
+	if moesi.DRAMWrites >= mesif.DRAMWrites || moesi.DRAMWrites >= mesi.DRAMWrites {
+		t.Errorf("MOESI workload DRAM writes (%d) not below MESIF (%d) and MESI (%d)",
+			moesi.DRAMWrites, mesif.DRAMWrites, mesi.DRAMWrites)
+	}
+
+	// The identical access stream must issue snoops under every protocol.
+	for _, pm := range res.Metrics {
+		if pm.SnoopsSent == 0 {
+			t.Errorf("%s workload sent no snoops", pm.Protocol)
+		}
+	}
+
+	// Determinism: a second run reproduces every number bit-for-bit.
+	again, err := ProtocolCompare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Metrics {
+		if res.Metrics[i] != again.Metrics[i] {
+			t.Errorf("run 2 diverged for %s:\n  run1 %+v\n  run2 %+v",
+				res.Metrics[i].Protocol, res.Metrics[i], again.Metrics[i])
+		}
+	}
+
+	// The rendered tables carry one row per metric and one column per
+	// protocol.
+	if got, want := len(res.Latency.Headers), 1+len(res.Metrics); got != want {
+		t.Errorf("latency table has %d columns, want %d", got, want)
+	}
+	if len(res.Latency.Rows) != 4 || len(res.Traffic.Rows) != 6 {
+		t.Errorf("table shape = (%d, %d) rows, want (4, 6)",
+			len(res.Latency.Rows), len(res.Traffic.Rows))
+	}
+}

@@ -1,0 +1,125 @@
+package invariant
+
+// Corpus-bundle generator for the fuzz seeds under testdata/: one
+// minimized, violation-free repro bundle per registered protocol, each
+// recorded on the COD fuzz rig of its protocol and exercising the
+// protocol's distinguishing transition (a dirty cross-node forward, which
+// mints F under MESIF, plain S under MESI, and O under MOESI). The fuzz
+// targets map the bundles back into their byte alphabet (seedFromBundles),
+// so every protocol's characteristic path steers both fuzzers from the
+// first input on.
+//
+// Regenerate with:
+//
+//	HSW_WRITE_GOLDEN=1 go test ./internal/invariant -run TestWriteProtocolCorpus
+//
+// TestProtocolCorpusBundles validates the committed bundles on every run:
+// they must load, match their rig's machine spec, and re-execute
+// violation-free.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/coherence"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/trace"
+)
+
+// corpusPath names a protocol's committed corpus bundle.
+func corpusPath(id coherence.ID) string {
+	return filepath.Join("testdata", fmt.Sprintf("corpus-%s.json", id))
+}
+
+// corpusRun replays the canonical corpus access pattern on the engine: a
+// remote write, the home node reading the dirty line back (the
+// protocol-splitting transition), a re-read from the remote node, a write
+// migration, and a teardown flush.
+func corpusRun(e *mesif.Engine, cores []topology.CoreID, lines []addr.LineAddr) {
+	c0, c1 := cores[0], cores[2] // first core of each COD node
+	e.Write(c1, lines[0])
+	e.Read(c0, lines[0])
+	e.Read(c1, lines[0])
+	e.Write(c0, lines[1])
+	e.Read(c1, lines[1])
+	e.Flush(c0, lines[0])
+	e.Flush(c0, lines[1])
+}
+
+// TestWriteProtocolCorpus regenerates the per-protocol corpus bundles.
+// Gated on HSW_WRITE_GOLDEN=1 so a normal test run never rewrites
+// testdata.
+func TestWriteProtocolCorpus(t *testing.T) {
+	if os.Getenv("HSW_WRITE_GOLDEN") != "1" {
+		t.Skip("set HSW_WRITE_GOLDEN=1 to regenerate the protocol corpus bundles")
+	}
+	for _, id := range coherence.IDs() {
+		sys := sweepSystemsProto(id)[2] // the COD rig
+		m := machine.MustNew(sys.cfg)
+		e := mesif.New(m)
+		tr := trace.Attach(e, trace.Options{})
+		lines := []addr.LineAddr{
+			m.MustAlloc(0, 64).Lines()[0],
+			m.MustAlloc(1, 64).Lines()[0],
+		}
+		corpusRun(e, sys.cores, lines)
+		b := tr.Bundle(nil)
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%s: generated bundle invalid: %v", id, err)
+		}
+		if err := trace.WriteFile(corpusPath(id), b); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Logf("wrote %s (%d events)", corpusPath(id), len(b.Events))
+	}
+}
+
+// TestProtocolCorpusBundles checks the committed corpus: every registered
+// protocol has a bundle, each declares exactly its rig's machine spec
+// (seedFromBundles matches on that), and re-executing its event stream on
+// a fresh rig machine stays violation-free — corpus seeds must be healthy
+// inputs, not saboteurs.
+func TestProtocolCorpusBundles(t *testing.T) {
+	for _, id := range coherence.IDs() {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			b, err := trace.ReadFile(corpusPath(id))
+			if err != nil {
+				t.Fatalf("missing or invalid corpus bundle: %v", err)
+			}
+			sys := sweepSystemsProto(id)[2]
+			if got, want := b.Spec, trace.SpecOf(sys.cfg); got != want {
+				t.Fatalf("bundle spec %+v does not match the %s COD rig %+v", got, id, want)
+			}
+			if b.Ops() == 0 {
+				t.Fatalf("corpus bundle has no transactions")
+			}
+			m := machine.MustNew(b.Spec.Config())
+			e := mesif.New(m)
+			checker := NewChecker(m)
+			var lines []addr.LineAddr
+			for i, ev := range b.Events {
+				switch ev.Kind {
+				case trace.EvAlloc:
+					r, err := m.AllocOnNode(ev.Node, ev.Size)
+					if err != nil {
+						t.Fatalf("event %d: %v", i, err)
+					}
+					lines = append(lines, r.Lines()...)
+				case trace.EvOp:
+					if _, err := e.Do(ev.Op, ev.Core, ev.Line); err != nil {
+						t.Fatalf("event %d: %v", i, err)
+					}
+					if hard := Hard(checker.CheckLines(lines)); len(hard) != 0 {
+						t.Fatalf("event %d: corpus bundle produced a violation: %v", i, hard)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,15 +1,23 @@
-// Package invariant is a machine-wide MESIF state validator: it inspects
-// every cache, directory and presence vector of a simulated machine and
-// reports states the Haswell-EP coherence protocol can never legally reach.
+// Package invariant is a machine-wide coherence-state validator: it
+// inspects every cache, directory and presence vector of a simulated
+// machine and reports states its coherence protocol can never legally
+// reach. Universal properties (SWMR, inclusivity, directory coverage) are
+// graded identically for every protocol; protocol-specific ones (which L3
+// states may exist, which states forward) are asked of the machine's
+// coherence.Protocol, so the same checker grades MESIF, MESI, and MOESI.
 //
 // The checked invariants, with the paper sections they encode:
 //
 //   - Single-writer/multiple-reader (Section IV-A): at most one core
 //     system-wide holds a line in a unique state (M or E), and while one
 //     does, no other core and no other node's L3 holds any copy.
+//   - Legal state set (KindProtocol): an L3 never holds a state its
+//     protocol does not mint — no F under MESI/MOESI, no O under
+//     MESIF/MESI.
 //   - Forwarder uniqueness (Section IV-B): at most one node's L3 holds a
-//     line in a forwardable state (M, E, or F), and a unique L3 state
-//     (M or E) is system-exclusive across nodes.
+//     line in a forwardable state (the protocol's CanForward set — M, E,
+//     and F under MESIF; M and E under MESI; M, E, and O under MOESI),
+//     and a unique L3 state (M or E) is system-exclusive across nodes.
 //   - L3 inclusivity with core-valid bits (Section IV-A / VI-A): a private
 //     copy implies an entry in the node's inclusive L3 with the core's
 //     valid bit set, placed in the slice the address hash selects. A set
@@ -17,13 +25,16 @@
 //     evictions leave stale bits behind (the paper's 44.4 ns case); it is
 //     reported as Stale.
 //   - Private-cache sanity: L1D and L2 agree on the state when both hold a
-//     line, and cores never hold F (the engine grants S/E/M only).
+//     line, and cores never hold F or O (the engine grants S/E/M only,
+//     under every protocol).
 //   - Dirty-line/DRAM consistency (Section IV-A): a shared-like L3 state
 //     (S or F) asserts the memory copy is valid, so no core of the node
-//     may hold the line dirty or exclusive underneath it.
+//     may hold the line dirty or exclusive underneath it. MOESI's O is
+//     shared but dirty: its node's cores must likewise hold no unique
+//     copy, though memory is allowed to be stale.
 //   - In-memory directory (Section IV-C / Table V): the two-bit state must
-//     not under-approximate reality (remote unique copy => snoop-all,
-//     remote clean copy => at least shared). Over-approximation is the
+//     not under-approximate reality (remote unique OR dirty copy =>
+//     snoop-all, remote clean copy => at least shared). Over-approximation is the
 //     documented silent-eviction staleness and is reported as Stale —
 //     unless a valid HitME entry pins snoop-all by design (AllocateShared),
 //     which is not reported at all.
@@ -130,6 +141,10 @@ const (
 	// injector penalty accumulated during a transaction but not drained
 	// into its latency (only reported by Attach, which sees the engine).
 	KindRecovery
+	// KindProtocol: an L3 state the machine's coherence protocol never
+	// mints — Forward under MESI/MOESI, Owned under MESIF/MESI. Appended
+	// after KindRecovery so serialized finding kinds keep their meaning.
+	KindProtocol
 )
 
 // String names the kind.
@@ -157,6 +172,8 @@ func (k Kind) String() string {
 		return "hitme"
 	case KindRecovery:
 		return "recovery"
+	case KindProtocol:
+		return "protocol"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -394,9 +411,9 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		if !st.Valid() {
 			st = s2
 		}
-		if st == cache.Forward {
+		if st == cache.Forward || st == cache.Owned {
 			c.add(ClassViolation, KindPrivateState, l,
-				"core %d holds the line in state F; the engine grants only S/E/M to private caches", i)
+				"core %d holds the line in state %v; the engine grants only S/E/M to private caches", i, st)
 		}
 		coreSt[i] = st
 	}
@@ -459,14 +476,22 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		}
 	}
 
-	// Forwarder uniqueness across L3s, and system-exclusivity of unique
-	// L3 states.
+	// Legal state set, forwarder uniqueness across L3s, and
+	// system-exclusivity of unique L3 states. Which states may exist and
+	// which ones forward is the active protocol's call: no F is ever
+	// minted under MESI/MOESI, no O outside MOESI, and MOESI's single
+	// Owned copy is graded exactly like MESIF's single Forward copy.
+	proto := m.Proto
 	fwdNode, uniqNode := -1, -1
 	for n := 0; n < nNodes; n++ {
 		if !l3ok[n] {
 			continue
 		}
-		if l3[n].State.CanForward() {
+		if !proto.LegalL3(l3[n].State) {
+			c.add(ClassViolation, KindProtocol, l,
+				"node %d's L3 holds the line in state %v, which the %s protocol never mints", n, l3[n].State, proto.ID())
+		}
+		if proto.CanForward(l3[n].State) {
 			if fwdNode >= 0 {
 				c.add(ClassViolation, KindForwarder, l,
 					"nodes %d (%v) and %d (%v) both hold a forwardable L3 copy", fwdNode, l3[fwdNode].State, n, l3[n].State)
@@ -551,6 +576,21 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		}
 	}
 
+	// MOESI residue: an Owned L3 copy is shared with other nodes, so its
+	// own cores must not hold the line in a unique state — a core write
+	// would have had to invalidate the other sharers and retake M.
+	for n := 0; n < nNodes; n++ {
+		if !l3ok[n] || l3[n].State != cache.Owned {
+			continue
+		}
+		for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
+			if coreSt[core].Unique() {
+				c.add(ClassViolation, KindL3State, l,
+					"node %d's L3 holds the line O (shared dirty) while its core %d holds it %v", n, core, coreSt[core])
+			}
+		}
+	}
+
 	// Directory invariants need a valid home.
 	home, ok := m.HomeNodeOf(l)
 	if !ok {
@@ -569,7 +609,10 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		if topology.NodeID(n) == home || !l3ok[n] {
 			continue
 		}
-		if l3[n].State.Unique() {
+		// A remote dirty copy (M, or MOESI's O) means memory is stale and
+		// every access must snoop; Dirty ⊆ Unique under MESIF/MESI, so
+		// this is the same set there.
+		if l3[n].State.Unique() || l3[n].State.Dirty() {
 			remoteUnique = true
 		} else {
 			remoteClean = true
@@ -641,7 +684,7 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		if topology.NodeID(owner) == home {
 			c.add(ClassViolation, KindHitME, l,
 				"owned HitME entry names the home node %d; only remote owners are tracked", owner)
-		} else if owner < nNodes && !(l3ok[owner] && l3[owner].State.CanForward()) {
+		} else if owner < nNodes && !(l3ok[owner] && proto.CanForward(l3[owner].State)) {
 			c.add(ClassStale, KindHitME, l,
 				"owned HitME entry names node %d, which no longer holds a forwardable copy (dropped on next touch)", owner)
 		}

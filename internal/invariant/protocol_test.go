@@ -1,0 +1,172 @@
+package invariant
+
+// Regression tests for the protocol-generalized checker sites: every check
+// that used to hard-code a MESIF state literal now consults the machine's
+// coherence.Protocol, and each rerouted site gets a directed test here —
+// states legal under one protocol must be flagged under the others, and
+// MOESI's Owned state must be graded exactly as strictly as MESIF's
+// Forward.
+
+import (
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/cache"
+	"haswellep/internal/coherence"
+	"haswellep/internal/directory"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+)
+
+// buildProto assembles the paper's test system running the given protocol.
+func buildProto(t *testing.T, mode machine.SnoopMode, id coherence.ID) *machine.Machine {
+	t.Helper()
+	cfg := machine.TestSystem(mode)
+	cfg.Protocol = id
+	return machine.MustNew(cfg)
+}
+
+// plantL3 inserts a bare L3 entry (no core-valid bits) for the line at the
+// node, in the slice the address hash selects.
+func plantL3(m *machine.Machine, node topology.NodeID, l addr.LineAddr, st cache.State) {
+	m.Slice(m.CAForNode(node, l)).Insert(cache.Line{Addr: l, State: st})
+}
+
+// TestProtocolLegalStateSet: rerouted site 1 — the legal-state check. An F
+// copy is a violation under MESI/MOESI, an O copy under MESIF/MESI; each
+// state is clean under its own protocol.
+func TestProtocolLegalStateSet(t *testing.T) {
+	cases := []struct {
+		name  string
+		id    coherence.ID
+		st    cache.State
+		legal bool
+	}{
+		{"mesif/F", coherence.MESIF, cache.Forward, true},
+		{"mesif/O", coherence.MESIF, cache.Owned, false},
+		{"mesi/F", coherence.MESI, cache.Forward, false},
+		{"mesi/O", coherence.MESI, cache.Owned, false},
+		{"moesi/F", coherence.MOESI, cache.Forward, false},
+		{"moesi/O", coherence.MOESI, cache.Owned, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := buildProto(t, machine.SourceSnoop, tc.id)
+			l := m.MustAlloc(0, 64).Lines()[0]
+			plantL3(m, 1, l, tc.st)
+
+			found := hardOfKind(Check(m), KindProtocol)
+			if tc.legal && len(found) != 0 {
+				t.Fatalf("state %v wrongly flagged under %s: %v", tc.st, tc.id, found)
+			}
+			if !tc.legal && len(found) == 0 {
+				t.Fatalf("state %v not flagged as illegal under %s", tc.st, tc.id)
+			}
+		})
+	}
+}
+
+// TestProtocolCoresNeverHoldO: rerouted site 2 — the private-state check
+// flags O in a core cache just like F, under every protocol (cores are
+// granted S/E/M only; O lives at the L3 level).
+func TestProtocolCoresNeverHoldO(t *testing.T) {
+	for _, id := range coherence.IDs() {
+		t.Run(string(id), func(t *testing.T) {
+			m := buildProto(t, machine.SourceSnoop, id)
+			l := m.MustAlloc(0, 64).Lines()[0]
+			bit := m.Topo.LocalCore(0)
+			m.Core(0).L1D.Insert(cache.Line{Addr: l, State: cache.Owned})
+			m.Core(0).L2.Insert(cache.Line{Addr: l, State: cache.Owned})
+			m.Slice(m.CAForNode(0, l)).Insert(cache.Line{Addr: l, State: cache.Owned, CoreValid: 1 << uint(bit)})
+
+			if len(hardOfKind(Check(m), KindPrivateState)) == 0 {
+				t.Fatalf("core-held O not flagged under %s", id)
+			}
+		})
+	}
+}
+
+// TestProtocolForwarderUniquenessCoversOwned: rerouted site 3 — forwarder
+// uniqueness goes through Protocol.CanForward, so two Owned L3 copies under
+// MOESI collide exactly as two Forward copies do under MESIF, while a
+// single Owned copy next to plain Shared peers is clean.
+func TestProtocolForwarderUniquenessCoversOwned(t *testing.T) {
+	m := buildProto(t, machine.SourceSnoop, coherence.MOESI)
+	l := m.MustAlloc(0, 64).Lines()[0]
+	plantL3(m, 0, l, cache.Shared)
+	plantL3(m, 1, l, cache.Owned)
+
+	if hard := Hard(Check(m)); len(hard) != 0 {
+		t.Fatalf("single O + S sharer wrongly flagged under moesi: %v", hard)
+	}
+
+	m2 := buildProto(t, machine.SourceSnoop, coherence.MOESI)
+	l2 := m2.MustAlloc(0, 64).Lines()[0]
+	plantL3(m2, 0, l2, cache.Owned)
+	plantL3(m2, 1, l2, cache.Owned)
+
+	if len(hardOfKind(Check(m2), KindForwarder)) == 0 {
+		t.Fatalf("two Owned L3 copies not reported as a forwarder violation")
+	}
+}
+
+// TestProtocolOwnedNodeCoreUnique: rerouted site 4 — an Owned L3 copy is
+// shared dirty, so a unique private copy underneath it is a violation (the
+// O-specific sibling of the shared-like memory-valid check, which skips O
+// because memory MAY be stale under it).
+func TestProtocolOwnedNodeCoreUnique(t *testing.T) {
+	m := buildProto(t, machine.SourceSnoop, coherence.MOESI)
+	l := m.MustAlloc(0, 64).Lines()[0]
+	bit := m.Topo.LocalCore(0)
+	m.Core(0).L1D.Insert(cache.Line{Addr: l, State: cache.Modified})
+	m.Core(0).L2.Insert(cache.Line{Addr: l, State: cache.Modified})
+	m.Slice(m.CAForNode(0, l)).Insert(cache.Line{Addr: l, State: cache.Owned, CoreValid: 1 << uint(bit)})
+
+	if len(hardOfKind(Check(m), KindL3State)) == 0 {
+		t.Fatalf("core-M under an Owned L3 copy not reported")
+	}
+}
+
+// TestProtocolDirectoryCoversOwned: rerouted site 5 — the in-memory
+// directory's required state treats a remote dirty copy (MOESI's O) like a
+// remote unique one: memory is stale, so anything below snoop-all
+// under-approximates.
+func TestProtocolDirectoryCoversOwned(t *testing.T) {
+	m := buildProto(t, machine.COD, coherence.MOESI)
+	l := m.MustAlloc(0, 64).Lines()[0]
+	plantL3(m, 1, l, cache.Owned) // remote to the node-0 home
+
+	ha := m.HA(l)
+	ha.Dir.SetState(l, directory.SharedRemote)
+	if len(hardOfKind(Check(m), KindDirectory)) == 0 {
+		t.Fatalf("remote O over a shared-remote directory not reported")
+	}
+
+	ha.Dir.SetState(l, directory.SnoopAll)
+	if hard := hardOfKind(Check(m), KindDirectory); len(hard) != 0 {
+		t.Fatalf("remote O over snoop-all wrongly flagged: %v", hard)
+	}
+}
+
+// TestProtocolHitMEOwnerCanForward: rerouted site 6 — an owned HitME entry
+// naming a node that holds the line O is fresh under MOESI (O answers
+// directed snoops), where the old MESIF-literal CanForward would have
+// graded it stale.
+func TestProtocolHitMEOwnerCanForward(t *testing.T) {
+	m := buildProto(t, machine.COD, coherence.MOESI)
+	l := m.MustAlloc(0, 64).Lines()[0]
+	plantL3(m, 1, l, cache.Owned)
+
+	ha := m.HA(l)
+	ha.Dir.SetState(l, directory.SnoopAll)
+	var v directory.PresenceVector
+	ha.HitME.Allocate(l, v.With(1), directory.EntryOwned)
+
+	found := Check(m)
+	if hard := Hard(found); len(hard) != 0 {
+		t.Fatalf("O-backed owned HitME entry wrongly flagged: %v", hard)
+	}
+	if stale := staleOfKind(found, KindHitME); len(stale) != 0 {
+		t.Fatalf("O-backed owned HitME entry graded stale: %v", stale)
+	}
+}

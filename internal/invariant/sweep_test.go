@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"haswellep/internal/addr"
+	"haswellep/internal/coherence"
 	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/mesif"
@@ -35,22 +36,39 @@ type sweepSystem struct {
 	cores []topology.CoreID // cores the action alphabet draws from
 }
 
-// sweepSystems returns the three snoop modes on the smallest two-node
-// systems that support them: two 8-core dies for the broadcast modes, one
-// COD-partitioned 12-core die (2 NUMA clusters) for the directory mode.
-func sweepSystems() []sweepSystem {
+// sweepSystemsProto returns the three snoop modes on the smallest two-node
+// systems that support them — two 8-core dies for the broadcast modes, one
+// COD-partitioned 12-core die (2 NUMA clusters) for the directory mode —
+// all running the given coherence protocol.
+func sweepSystemsProto(proto coherence.ID) []sweepSystem {
 	smallBroadcast := func(mode machine.SnoopMode) machine.Config {
 		cfg := machine.TestSystem(mode)
 		cfg.Die = topology.Die8
+		cfg.Protocol = proto
 		return cfg
 	}
 	cod := machine.TestSystem(machine.COD)
 	cod.Sockets = 1 // one 12-core die, split into 2 NUMA clusters by COD
+	cod.Protocol = proto
+	prefix := string(proto) + "/"
 	return []sweepSystem{
-		{name: "source-snoop", cfg: smallBroadcast(machine.SourceSnoop), cores: []topology.CoreID{0, 1, 8}},
-		{name: "home-snoop", cfg: smallBroadcast(machine.HomeSnoop), cores: []topology.CoreID{0, 1, 8}},
-		{name: "cod", cfg: cod, cores: []topology.CoreID{0, 1, 6}},
+		{name: prefix + "source-snoop", cfg: smallBroadcast(machine.SourceSnoop), cores: []topology.CoreID{0, 1, 8}},
+		{name: prefix + "home-snoop", cfg: smallBroadcast(machine.HomeSnoop), cores: []topology.CoreID{0, 1, 8}},
+		{name: prefix + "cod", cfg: cod, cores: []topology.CoreID{0, 1, 6}},
 	}
+}
+
+// sweepSystems returns the full conformance matrix: every registered
+// protocol crossed with every snoop mode (9 systems). Every sweep and fuzz
+// rig below enumerates over all of them, so the exhaustive interleavings —
+// and the per-transaction invariant checker with its per-protocol legal
+// state sets — grade MESIF, MESI, and MOESI side by side.
+func sweepSystems() []sweepSystem {
+	var out []sweepSystem
+	for _, id := range coherence.IDs() {
+		out = append(out, sweepSystemsProto(id)...)
+	}
+	return out
 }
 
 // runSweep enumerates every sequence of the given depth over the action

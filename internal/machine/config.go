@@ -14,6 +14,7 @@ package machine
 import (
 	"fmt"
 
+	"haswellep/internal/coherence"
 	"haswellep/internal/dram"
 	"haswellep/internal/interconnect"
 	"haswellep/internal/topology"
@@ -70,8 +71,12 @@ type Config struct {
 	Sockets int
 	// Die selects the die variant (the test system uses the 12-core die).
 	Die topology.DieVariant
-	// Mode is the coherence protocol configuration.
+	// Mode is the snoop configuration.
 	Mode SnoopMode
+	// Protocol selects the coherence protocol (internal/coherence). The
+	// zero value means MESIF — the Haswell-EP protocol — so existing
+	// configurations and serialized repro bundles are unchanged.
+	Protocol coherence.ID
 	// DRAM configures each memory controller's DRAM attachment.
 	DRAM dram.Config
 	// QPI configures the inter-socket links.
@@ -145,6 +150,9 @@ func (c Config) Validate() error {
 	}
 	if c.Mode == COD && c.Die == topology.Die8 {
 		return fmt.Errorf("machine: COD mode is unavailable on the single-ring 8-core die")
+	}
+	if _, err := coherence.Get(c.Protocol); err != nil {
+		return err
 	}
 	if err := c.DRAM.Validate(); err != nil {
 		return err

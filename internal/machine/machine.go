@@ -5,6 +5,7 @@ import (
 
 	"haswellep/internal/addr"
 	"haswellep/internal/cache"
+	"haswellep/internal/coherence"
 	"haswellep/internal/directory"
 	"haswellep/internal/dram"
 	"haswellep/internal/topology"
@@ -30,6 +31,10 @@ type HomeAgent struct {
 type Machine struct {
 	Cfg  Config
 	Topo *topology.System
+	// Proto is the coherence protocol resolved from Cfg.Protocol at
+	// construction; the engine and the invariant checker consult it for
+	// every protocol-specific rule.
+	Proto coherence.Protocol
 
 	// Cores holds the private caches of every core, indexed by global
 	// CoreID.
@@ -64,7 +69,7 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{Cfg: cfg, Topo: topo}
+	m := &Machine{Cfg: cfg, Topo: topo, Proto: coherence.MustGet(cfg.Protocol)}
 	for c := 0; c < topo.Cores(); c++ {
 		m.Cores = append(m.Cores, cache.NewCoreCaches(topo.LocalCore(topology.CoreID(c))))
 	}

@@ -383,8 +383,9 @@ func (e *Engine) l3EntryOf(n topology.NodeID, l addr.LineAddr) nodeEntry {
 }
 
 // forwarderAmong returns the peer node (excluding `exclude`) whose L3 holds
-// the line in a forwardable state (M, E, or F), if any. The MESIF protocol
-// guarantees at most one such node exists.
+// the line in a state the active protocol forwards from (M/E/F under MESIF,
+// M/E under MESI, M/E/O under MOESI), if any. Every protocol guarantees at
+// most one such node exists.
 func (e *Engine) forwarderAmong(l addr.LineAddr, exclude topology.NodeID) (nodeEntry, bool) {
 	for n := 0; n < e.M.Topo.Nodes(); n++ {
 		nn := topology.NodeID(n)
@@ -392,7 +393,7 @@ func (e *Engine) forwarderAmong(l addr.LineAddr, exclude topology.NodeID) (nodeE
 			continue
 		}
 		ent := e.l3EntryOf(nn, l)
-		if ent.ok && ent.line.State.CanForward() {
+		if ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			return ent, true
 		}
 	}
@@ -426,13 +427,14 @@ func (e *Engine) sharerVector(l addr.LineAddr) directory.PresenceVector {
 	return v
 }
 
-// forwardHolderNode returns the node whose L3 holds the line in state F
-// (or, failing that, E/M — the unique-owner states also forward), if any.
+// forwardHolderNode returns the node whose L3 holds the line in a state the
+// active protocol forwards from (F under MESIF, or the unique/dirty owner
+// states), if any.
 func (e *Engine) forwardHolderNode(l addr.LineAddr) (topology.NodeID, bool) {
 	for n := 0; n < e.M.Topo.Nodes(); n++ {
 		nn := topology.NodeID(n)
 		ent := e.l3EntryOf(nn, l)
-		if ent.ok && ent.line.State.CanForward() {
+		if ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			return nn, true
 		}
 	}

@@ -87,7 +87,7 @@ func (e *Engine) explainDirectory(b *strings.Builder, core topology.CoreID, rn, 
 	ha := e.M.HA(l)
 	fmt.Fprintf(b, "  home snoop + directory: the request goes to node%d's home agent\n", hn)
 	if hn != rn {
-		if ent := e.l3EntryOf(hn, l); ent.ok && ent.line.State.CanForward() {
+		if ent := e.l3EntryOf(hn, l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			fmt.Fprintf(b, "  the mandatory local snoop finds the home node's L3 in %v -> it forwards (directory not waited for)\n", ent.line.State)
 		}
 	}

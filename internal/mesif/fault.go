@@ -83,9 +83,10 @@ func (e *Engine) faultDirectory(agent topology.AgentID, ha *machine.HomeAgent, l
 }
 
 // trueDirectoryState computes the exact in-memory directory state for the
-// line: snoop-all while a valid HitME entry pins it (AllocateShared) or any
-// remote node holds a unique copy, shared-remote for clean remote copies,
-// remote-invalid otherwise.
+// line: snoop-all while a valid HitME entry pins it (AllocateShared) or
+// any remote node holds a unique or dirty copy (E/M, or MOESI's O — for
+// which memory is stale and a snoop is mandatory), shared-remote for
+// clean remote copies, remote-invalid otherwise.
 func (e *Engine) trueDirectoryState(ha *machine.HomeAgent, l addr.LineAddr, hn topology.NodeID) directory.MemState {
 	if ha.HitME != nil {
 		if _, _, ok := ha.HitME.Peek(l); ok {
@@ -102,7 +103,7 @@ func (e *Engine) trueDirectoryState(ha *machine.HomeAgent, l addr.LineAddr, hn t
 		if !ent.ok {
 			continue
 		}
-		if ent.line.State.Unique() {
+		if ent.line.State.Unique() || ent.line.State.Dirty() {
 			return directory.SnoopAll
 		}
 		st = directory.SharedRemote

@@ -100,10 +100,13 @@ func (e *Engine) fillL3(node topology.NodeID, l addr.LineAddr, st cache.State, c
 	e.retireL3Victim(node, victim)
 }
 
-// retireL3Victim completes an L3 capacity eviction.
+// retireL3Victim completes an L3 capacity eviction. A dirty victim —
+// Modified, or Owned under MOESI — is written back to its home; the
+// write-back of an Owned victim is the deferred memory update MOESI
+// skipped when the line was forwarded.
 func (e *Engine) retireL3Victim(node topology.NodeID, victim cache.Line) {
 	e.touch(victim.Addr)
-	dirty := victim.State == cache.Modified
+	dirty := victim.State.Dirty()
 	// Back-invalidate cores of this node still holding the line.
 	sock := e.M.Topo.SocketOfNode(node)
 	bits := victim.CoreValid
@@ -126,9 +129,12 @@ func (e *Engine) retireL3Victim(node topology.NodeID, victim cache.Line) {
 }
 
 // dramWriteback writes a dirty line back to its home memory and updates
-// the in-memory directory: the writeback implies the (unique) owner gave
-// the line up, so a remote owner's writeback returns the directory to
-// remote-invalid and drops any HitME entry.
+// the in-memory directory. Under MESIF/MESI the writeback implies the
+// (unique) owner gave the line up, so a remote owner's writeback returns
+// the directory to remote-invalid and drops any HitME entry. Under MOESI
+// an evicted Owned copy may leave clean Shared copies behind at other
+// remote nodes — memory is valid again after the writeback, so those
+// survivors demote the directory to shared-remote instead.
 func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
 	e.touch(l)
 	ha := e.M.HA(l)
@@ -138,7 +144,20 @@ func (e *Engine) dramWriteback(l addr.LineAddr, fromNode topology.NodeID) {
 	}
 	home := e.M.MustHomeNode(l)
 	if fromNode != home {
-		ha.Dir.SetState(l, directory.RemoteInvalid)
+		st := directory.RemoteInvalid
+		if e.M.Proto.HasOwned() {
+			for n := 0; n < e.M.Topo.Nodes(); n++ {
+				nn := topology.NodeID(n)
+				if nn == home || nn == fromNode {
+					continue
+				}
+				if ent := e.l3EntryOf(nn, l); ent.ok {
+					st = directory.SharedRemote
+					break
+				}
+			}
+		}
+		ha.Dir.SetState(l, st)
 		if ha.HitME != nil {
 			ha.HitME.Invalidate(l)
 		}
@@ -162,7 +181,7 @@ func (e *Engine) invalidateEverywhere(l addr.LineAddr) {
 	for n := 0; n < e.M.Topo.Nodes(); n++ {
 		nn := topology.NodeID(n)
 		sl := e.M.CAForNode(nn, l)
-		if ln, ok := e.M.Slice(sl).Invalidate(l); ok && ln.State == cache.Modified {
+		if ln, ok := e.M.Slice(sl).Invalidate(l); ok && ln.State.Dirty() {
 			dirty = true
 			dirtyNode = nn
 		}
@@ -180,10 +199,10 @@ func (e *Engine) invalidateEverywhere(l addr.LineAddr) {
 	}
 }
 
-// grantStateOnRead decides the MESIF state granted for a read miss serviced
-// by memory: Exclusive when no other node caches the line, Forward when
-// clean sharers exist but none of them holds the forward designation (the
-// new requester becomes the forwarder).
+// grantStateOnRead decides the state granted for a read miss serviced by
+// memory: Exclusive when no other node caches the line; otherwise Shared —
+// except under MESIF, where a clean sharer set without a forward
+// designation hands F to the new requester.
 func (e *Engine) grantStateOnRead(l addr.LineAddr, requester topology.NodeID) cache.State {
 	if !e.anyPeerHolds(l, requester) {
 		return cache.Exclusive
@@ -194,6 +213,9 @@ func (e *Engine) grantStateOnRead(l addr.LineAddr, requester topology.NodeID) ca
 		// shared entry), where the forwarder is never consulted and so
 		// never demoted: the requester takes a plain Shared copy and the
 		// designation stays put, preserving the single-forwarder rule.
+		return cache.Shared
+	}
+	if !e.M.Proto.HasForward() {
 		return cache.Shared
 	}
 	return cache.Forward

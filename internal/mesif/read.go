@@ -79,6 +79,13 @@ func (e *Engine) readLine(core topology.CoreID, l addr.LineAddr) Access {
 // node, so the node can reclaim the forward state. The access costs a full
 // L3 round trip and migrates the F designation to the requester's node.
 func (e *Engine) sharedReclaim(core topology.CoreID, rn topology.NodeID, l addr.LineAddr) (Access, bool) {
+	if !e.M.Proto.HasForward() {
+		// No Forward state to reclaim. Under MESI a Shared private hit
+		// cannot coexist with a remote unique copy; under MOESI a remote
+		// Owned copy must keep its dirty designation — either way the
+		// hit is served locally with no CA notification.
+		return Access{}, false
+	}
 	fwNode, ok := e.forwardHolderNode(l)
 	if !ok || fwNode == rn {
 		return Access{}, false
@@ -165,8 +172,11 @@ func (e *Engine) l3Hit(core topology.CoreID, rn topology.NodeID, l addr.LineAddr
 // peerService executes the peer-node side of a cross-node request: the
 // peer CA's lookup, an intra-node core snoop when its core-valid bits
 // demand one, the forward itself, and all peer-side state transitions.
-// It returns the service time at the peer and the data source class.
-func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
+// It returns the service time at the peer, the data source class, the
+// forwarding cache level, and whether the peer retained the line dirty as
+// Owned (MOESI) — in which case memory was NOT updated and the directory
+// must keep routing requests at the peer.
+func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int, bool) {
 	lat := e.lat()
 	// The response carrying the forwarded data may be dropped and
 	// re-issued (fault injection).
@@ -174,7 +184,7 @@ func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
 	cost := nsT(lat.L3Pipe) + nsT(lat.NodeTransferPipe)
 	src := SrcPeerL3
 	fwdLevel := 0
-	dirty := ent.line.State == cache.Modified
+	dirty := ent.line.State.Dirty()
 
 	if y, need := e.soleOtherValidCore(ent, topology.CoreID(-1)); need {
 		rt := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(y)) +
@@ -198,9 +208,11 @@ func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
 		}
 	}
 
-	// Peer-side transitions: every copy in the peer node demotes to
-	// Shared; forwarded dirty data is implicitly written back to the
-	// home (QPI RspFwdS semantics), so the line is clean afterwards.
+	// Peer-side transitions: every core copy in the peer node demotes to
+	// Shared; the L3 copy downgrades as the protocol prescribes — MESIF
+	// and MESI write forwarded dirty data back to the home (QPI RspFwdS
+	// semantics, the line is clean afterwards), MOESI keeps it dirty in
+	// the Owned state with memory left stale.
 	slice := e.M.Slice(ent.slice)
 	sock := e.M.Topo.SocketOfSlice(ent.slice)
 	bits := ent.line.CoreValid
@@ -216,22 +228,44 @@ func (e *Engine) peerService(ent nodeEntry) (units.Time, Source, int) {
 			slice.SetCoreValid(ent.line.Addr, bit, false)
 		}
 	}
-	slice.Update(ent.line.Addr, func(ln *cache.Line) { ln.State = cache.Shared })
+	st := ent.line.State
 	if dirty {
+		// The L3 copy was dirty, or a core forwarded a newer version
+		// the L3 absorbed during the transfer.
+		st = cache.Modified
+	}
+	next, writeback := e.M.Proto.DowngradeOnForward(st)
+	slice.Update(ent.line.Addr, func(ln *cache.Line) { ln.State = next })
+	if writeback {
 		e.M.HA(ent.line.Addr).DRAM.RecordWrite()
 	}
-	return cost, src, fwdLevel
+	return cost, src, fwdLevel, next == cache.Owned
 }
 
 // dirAfterForward records a cross-node cache-to-cache forward in the COD
-// directory structures: AllocateShared when the requester is outside the
-// home node, a plain shared note otherwise.
-func (e *Engine) dirAfterForward(l addr.LineAddr, rn topology.NodeID) {
+// directory structures. When the servicing peer kept the line dirty as
+// Owned (MOESI; owner names its node), memory is stale: the home agent
+// tracks the owner with an owned directory-cache entry and pins the
+// in-memory state to snoop-all, so every later miss is routed at the
+// owner, never at memory. Otherwise the MESIF/MESI bookkeeping applies:
+// AllocateShared when the requester is outside the home node, a plain
+// shared note otherwise.
+func (e *Engine) dirAfterForward(l addr.LineAddr, rn, owner topology.NodeID, ownedKept bool) {
 	ha := e.M.HA(l)
 	if ha.Dir == nil {
 		return
 	}
 	home := e.M.MustHomeNode(l)
+	if ownedKept {
+		if owner != home && ha.HitME != nil {
+			e.hitmeAllocate(ha, l, directory.PresenceVector(0).With(int(owner)), directory.EntryOwned)
+		}
+		// An owner inside the home node needs no directory-cache entry:
+		// the mandatory local snoop finds it on every miss. Either way
+		// the in-memory state must not claim memory is valid.
+		ha.Dir.SetState(l, directory.SnoopAll)
+		return
+	}
 	if rn != home {
 		e.allocateHitME(l, rn, directory.EntryShared)
 		return
@@ -243,10 +277,11 @@ func (e *Engine) dirAfterForward(l addr.LineAddr, rn topology.NodeID) {
 }
 
 // fillAfterForward installs the forwarded line at the requester: the node's
-// L3 takes the forward designation (MESIF hands F to the newest sharer),
+// L3 takes the protocol's recipient state (MESIF hands the Forward
+// designation to the newest sharer; MESI and MOESI grant plain Shared),
 // the core receives a Shared copy.
 func (e *Engine) fillAfterForward(core topology.CoreID, rn topology.NodeID, l addr.LineAddr) {
-	e.fillL3(rn, l, cache.Forward, core)
+	e.fillL3(rn, l, e.M.Proto.RecipientState(), core)
 	e.fillCore(core, l, cache.Shared)
 }
 
@@ -269,10 +304,10 @@ func (e *Engine) sourceSnoopMiss(core topology.CoreID, rn topology.NodeID, l add
 
 	if fw, ok := e.forwarderAmong(l, rn); ok {
 		legTo := e.M.Leg(e.M.SliceEndpoint(ca), e.M.SliceEndpoint(fw.slice))
-		service, src, flv := e.peerService(fw)
+		service, src, flv, kept := e.peerService(fw)
 		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
 		e.fillAfterForward(core, rn, l)
-		e.dirAfterForward(l, rn)
+		e.dirAfterForward(l, rn, fw.node, kept)
 		return Access{
 			Latency:   tMiss + legTo + service + legData,
 			Source:    src,
@@ -322,10 +357,10 @@ func (e *Engine) homeSnoopMiss(core topology.CoreID, rn topology.NodeID, l addr.
 
 	if fw, ok := e.forwarderAmong(l, rn); ok {
 		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
-		service, src, flv := e.peerService(fw)
+		service, src, flv, kept := e.peerService(fw)
 		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
 		e.fillAfterForward(core, rn, l)
-		e.dirAfterForward(l, rn)
+		e.dirAfterForward(l, rn, fw.node, kept)
 		return Access{
 			Latency:   tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData,
 			Source:    src,
@@ -403,15 +438,15 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	// is on its way regardless of what the directory says.
 	var localFw *nodeEntry
 	if hn != rn {
-		if ent := e.l3EntryOf(hn, l); ent.ok && ent.line.State.CanForward() {
+		if ent := e.l3EntryOf(hn, l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			localFw = &ent
 		}
 	}
-	localArrival := func() (units.Time, Source, int) {
+	localArrival := func() (units.Time, Source, int, bool) {
 		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(localFw.slice))
-		service, src, flv := e.peerService(*localFw)
+		service, src, flv, kept := e.peerService(*localFw)
 		legData := e.M.Leg(e.M.SliceEndpoint(localFw.slice), e.M.CoreEndpoint(core))
-		return tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData, src, flv
+		return tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData, src, flv, kept
 	}
 
 	// The mandatory local snoop at the home node.
@@ -424,13 +459,19 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	if v, kind, hit := e.hitmeLookup(ha, l); hit {
 		if kind == directory.EntryOwned {
 			if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
-				if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && ent.line.State.CanForward() {
+				if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 					e.countSnoop(haSock, topology.NodeID(owner[0]))
 					legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
-					service, src, flv := e.peerService(ent)
+					service, src, flv, kept := e.peerService(ent)
 					legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
 					e.fillAfterForward(core, rn, l)
-					e.allocateHitME(l, rn, directory.EntryShared)
+					if kept {
+						// The owner stays dirty (MOESI): refresh its
+						// owned entry instead of degrading to shared.
+						e.dirAfterForward(l, rn, ent.node, true)
+					} else {
+						e.allocateHitME(l, rn, directory.EntryShared)
+					}
 					return Access{
 						Latency:     tHA + nsT(lat.DirCachePipe) + nsT(lat.HASnoopLaunch) + legTo + service + legData,
 						Source:      src,
@@ -451,10 +492,13 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 			// unless its own node's L3 answers faster.
 			memT := tHA + nsT(lat.DirCachePipe) + ha.DRAM.AccessTime(e.WorkingSet) + legHC
 			if localFw != nil {
-				lt, src, flv := localArrival()
-				if lt < memT {
+				lt, src, flv, kept := localArrival()
+				// When the local holder kept the line dirty as Owned
+				// (MOESI), memory is stale and the forwarded data must
+				// win regardless of the latency race.
+				if lt < memT || kept {
 					e.fillAfterForward(core, rn, l)
-					e.dirAfterForward(l, rn)
+					e.dirAfterForward(l, rn, localFw.node, kept)
 					return Access{Latency: lt, Source: src, DirCacheHit: true, RemoteFwd: true, FwdLevel: flv}
 				}
 			}
@@ -489,27 +533,27 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 		}
 		if fw, ok := e.forwarderAmongExcept(l, rn, hn); ok {
 			legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
-			service, src, flv := e.peerService(fw)
+			service, src, flv, fwKept := e.peerService(fw)
 			legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
 			arrival := tDir + nsT(lat.HASnoopLaunch) + legTo + service + legData
-			if localFw != nil {
-				lt, lsrc, lflv := localArrival()
-				if lt < arrival {
+			if localFw != nil && !fwKept {
+				lt, lsrc, lflv, lkept := localArrival()
+				if lt < arrival || lkept {
 					e.fillAfterForward(core, rn, l)
-					e.dirAfterForward(l, rn)
+					e.dirAfterForward(l, rn, localFw.node, lkept)
 					return Access{Latency: lt, Source: lsrc, Broadcast: true, RemoteFwd: true, FwdLevel: lflv}
 				}
 			}
 			e.fillAfterForward(core, rn, l)
-			e.dirAfterForward(l, rn)
+			e.dirAfterForward(l, rn, fw.node, fwKept)
 			return Access{Latency: arrival, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
 		}
 		if localFw != nil {
 			// Only the home node's own L3 has the line; the local
 			// snoop forwards it while the (stale) broadcast drains.
-			lt, src, flv := localArrival()
+			lt, src, flv, kept := localArrival()
 			e.fillAfterForward(core, rn, l)
-			e.dirAfterForward(l, rn)
+			e.dirAfterForward(l, rn, localFw.node, kept)
 			return Access{Latency: lt, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
 		}
 		// Stale snoop-all (silent L3 evictions, Table V): the home
@@ -537,10 +581,12 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	// snoops are required; only the home node's local snoop competes.
 	memT := tDir + legHC
 	if localFw != nil {
-		lt, src, flv := localArrival()
-		if lt < memT {
+		lt, src, flv, kept := localArrival()
+		// A local Owned holder (MOESI) means memory is stale: the
+		// forwarded data must be used regardless of the latency race.
+		if lt < memT || kept {
 			e.fillAfterForward(core, rn, l)
-			e.dirAfterForward(l, rn)
+			e.dirAfterForward(l, rn, localFw.node, kept)
 			return Access{Latency: lt, Source: src, RemoteFwd: true, FwdLevel: flv}
 		}
 	}
@@ -568,7 +614,7 @@ func (e *Engine) forwarderAmongExcept(l addr.LineAddr, a, b topology.NodeID) (no
 			continue
 		}
 		ent := e.l3EntryOf(nn, l)
-		if ent.ok && ent.line.State.CanForward() {
+		if ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			return ent, true
 		}
 	}

@@ -140,7 +140,10 @@ func (e *Engine) rfoDataPath(core topology.CoreID, rn topology.NodeID, l addr.Li
 		} else {
 			legTo = e.M.Leg(e.M.SliceEndpoint(ca), e.M.SliceEndpoint(fw.slice))
 		}
-		service, src, flv := e.peerService(fw)
+		// The requester takes ownership right after the data path, so a
+		// MOESI peer's transiently retained Owned copy is torn down by
+		// takeOwnership — no directory bookkeeping needed here.
+		service, src, flv, _ := e.peerService(fw)
 		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
 		return Access{Latency: base + legTo + service + legData, Source: src, RemoteFwd: true, FwdLevel: flv}
 	}
@@ -176,9 +179,9 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 	// Directed snoop on a HitME hit.
 	if v, kind, hit := e.hitmeLookup(ha, l); hit && kind == directory.EntryOwned {
 		if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
-			if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && ent.line.State.CanForward() {
+			if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 				legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
-				service, src, flv := e.peerService(ent)
+				service, src, flv, _ := e.peerService(ent)
 				legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
 				return Access{
 					Latency:     tHA + nsT(lat.DirCachePipe) + nsT(lat.HASnoopLaunch) + legTo + service + legData,
@@ -197,9 +200,9 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 
 	// Local snoop at the home node.
 	if hn != rn {
-		if ent := e.l3EntryOf(hn, l); ent.ok && ent.line.State.CanForward() {
+		if ent := e.l3EntryOf(hn, l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 			legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
-			service, src, flv := e.peerService(ent)
+			service, src, flv, _ := e.peerService(ent)
 			legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
 			t := tHA + nsT(lat.HASnoopLaunch) + legTo + service + legData
 			if dirState == directory.SnoopAll {
@@ -220,7 +223,7 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 	// shared or snoop-all: invalidating broadcast.
 	if fw, ok := e.forwarderAmongExcept(l, rn, hn); ok {
 		legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(fw.slice))
-		service, src, flv := e.peerService(fw)
+		service, src, flv, _ := e.peerService(fw)
 		legData := e.M.Leg(e.M.SliceEndpoint(fw.slice), e.M.CoreEndpoint(core))
 		return Access{Latency: tDir + nsT(lat.HASnoopLaunch) + legTo + service + legData, Source: src, Broadcast: true, RemoteFwd: true, FwdLevel: flv}
 	}

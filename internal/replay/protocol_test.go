@@ -1,0 +1,124 @@
+package replay
+
+// Replay across coherence protocols: bundles recorded under MESI/MOESI
+// rebuild their machine with the right protocol and verify byte-for-byte
+// like MESIF ones, and a bundle whose protocol id was edited after
+// recording is refused up front — the digest records the protocol the run
+// executed under, the spec the one a replay would rebuild, and the two
+// must agree.
+
+import (
+	"strings"
+	"testing"
+
+	"haswellep/internal/addr"
+	"haswellep/internal/coherence"
+	"haswellep/internal/machine"
+	"haswellep/internal/mesif"
+	"haswellep/internal/topology"
+	"haswellep/internal/trace"
+)
+
+// recordProto records a short healthy cross-node run on a 1-socket COD
+// machine under the given protocol and returns its bundle.
+func recordProto(t *testing.T, id coherence.ID) *trace.Bundle {
+	t.Helper()
+	cfg := machine.TestSystem(machine.COD)
+	cfg.Sockets = 1
+	cfg.Protocol = id
+	m := machine.MustNew(cfg)
+	e := mesif.New(m)
+	tr := trace.Attach(e, trace.Options{})
+	lines := []addr.LineAddr{
+		m.MustAlloc(0, 64).Lines()[0],
+		m.MustAlloc(1, 64).Lines()[0],
+	}
+	c0, c1 := topology.CoreID(0), m.Topo.CoresOfNode(1)[0]
+	e.Write(c1, lines[0]) // remote dirty
+	e.Read(c0, lines[0])  // dirty forward: F / S / O split
+	e.Read(c1, lines[0])
+	e.Write(c0, lines[1])
+	e.Flush(c0, lines[0])
+	return tr.Bundle(nil)
+}
+
+// TestReplayAcrossProtocols: a bundle recorded under each protocol
+// round-trips through serialization and verifies with full digest
+// fidelity — the replay rebuilds the right protocol from the spec.
+func TestReplayAcrossProtocols(t *testing.T) {
+	for _, id := range coherence.IDs() {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			b := recordProto(t, id)
+			path := t.TempDir() + "/bundle.json"
+			if err := trace.WriteFile(path, b); err != nil {
+				t.Fatal(err)
+			}
+			rb, err := trace.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantProto := string(id)
+			if id == coherence.MESIF {
+				wantProto = "" // the default is normalized away for back-compat
+			}
+			if rb.Spec.Protocol != wantProto || rb.Digest.Protocol != wantProto {
+				t.Fatalf("round-tripped protocol = (%q, %q), want %q",
+					rb.Spec.Protocol, rb.Digest.Protocol, wantProto)
+			}
+			if _, err := Verify(rb); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestProtocolTamperRefused: editing a bundle's protocol id after
+// recording — on either the spec or the digest side — must be refused
+// before any event replays.
+func TestProtocolTamperRefused(t *testing.T) {
+	t.Run("spec-side", func(t *testing.T) {
+		b := recordProto(t, coherence.MOESI)
+		b.Spec.Protocol = "" // claim the run was plain MESIF
+		if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "protocol mismatch") {
+			t.Fatalf("Validate() = %v, want protocol-mismatch refusal", err)
+		}
+		if _, err := Run(b); err == nil {
+			t.Fatalf("Run accepted a protocol-tampered bundle")
+		}
+	})
+	t.Run("digest-side", func(t *testing.T) {
+		b := recordProto(t, coherence.MESIF)
+		b.Digest.Protocol = string(coherence.MOESI)
+		if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "protocol mismatch") {
+			t.Fatalf("Validate() = %v, want protocol-mismatch refusal", err)
+		}
+	})
+	t.Run("unknown-protocol", func(t *testing.T) {
+		b := recordProto(t, coherence.MESI)
+		b.Spec.Protocol = "dragon"
+		b.Digest.Protocol = "dragon"
+		if err := b.Validate(); err == nil {
+			t.Fatalf("Validate accepted an unregistered protocol id")
+		}
+	})
+	t.Run("serialized-tamper", func(t *testing.T) {
+		b := recordProto(t, coherence.MOESI)
+		path := t.TempDir() + "/bundle.json"
+		if err := trace.WriteFile(path, b); err != nil {
+			t.Fatal(err)
+		}
+		data, err := trace.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data.Spec.Protocol = string(coherence.MESI)
+		tampered := t.TempDir() + "/tampered.json"
+		if err := trace.WriteFile(tampered, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.ReadFile(tampered); err == nil || !strings.Contains(err.Error(), "protocol mismatch") {
+			t.Fatalf("ReadFile(tampered) = %v, want protocol-mismatch refusal", err)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"haswellep/internal/coherence"
 	"haswellep/internal/fault"
 	"haswellep/internal/machine"
 	"haswellep/internal/topology"
@@ -30,10 +31,18 @@ type Spec struct {
 	DisableDirectory bool  `json:"disable_directory,omitempty"`
 	DisableHitME     bool  `json:"disable_hitme,omitempty"`
 	HitMEBytes       int64 `json:"hitme_bytes,omitempty"`
+	// Protocol is the coherence protocol id; MESIF (the default) is
+	// normalized to "" so pre-protocol bundles compare and replay
+	// unchanged.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // SpecOf captures a machine configuration's identifying knobs.
 func SpecOf(cfg machine.Config) Spec {
+	proto := string(coherence.Normalize(cfg.Protocol))
+	if proto == string(coherence.MESIF) {
+		proto = ""
+	}
 	return Spec{
 		Sockets:          cfg.Sockets,
 		Die:              int(cfg.Die),
@@ -42,6 +51,7 @@ func SpecOf(cfg machine.Config) Spec {
 		DisableDirectory: cfg.DisableDirectory,
 		DisableHitME:     cfg.DisableHitME,
 		HitMEBytes:       cfg.HitMEBytes,
+		Protocol:         proto,
 	}
 }
 
@@ -55,6 +65,7 @@ func (s Spec) Config() machine.Config {
 	cfg.DisableDirectory = s.DisableDirectory
 	cfg.DisableHitME = s.DisableHitME
 	cfg.HitMEBytes = s.HitMEBytes
+	cfg.Protocol = coherence.ID(s.Protocol)
 	return cfg
 }
 
@@ -141,7 +152,24 @@ func (b *Bundle) Validate() error {
 	if err := b.Spec.Config().Validate(); err != nil {
 		return err
 	}
+	// The digest records the protocol the run executed under; the spec
+	// selects the protocol a replay will rebuild. A disagreement means the
+	// bundle was edited after recording — replaying it would grade one
+	// protocol's trace against another's digest, so refuse up front.
+	if b.Digest.Protocol != b.Spec.Protocol {
+		return fmt.Errorf("trace: bundle protocol mismatch: machine spec says %q but the digest was recorded under %q — the bundle was modified after recording",
+			specProtoName(b.Spec.Protocol), specProtoName(b.Digest.Protocol))
+	}
 	return nil
+}
+
+// specProtoName renders a normalized protocol field for error messages
+// ("" is the MESIF default).
+func specProtoName(s string) string {
+	if s == "" {
+		return string(coherence.MESIF)
+	}
+	return s
 }
 
 // WriteFile serializes the bundle to path (0644, indented JSON).

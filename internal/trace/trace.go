@@ -31,6 +31,7 @@ import (
 
 	"haswellep/internal/addr"
 	"haswellep/internal/cache"
+	"haswellep/internal/coherence"
 	"haswellep/internal/directory"
 	"haswellep/internal/fault"
 	"haswellep/internal/machine"
@@ -119,6 +120,11 @@ type Digest struct {
 	DirHits   uint64                   `json:"dir_hits"`
 	LatencyPs units.Time               `json:"latency_ps"`
 	Fault     fault.Counters           `json:"fault"`
+	// Protocol is the coherence protocol the digest was recorded under,
+	// normalized like Spec.Protocol (MESIF reads as ""). Folding it into
+	// the digest makes a replay under the wrong protocol fail digest
+	// equality even when the counters happen to agree.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // Finding is the bundle's protocol-independent form of one invariant
@@ -301,6 +307,9 @@ func (r *Recorder) Digest() Digest {
 	d := r.digest
 	if r.e.Faults != nil {
 		d.Fault = r.e.Faults.Counters()
+	}
+	if id := coherence.Normalize(r.m.Cfg.Protocol); id != coherence.MESIF {
+		d.Protocol = string(id)
 	}
 	return d
 }

@@ -24,6 +24,7 @@ var Manifest = map[string]Tier{
 	"haswellep/internal/bench":        Engine,
 	"haswellep/internal/bwmodel":      Engine,
 	"haswellep/internal/cache":        Engine,
+	"haswellep/internal/coherence":    Engine,
 	"haswellep/internal/directory":    Engine,
 	"haswellep/internal/dram":         Engine,
 	"haswellep/internal/fault":        Engine,
