@@ -1,10 +1,10 @@
 package main
 
 // The -bench mode: four throughput scenarios over the simulation engine,
-// reported as a versioned JSON document (BENCH_2.json when written with
+// reported as a versioned JSON document (BENCH_3.json when written with
 // the documented invocation:
 //
-//	go run ./cmd/hswbench -bench -bench-out BENCH_2.json
+//	go run ./cmd/hswbench -bench -bench-out BENCH_3.json
 //
 // Each scenario reports two kinds of numbers. The simulation-side fields
 // (transaction counts, mean latencies, snoop and fault counters) are
@@ -44,7 +44,7 @@ import (
 )
 
 // benchVersion is the BENCH_<version>.json schema version.
-const benchVersion = 2
+const benchVersion = 3
 
 // benchReport is the full benchmark document.
 type benchReport struct {

@@ -9,14 +9,14 @@ import (
 	"testing"
 )
 
-// TestBenchBaseline guards the checked-in BENCH_2.json: it must parse
+// TestBenchBaseline guards the checked-in BENCH_3.json: it must parse
 // under the current schema, carry the current version, and hold the four
 // scenarios with sane counters. (Regenerate with
-// `go run ./cmd/hswbench -bench -bench-out BENCH_2.json` from the repo
+// `go run ./cmd/hswbench -bench -bench-out BENCH_3.json` from the repo
 // root; the sim-side fields must come out identical, only the wall-clock
 // fields move.)
 func TestBenchBaseline(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
 	if err != nil {
 		t.Fatalf("reading checked-in baseline: %v", err)
 	}
@@ -25,7 +25,7 @@ func TestBenchBaseline(t *testing.T) {
 		t.Fatalf("baseline does not parse under the current schema: %v", err)
 	}
 	if rep.Version != benchVersion {
-		t.Errorf("baseline version = %d, tool emits %d; regenerate BENCH_2.json", rep.Version, benchVersion)
+		t.Errorf("baseline version = %d, tool emits %d; regenerate BENCH_3.json", rep.Version, benchVersion)
 	}
 	want := []string{"pointer-chase-16mib", "capacity-pressure-24mib", "chaos-stream-8mib", "farm-chaos-stream-8x2mib"}
 	if len(rep.Scenarios) != len(want) {
@@ -41,19 +41,27 @@ func TestBenchBaseline(t *testing.T) {
 	}
 }
 
-// TestBenchLineage: the previous baseline's sim-side anchors must survive
-// into the current one — BENCH_2.json extends BENCH_1.json, it does not
-// rewrite history. This is the same check CI runs via -bench-compare.
+// TestBenchLineage: every predecessor baseline's sim-side anchors must
+// survive into the current one — BENCH_3.json extends BENCH_2.json
+// extends BENCH_1.json, it does not rewrite history. This is the same
+// check CI runs via -bench-compare.
 func TestBenchLineage(t *testing.T) {
-	var out bytes.Buffer
-	err := runBenchCompare(&out,
-		filepath.Join("..", "..", "BENCH_1.json"),
-		filepath.Join("..", "..", "BENCH_2.json"))
-	if err != nil {
-		t.Fatalf("BENCH_1 -> BENCH_2 lineage broken: %v", err)
-	}
-	if !strings.Contains(out.String(), "3 shared scenario(s) sim-identical, 1 new") {
-		t.Errorf("unexpected compare summary:\n%s", out.String())
+	for _, step := range []struct {
+		old, want string
+	}{
+		{"BENCH_1.json", "3 shared scenario(s) sim-identical, 1 new"},
+		{"BENCH_2.json", "4 shared scenario(s) sim-identical, 0 new"},
+	} {
+		var out bytes.Buffer
+		err := runBenchCompare(&out,
+			filepath.Join("..", "..", step.old),
+			filepath.Join("..", "..", "BENCH_3.json"))
+		if err != nil {
+			t.Fatalf("%s -> BENCH_3 lineage broken: %v", step.old, err)
+		}
+		if !strings.Contains(out.String(), step.want) {
+			t.Errorf("unexpected %s compare summary:\n%s", step.old, out.String())
+		}
 	}
 }
 
@@ -110,7 +118,7 @@ func TestPointerChaseScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario run skipped in -short mode")
 	}
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
 	if err != nil {
 		t.Fatalf("reading checked-in baseline: %v", err)
 	}
@@ -124,7 +132,7 @@ func TestPointerChaseScenario(t *testing.T) {
 	}
 	base := rep.Scenarios[0]
 	if got.Transactions != base.Transactions || got.SimMeanNs != base.SimMeanNs || got.SimSnoops != base.SimSnoops {
-		t.Errorf("pointer-chase anchors drifted from baseline:\n got tx=%d mean=%v snoops=%d\nbase tx=%d mean=%v snoops=%d\nregenerate BENCH_2.json if the change is intentional",
+		t.Errorf("pointer-chase anchors drifted from baseline:\n got tx=%d mean=%v snoops=%d\nbase tx=%d mean=%v snoops=%d\nregenerate BENCH_3.json if the change is intentional",
 			got.Transactions, got.SimMeanNs, got.SimSnoops,
 			base.Transactions, base.SimMeanNs, base.SimSnoops)
 	}
@@ -137,7 +145,7 @@ func TestFarmChaosStreamShardIndependent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario run skipped in -short mode")
 	}
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
 	if err != nil {
 		t.Fatalf("reading checked-in baseline: %v", err)
 	}
@@ -152,6 +160,6 @@ func TestFarmChaosStreamShardIndependent(t *testing.T) {
 	base := rep.Scenarios[3]
 	if got.Transactions != base.Transactions || got.SimSnoops != base.SimSnoops ||
 		got.SimFaults != base.SimFaults || got.SimRetries != base.SimRetries {
-		t.Errorf("farm-chaos-stream anchors drifted from baseline:\n got %+v\nbase %+v\nregenerate BENCH_2.json if the change is intentional", got, base)
+		t.Errorf("farm-chaos-stream anchors drifted from baseline:\n got %+v\nbase %+v\nregenerate BENCH_3.json if the change is intentional", got, base)
 	}
 }

@@ -7,9 +7,9 @@
 //	hswbench -exp all               # everything (slow)
 //	hswbench -exp fig4 -out dir     # write figure CSVs into dir
 //	hswbench -list                  # list experiment ids
-//	hswbench -bench -bench-out BENCH_2.json
+//	hswbench -bench -bench-out BENCH_3.json
 //	                                # throughput scenarios -> versioned JSON
-//	hswbench -bench-compare BENCH_1.json BENCH_2.json
+//	hswbench -bench-compare BENCH_2.json BENCH_3.json
 //	                                # diff deterministic sim-side anchors
 //
 // Experiment ids follow DESIGN.md: table1, table2, table3, table4, table5,
@@ -20,9 +20,10 @@
 // pointer chase, capacity pressure, chaos stream, and the farm-parallel
 // chaos stream — and emits versioned JSON: deterministic simulation-side
 // counters as regression anchors plus wall-clock transactions/second as
-// the performance trajectory. The checked-in BENCH_2.json at the
-// repository root records the current baseline (BENCH_1.json is its
-// predecessor); -bench-compare verifies that the sim-side anchors of
+// the performance trajectory. The checked-in BENCH_3.json at the
+// repository root records the current baseline (BENCH_1.json and
+// BENCH_2.json are its predecessors); -bench-compare verifies that the
+// sim-side anchors of
 // every scenario shared by two reports are byte-identical and that no
 // scenario was dropped.
 //

@@ -20,6 +20,30 @@ type Line struct {
 // used first.
 type set struct {
 	ways []Line
+	// filt is a 64-bit tag-presence filter over the resident ways: bit
+	// filterBit(addr) is set for every cached line. A clear bit proves a
+	// miss without scanning the ways — the common case on the coherence
+	// engine's cross-node probes and the invariant checker's per-line
+	// gathers, where most caches do not hold the line. False positives
+	// only cost the scan; the filter is recomputed exactly on every
+	// removal, so false negatives cannot occur.
+	filt uint64
+}
+
+// filterBit hashes a line address to one of 64 filter bits. The set index
+// uses the low address bits, so lines colliding in a set differ in high
+// bits; the multiplicative hash folds those in.
+func filterBit(l addr.LineAddr) uint64 {
+	return 1 << ((uint64(l) * 0x9e3779b97f4a7c15) >> 58)
+}
+
+// recompute rebuilds the presence filter from the resident ways.
+func (s *set) recompute() {
+	f := uint64(0)
+	for i := range s.ways {
+		f |= filterBit(s.ways[i].Addr)
+	}
+	s.filt = f
 }
 
 // Geometry describes a cache's size parameters.
@@ -94,9 +118,12 @@ func (c *Cache) setOf(l addr.LineAddr) *set {
 // reports presence with a valid state.
 func (c *Cache) Lookup(l addr.LineAddr) (Line, bool) {
 	s := c.setOf(l)
-	for _, w := range s.ways {
-		if w.Addr == l && w.State.Valid() {
-			return w, true
+	if s.filt&filterBit(l) == 0 {
+		return Line{}, false
+	}
+	for i := range s.ways {
+		if s.ways[i].Addr == l && s.ways[i].State.Valid() {
+			return s.ways[i], true
 		}
 	}
 	return Line{}, false
@@ -121,6 +148,10 @@ func (c *Cache) StateOf(l addr.LineAddr) State {
 // true if the line was present.
 func (c *Cache) Touch(l addr.LineAddr) bool {
 	s := c.setOf(l)
+	if s.filt&filterBit(l) == 0 {
+		c.misses++
+		return false
+	}
 	for i, w := range s.ways {
 		if w.Addr == l && w.State.Valid() {
 			copy(s.ways[1:i+1], s.ways[:i])
@@ -141,22 +172,26 @@ func (c *Cache) Insert(line Line) (victim Line, evicted bool) {
 		panic(fmt.Sprintf("cache %s: inserting invalid line %#x", c.geom.Name, line.Addr))
 	}
 	s := c.setOf(line.Addr)
-	for i, w := range s.ways {
-		if w.Addr == line.Addr && w.State.Valid() {
-			copy(s.ways[1:i+1], s.ways[:i])
-			s.ways[0] = line
-			return Line{}, false
+	if s.filt&filterBit(line.Addr) != 0 {
+		for i, w := range s.ways {
+			if w.Addr == line.Addr && w.State.Valid() {
+				copy(s.ways[1:i+1], s.ways[:i])
+				s.ways[0] = line
+				return Line{}, false
+			}
 		}
 	}
 	if len(s.ways) < c.geom.Ways {
 		s.ways = append(s.ways, Line{})
 		copy(s.ways[1:], s.ways[:len(s.ways)-1])
 		s.ways[0] = line
+		s.filt |= filterBit(line.Addr)
 		return Line{}, false
 	}
 	victim = s.ways[len(s.ways)-1]
 	copy(s.ways[1:], s.ways[:len(s.ways)-1])
 	s.ways[0] = line
+	s.recompute()
 	c.evictions++
 	return victim, true
 }
@@ -172,6 +207,7 @@ func (c *Cache) Update(l addr.LineAddr, fn func(*Line)) bool {
 				// State transitioned to Invalid: drop the way.
 				copy(s.ways[i:], s.ways[i+1:])
 				s.ways = s.ways[:len(s.ways)-1]
+				s.recompute()
 			}
 			return true
 		}
@@ -182,10 +218,14 @@ func (c *Cache) Update(l addr.LineAddr, fn func(*Line)) bool {
 // Invalidate removes the line, returning its last entry.
 func (c *Cache) Invalidate(l addr.LineAddr) (Line, bool) {
 	s := c.setOf(l)
+	if s.filt&filterBit(l) == 0 {
+		return Line{}, false
+	}
 	for i, w := range s.ways {
 		if w.Addr == l && w.State.Valid() {
 			copy(s.ways[i:], s.ways[i+1:])
 			s.ways = s.ways[:len(s.ways)-1]
+			s.recompute()
 			return w, true
 		}
 	}
@@ -196,9 +236,11 @@ func (c *Cache) Invalidate(l addr.LineAddr) (Line, bool) {
 // now, without modifying the cache.
 func (c *Cache) VictimIfMiss(l addr.LineAddr) (Line, bool) {
 	s := c.setOf(l)
-	for _, w := range s.ways {
-		if w.Addr == l && w.State.Valid() {
-			return Line{}, false
+	if s.filt&filterBit(l) != 0 {
+		for i := range s.ways {
+			if s.ways[i].Addr == l && s.ways[i].State.Valid() {
+				return Line{}, false
+			}
 		}
 	}
 	if len(s.ways) < c.geom.Ways {
@@ -220,6 +262,7 @@ func (c *Cache) Len() int {
 func (c *Cache) Clear() {
 	for i := range c.sets {
 		c.sets[i].ways = c.sets[i].ways[:0]
+		c.sets[i].filt = 0
 	}
 }
 

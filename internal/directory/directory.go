@@ -16,6 +16,7 @@ package directory
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"haswellep/internal/addr"
@@ -55,33 +56,153 @@ func (s MemState) String() string {
 
 // InMemory is the per-home-agent in-memory directory. Absent entries read
 // as RemoteInvalid, exactly like freshly initialized ECC directory bits.
+//
+// The store is an open-addressed, power-of-two hash table with linear
+// probing: parallel key/state arrays, no boxing, no per-entry allocation.
+// A slot holding RemoteInvalid IS the empty slot — the directory's own
+// semantics make the default state and absence indistinguishable, so
+// deletion (SetState to RemoteInvalid) backward-shifts the probe chain and
+// the table never needs tombstones. The transaction hot path (State,
+// SetState) therefore costs one multiply and a short probe, with zero
+// allocations.
 type InMemory struct {
-	m map[addr.LineAddr]MemState
+	keys   []addr.LineAddr
+	states []MemState
+	mask   uint64
+	shift  uint
+	n      int
 	// writes counts directory update operations (each implies a memory
 	// write of the ECC bits).
 	writes uint64
+	// sorted caches the ascending key list ForEach iterates; it is
+	// invalidated by any insert or delete and rebuilt (into the same
+	// buffer) on the next ForEach.
+	sorted   []addr.LineAddr
+	sortedOK bool
 }
+
+// inMemoryMinSlots is the initial table size; must be a power of two.
+const inMemoryMinSlots = 1024
 
 // NewInMemory builds an empty in-memory directory.
 func NewInMemory() *InMemory {
-	return &InMemory{m: make(map[addr.LineAddr]MemState)}
+	d := &InMemory{}
+	d.init(inMemoryMinSlots)
+	return d
+}
+
+func (d *InMemory) init(slots int) {
+	d.keys = make([]addr.LineAddr, slots)
+	d.states = make([]MemState, slots)
+	d.mask = uint64(slots - 1)
+	d.shift = 64 - uint(bits.TrailingZeros(uint(slots)))
+	d.n = 0
+}
+
+// slotOf returns the starting probe slot for a line (Fibonacci hashing:
+// the top log2(slots) bits of the multiplicative hash).
+func (d *InMemory) slotOf(l addr.LineAddr) uint64 {
+	return (uint64(l) * 0x9e3779b97f4a7c15) >> d.shift
 }
 
 // State returns the directory state of a line.
-func (d *InMemory) State(l addr.LineAddr) MemState { return d.m[l] }
+func (d *InMemory) State(l addr.LineAddr) MemState {
+	i := d.slotOf(l)
+	for {
+		if d.states[i] == RemoteInvalid {
+			return RemoteInvalid
+		}
+		if d.keys[i] == l {
+			return d.states[i]
+		}
+		i = (i + 1) & d.mask
+	}
+}
 
 // SetState updates the directory state of a line, counting a write when the
 // state actually changes.
 func (d *InMemory) SetState(l addr.LineAddr, s MemState) {
-	if d.m[l] == s {
-		return
+	i := d.slotOf(l)
+	for {
+		if d.states[i] == RemoteInvalid {
+			// Absent. Setting to the default state is a no-op.
+			if s == RemoteInvalid {
+				return
+			}
+			d.writes++
+			d.keys[i] = l
+			d.states[i] = s
+			d.n++
+			d.sortedOK = false
+			// Grow at 3/4 load so probe chains stay short.
+			if uint64(d.n)*4 > (d.mask+1)*3 {
+				d.grow()
+			}
+			return
+		}
+		if d.keys[i] == l {
+			if d.states[i] == s {
+				return
+			}
+			d.writes++
+			if s == RemoteInvalid {
+				d.deleteSlot(i)
+				return
+			}
+			d.states[i] = s
+			return
+		}
+		i = (i + 1) & d.mask
 	}
-	d.writes++
-	if s == RemoteInvalid {
-		delete(d.m, l)
-		return
+}
+
+// deleteSlot empties slot i and backward-shifts the rest of its probe chain
+// so every surviving entry stays reachable from its home slot.
+func (d *InMemory) deleteSlot(i uint64) {
+	d.n--
+	d.sortedOK = false
+	for {
+		d.states[i] = RemoteInvalid
+		d.keys[i] = 0
+		// Walk the chain after the hole; move back any entry whose home
+		// slot does not lie strictly between the hole and its current slot.
+		j := i
+		for {
+			j = (j + 1) & d.mask
+			if d.states[j] == RemoteInvalid {
+				return
+			}
+			h := d.slotOf(d.keys[j])
+			// Entry at j belongs at h; it may fill the hole at i unless h
+			// lies in the (cyclic) range (i, j].
+			if (j >= i && (h > i && h <= j)) || (j < i && (h > i || h <= j)) {
+				continue
+			}
+			d.keys[i] = d.keys[j]
+			d.states[i] = d.states[j]
+			i = j
+			break
+		}
 	}
-	d.m[l] = s
+}
+
+// grow doubles the table and re-inserts every entry.
+func (d *InMemory) grow() {
+	oldKeys, oldStates := d.keys, d.states
+	d.init(len(oldKeys) * 2)
+	for i, s := range oldStates {
+		if s == RemoteInvalid {
+			continue
+		}
+		l := oldKeys[i]
+		j := d.slotOf(l)
+		for d.states[j] != RemoteInvalid {
+			j = (j + 1) & d.mask
+		}
+		d.keys[j] = l
+		d.states[j] = s
+		d.n++
+	}
 }
 
 // Writes returns how many directory state changes occurred.
@@ -92,25 +213,55 @@ func (d *InMemory) Writes() uint64 { return d.writes }
 // invariant checkers emit violations from inside this callback, and those
 // reach replay digests and flight-recorder captures, which require
 // byte-identical re-execution. fn must not mutate the directory.
+//
+// The ascending key list is cached between calls and only rebuilt (into
+// the same buffer) after an insert or delete, so back-to-back full checks
+// on an unchanged directory pay no sort.
 func (d *InMemory) ForEach(fn func(addr.LineAddr, MemState)) {
-	lines := make([]addr.LineAddr, 0, len(d.m))
-	//hsw:unordered key collection; order restored by the sort below
-	for l := range d.m {
-		lines = append(lines, l)
+	if !d.sortedOK {
+		d.sorted = d.sorted[:0]
+		for i, s := range d.states {
+			if s != RemoteInvalid {
+				d.sorted = append(d.sorted, d.keys[i])
+			}
+		}
+		sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+		d.sortedOK = true
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	for _, l := range lines {
-		fn(l, d.m[l])
+	for _, l := range d.sorted {
+		fn(l, d.State(l))
+	}
+}
+
+// ForEachUnordered calls fn for every line in a non-default state, in
+// storage (probe-table) order. It skips the sorted-key maintenance ForEach
+// pays for; callers that sort or bucket the lines themselves — the
+// invariant checker's full-machine sweep — use it so a directory mutated
+// since the last sweep costs O(slots) to walk, not O(n log n) to re-sort.
+// fn must not mutate the directory.
+func (d *InMemory) ForEachUnordered(fn func(addr.LineAddr, MemState)) {
+	for i, s := range d.states {
+		if s != RemoteInvalid {
+			fn(d.keys[i], s)
+		}
 	}
 }
 
 // Len returns the number of lines in a non-default state.
-func (d *InMemory) Len() int { return len(d.m) }
+func (d *InMemory) Len() int { return d.n }
 
-// Clear resets every line to RemoteInvalid.
+// Clear resets every line to RemoteInvalid in place, retaining the table's
+// capacity: a cleared directory allocates nothing when refilled to its
+// previous size (farm points reuse engines across resets).
 func (d *InMemory) Clear() {
-	d.m = make(map[addr.LineAddr]MemState)
+	for i := range d.states {
+		d.states[i] = RemoteInvalid
+		d.keys[i] = 0
+	}
+	d.n = 0
 	d.writes = 0
+	d.sorted = d.sorted[:0]
+	d.sortedOK = false
 }
 
 // PresenceVector is a bitmask of NUMA nodes holding a copy of a line; the
@@ -135,6 +286,12 @@ func (v PresenceVector) Count() int {
 	}
 	return n
 }
+
+// Sole returns the lowest node id present in the vector (the only one when
+// Count() == 1). It is the allocation-free form of Nodes()[0] the
+// transaction hot path uses; calling it on an empty vector is a programmer
+// error (it returns 8, outside every topology).
+func (v PresenceVector) Sole() int { return bits.TrailingZeros8(uint8(v)) }
 
 // Nodes lists the node ids present in the vector, ascending.
 func (v PresenceVector) Nodes() []int {

@@ -242,3 +242,112 @@ func TestHitMEClear(t *testing.T) {
 		t.Error("Clear left stats")
 	}
 }
+
+// TestInMemoryMatchesReferenceMap drives the open-addressed store and a
+// reference map through the same deletion-heavy operation sequence and
+// demands identical State, Len, Writes, and ForEach output at every step.
+// The line universe is small relative to the operation count, so slots are
+// constantly inserted, updated, and backward-shift deleted, and the table
+// grows through several doublings.
+func TestInMemoryMatchesReferenceMap(t *testing.T) {
+	d := NewInMemory()
+	ref := map[addr.LineAddr]MemState{}
+	var refWrites uint64
+
+	// Deterministic xorshift stream; no global rand.
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+
+	universe := make([]addr.LineAddr, 4096)
+	for i := range universe {
+		// Cluster addresses the way real allocations do (dense lines above
+		// a large node base) with a few wild bits mixed in.
+		universe[i] = addr.LineAddr(1<<30 + uint64(i) + (next()&7)<<40)
+	}
+
+	check := func(step int) {
+		t.Helper()
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d, reference has %d", step, d.Len(), len(ref))
+		}
+		if d.Writes() != refWrites {
+			t.Fatalf("step %d: Writes=%d, reference counted %d", step, d.Writes(), refWrites)
+		}
+		var prev addr.LineAddr
+		seen := 0
+		d.ForEach(func(l addr.LineAddr, s MemState) {
+			if seen > 0 && l <= prev {
+				t.Fatalf("step %d: ForEach order violated: %#x after %#x", step, l, prev)
+			}
+			prev = l
+			seen++
+			if ref[l] != s {
+				t.Fatalf("step %d: ForEach(%#x)=%v, reference %v", step, l, s, ref[l])
+			}
+		})
+		if seen != len(ref) {
+			t.Fatalf("step %d: ForEach visited %d lines, reference has %d", step, seen, len(ref))
+		}
+	}
+
+	for step := 0; step < 60000; step++ {
+		l := universe[next()%uint64(len(universe))]
+		s := MemState(next() % 3) // deletes a third of the time
+		if ref[l] != s {
+			refWrites++
+			if s == RemoteInvalid {
+				delete(ref, l)
+			} else {
+				ref[l] = s
+			}
+		}
+		d.SetState(l, s)
+		if got := d.State(l); got != s {
+			t.Fatalf("step %d: State(%#x)=%v after SetState(%v)", step, l, got, s)
+		}
+		// Spot-check a random other line every step; full scan periodically.
+		o := universe[next()%uint64(len(universe))]
+		if got := d.State(o); got != ref[o] {
+			t.Fatalf("step %d: State(%#x)=%v, reference %v", step, o, got, ref[o])
+		}
+		if step%4096 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+
+	// Clear must retain capacity: refilling to the previous size allocates
+	// no new table.
+	slots := len(d.keys)
+	d.Clear()
+	if d.Len() != 0 || d.Writes() != 0 {
+		t.Fatalf("Clear left Len=%d Writes=%d", d.Len(), d.Writes())
+	}
+	d.ForEach(func(l addr.LineAddr, s MemState) { t.Fatalf("Clear left entry %#x=%v", l, s) })
+	if len(d.keys) != slots {
+		t.Fatalf("Clear shrank the table: %d slots, had %d", len(d.keys), slots)
+	}
+	for i := 0; i < slots/2; i++ {
+		d.SetState(addr.LineAddr(1<<30+uint64(i)), SharedRemote)
+	}
+	if len(d.keys) != slots {
+		t.Fatalf("refill to half load grew the table: %d slots, had %d", len(d.keys), slots)
+	}
+}
+
+func TestPresenceVectorSole(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		v := PresenceVector(0).With(n)
+		if v.Sole() != n {
+			t.Errorf("With(%d).Sole() = %d", n, v.Sole())
+		}
+	}
+	if got := (PresenceVector(0).With(2).With(5)).Sole(); got != 2 {
+		t.Errorf("multi-node Sole() = %d, want lowest bit 2", got)
+	}
+}

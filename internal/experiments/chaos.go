@@ -343,17 +343,32 @@ func sanitizeKey(key string) string {
 	}, key)
 }
 
-// chaosPointRun measures one fault rate: build a fresh fault-injecting
-// engine, run the matrices, gate on the invariant checker, and return the
-// measured numbers. When the farm drives it (fc non-nil) and a bundle
-// directory is configured, a panic-capture hook is registered as soon as
-// the flight recorder exists, so even an early panic yields a replayable
-// bundle.
+// chaosPointRun measures one fault rate: acquire a fault-injecting engine
+// (rearming the worker's pooled machine when the farm offers one, building
+// fresh otherwise), run the matrices, gate on the invariant checker, and
+// return the measured numbers. When the farm drives it (fc non-nil) and a
+// bundle directory is configured, a panic-capture hook is registered as
+// soon as the flight recorder exists, so even an early panic yields a
+// replayable bundle.
 func chaosPointRun(seed int64, rate float64, o ChaosOptions, fc *farm.Ctx, injectPanic bool) (chaosPointRec, error) {
 	plan := ChaosPlanAt(seed, rate)
-	env, err := NewEnvWithFaultsProto(machine.COD, plan, o.Protocol)
-	if err != nil {
-		return chaosPointRec{}, err
+	var env *Env
+	if fc != nil {
+		if pooled, ok := fc.Pooled().(*Env); ok && pooled.Rearm(plan, o.Protocol) == nil {
+			env = pooled
+		}
+	}
+	if env == nil {
+		fresh, err := NewEnvWithFaultsProto(machine.COD, plan, o.Protocol)
+		if err != nil {
+			return chaosPointRec{}, err
+		}
+		env = fresh
+	}
+	if fc != nil {
+		// Deposit the engine for the next point on this worker; the farm
+		// discards the deposit if this attempt fails or is abandoned.
+		defer fc.Keep(env)
 	}
 	var tr *trace.Recorder
 	if o.BundleDir != "" {

@@ -213,3 +213,33 @@ func TestFarmReplaysCommittedCorpus(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPooledEnvMatchesFresh: farm-driven points reuse the worker's
+// pooled machine (chaosPointRun rearms it via Env.Rearm); a point measured
+// on a rearmed machine must be byte-identical to the same point measured
+// on a freshly built one. The serial chaosPointRun path (no farm context)
+// always builds fresh, so it is the reference.
+func TestChaosPooledEnvMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run chaos differential in -short mode")
+	}
+	// Shards=1 forces both rates through one worker: the second point runs
+	// on the first point's rearmed machine.
+	pooled, err := ChaosSweepOpts(11, quickRates, ChaosOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pooled.Points); got != len(quickRates) {
+		t.Fatalf("sweep completed %d points, want %d", got, len(quickRates))
+	}
+	for i, rate := range quickRates {
+		rec, err := chaosPointRun(11, rate, ChaosOptions{}, nil, false)
+		if err != nil {
+			t.Fatalf("fresh point rate=%g: %v", rate, err)
+		}
+		if fresh := rec.Point(false); !reflect.DeepEqual(fresh, pooled.Points[i]) {
+			t.Errorf("rate %g: pooled point differs from fresh build:\npooled: %+v\nfresh:  %+v",
+				rate, pooled.Points[i], fresh)
+		}
+	}
+}

@@ -51,6 +51,11 @@ type Env struct {
 	// AttachFlightRecorder; SolveMaxMin logs solver invocations into it.
 	tr *trace.Recorder
 
+	// detach unhooks the always-on incremental checker; Rearm uses it to
+	// swap in a fresh checker and recorder when the env is pooled across
+	// experiment points.
+	detach func()
+
 	// lastAlloc is the most recent Alloc result (see lastRegion).
 	lastAlloc addr.Region
 }
@@ -104,17 +109,60 @@ func NewEnvWithFaultsProto(mode machine.SnoopMode, plan fault.Plan, proto cohere
 // even a rare full Check dominates the run) — harnesses that want one run
 // invariant.Check explicitly, as the chaos sweep does per point.
 func newEnv(mode machine.SnoopMode, m *machine.Machine, e *mesif.Engine) *Env {
+	env := &Env{Mode: mode, M: m, E: e, P: placement.New(e)}
+	env.attachChecker()
+	return env
+}
+
+// attachChecker installs a fresh incremental checker and recorder on the
+// env's engine, choosing the cadence from the engine's current fault plan.
+func (env *Env) attachChecker() {
 	rec := &invariant.Recorder{}
 	o := invariant.IncrementalOptions{Epoch: invariant.NoEpoch, Sample: 16, Fast: true}
-	if e.Faults != nil && e.Faults.Plan().Active() {
+	if env.E.Faults != nil && env.E.Faults.Plan().Active() {
 		// Dynamic faults can strike: check every transaction, so an
 		// unrecovered fault is pinned to the transaction that exposed it.
 		// An inert (rate-0) plan is documented to behave identically to
 		// no injector at all, and keeps the sampled cadence.
 		o.Sample = 1
 	}
-	invariant.AttachIncrementalOpts(e, o, rec.Record)
-	return &Env{Mode: mode, M: m, E: e, P: placement.New(e), Check: rec}
+	env.detach = invariant.AttachIncrementalOpts(env.E, o, rec.Record)
+	env.Check = rec
+}
+
+// Rearm returns a pooled env to a state indistinguishable from one freshly
+// built by NewEnvWithFaultsProto(env.Mode, plan, proto): the machine is
+// reconfigured onto the plan's degraded latency parameters and
+// power-cycled (caches, directories, statistics, and the allocation map
+// all cleared), a fresh deterministic injector replaces the old one,
+// engine statistics reset, and a fresh incremental checker and recorder
+// are attached at the cadence the new plan demands. It fails — leaving the
+// env unusable for measurement — only when the requested configuration
+// differs structurally from the pooled machine (e.g. a different
+// protocol), in which case the caller builds a fresh env instead.
+//
+// The experiment farm's worker pools (farm.Ctx.Keep) use this to reuse one
+// machine across a sweep's points; the chaos sweep's serial-vs-farm
+// differential test is the proof that reuse is behaviorally invisible.
+func (env *Env) Rearm(plan fault.Plan, proto coherence.ID) error {
+	cfg := machine.TestSystem(env.Mode)
+	cfg.Protocol = proto
+	if err := env.M.Reconfigure(plan.Configure(cfg)); err != nil {
+		return err
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		return err
+	}
+	env.detach()
+	env.M.PowerCycle()
+	env.E.Faults = inj
+	env.E.ResetStats()
+	env.E.WorkingSet = 0
+	env.tr = nil
+	env.lastAlloc = addr.Region{}
+	env.attachChecker()
+	return nil
 }
 
 // FirstCore returns the first core of a NUMA node, the core the paper's

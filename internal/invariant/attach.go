@@ -19,10 +19,12 @@ type ReportFunc func(op mesif.Op, core topology.CoreID, l addr.LineAddr, found [
 // The incremental dirty-set check catches any damage a transaction does to
 // the lines it touched the moment it happens; the epoch Check is only the
 // safety net for what a per-line check cannot see — an entry filed under
-// the wrong home agent (checkAgentFiling). A full Check is O(every cached
-// line) — ~1.5 s on a capacity-loaded machine — so the period must be long
-// enough to amortize to noise (~1.4 µs/transaction here); callers running
-// short adversarial workloads should pass a much smaller epoch instead.
+// the wrong home agent (the agent-filing scan). A full Check is O(every
+// cached line) — the sweep-based CheckAll runs in ~0.2 s even on a
+// capacity-loaded machine, and the attached epoch checker reuses its
+// gather/sort buffers across epochs — so the default period amortizes it
+// to noise (~0.2 µs/transaction); callers running short adversarial
+// workloads should pass a much smaller epoch instead.
 const DefaultEpoch = 1 << 20
 
 // Attach installs the machine-wide checker as the engine's AfterTransaction
@@ -69,6 +71,14 @@ type IncrementalOptions struct {
 	// the full-fidelity one; periodic full Checks are always full
 	// fidelity.
 	Fast bool
+	// VerboseStale composes detail strings for ClassStale findings. By
+	// default the attached checkers (incremental and epoch alike) run
+	// lean (Checker.LeanStale): the harness consumers only count stale
+	// findings, never read their details, and composing them dominates
+	// checking cost on capacity-loaded machines. Hard-violation details
+	// are always composed. Set VerboseStale for debugging sessions that
+	// read the stale text.
+	VerboseStale bool
 }
 
 // NoEpoch as IncrementalOptions.Epoch disables periodic full Checks.
@@ -108,11 +118,19 @@ func AttachIncrementalOpts(e *mesif.Engine, o IncrementalOptions, report ReportF
 	if o.Fast {
 		c = NewFastChecker(e.M)
 	}
+	// The epoch Check keeps its own full-fidelity checker so the sweep
+	// buffers survive between epochs; its findings (like the incremental
+	// ones) are valid until the next epoch fires.
+	full := NewChecker(e.M)
+	if !o.VerboseStale {
+		c.LeanStale()
+		full.LeanStale()
+	}
 	n := 0
 	inner := attach(e, report, func(addr.LineAddr) []Violation {
 		n++
 		if o.Epoch > 0 && n%o.Epoch == 0 {
-			return Check(e.M)
+			return full.CheckAll()
 		}
 		if o.Sample > 1 && n%o.Sample != 0 {
 			return nil

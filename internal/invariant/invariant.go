@@ -73,7 +73,6 @@ package invariant
 
 import (
 	"fmt"
-	"sort"
 
 	"haswellep/internal/addr"
 	"haswellep/internal/cache"
@@ -206,11 +205,11 @@ func Hard(vs []Violation) []Violation {
 
 // Check validates the entire machine: every line found in any cache,
 // directory, or directory cache is checked, plus a cross-agent scan for
-// directory entries filed under the wrong home agent.
+// directory entries filed under the wrong home agent. It is the one-shot
+// form of Checker.CheckAll; callers that Check repeatedly (the epoch hook
+// of AttachIncremental) keep a Checker so the sweep buffers are reused.
 func Check(m *machine.Machine) []Violation {
-	out := CheckLines(m, collectLines(m))
-	out = append(out, checkAgentFiling(m)...)
-	return out
+	return NewChecker(m).CheckAll()
 }
 
 // CheckLines validates the given lines only. It is the cheap form for
@@ -225,15 +224,28 @@ func CheckLines(m *machine.Machine, lines []addr.LineAddr) []Violation {
 // NewChecker builds a reusable per-line validator for the machine: the
 // per-line scratch buffers are allocated once, so repeated CheckLines calls
 // (the per-transaction incremental mode of AttachIncremental) are
-// allocation-free unless findings are produced. A Checker is not safe for
-// concurrent use.
+// allocation-free once the findings buffer has grown to its steady-state
+// size. A Checker is not safe for concurrent use.
 func NewChecker(m *machine.Machine) *Checker {
 	return &Checker{
-		m:      m,
-		coreSt: make([]cache.State, m.Topo.Cores()),
-		l3:     make([]cache.Line, m.Topo.Nodes()),
-		l3ok:   make([]bool, m.Topo.Nodes()),
+		m:        m,
+		coreSt:   make([]cache.State, m.Topo.Cores()),
+		coreList: make([]int, 0, m.Topo.Cores()),
+		l3:       make([]cache.Line, m.Topo.Nodes()),
+		l3ok:     make([]bool, m.Topo.Nodes()),
 	}
+}
+
+// LeanStale makes the checker record ClassStale findings with an empty
+// Detail string. Stale findings are documented imprecision — silent-eviction
+// residue the protocol repairs lazily — and the always-on consumers
+// (invariant.Recorder, the bench scenarios) only count them, yet composing
+// their details dominates checking cost on capacity-loaded machines where
+// stranded core-valid bits are everywhere. Hard-violation details are
+// always composed. Returns the checker for chaining.
+func (c *Checker) LeanStale() *Checker {
+	c.lean = true
+	return c
 }
 
 // NewFastChecker builds the triage-fidelity validator the always-on harness
@@ -251,6 +263,7 @@ func NewChecker(m *machine.Machine) *Checker {
 func NewFastChecker(m *machine.Machine) *Checker {
 	c := NewChecker(m)
 	c.fast = true
+	c.lean = true
 	return c
 }
 
@@ -268,40 +281,176 @@ func (c *Checker) CheckLines(lines []addr.LineAddr) []Violation {
 	return c.out
 }
 
-// collectLines gathers every line address present anywhere in the machine.
-func collectLines(m *machine.Machine) []addr.LineAddr {
-	seen := make(map[addr.LineAddr]bool)
-	var lines []addr.LineAddr
-	add := func(l addr.LineAddr) {
-		if !seen[l] {
-			seen[l] = true
-			lines = append(lines, l)
-		}
+// CheckAll validates the entire machine in one sweep: every line present
+// in any cache, directory, or directory cache is validated, then the
+// cross-agent filing scan runs. Instead of collecting the distinct line
+// set into a map and re-looking every line up in every structure (O(lines
+// × structures)), the sweep gathers one flat (line, holder) tuple per
+// resident entry, radix-sorts the tuples by line (stable, so per-line
+// tuple order is the gather order), and walks each line's group through
+// the same validation body CheckLines uses. Findings are byte-identical
+// to per-line checking by construction: the gather order — L3 slices
+// ascending, then per-core L1/L2 pairs ascending, then directories and
+// HitME — matches the lookup order of the per-line gather, because node
+// slice and core numbering is node-major ascending (topology.System).
+//
+// The returned slice is valid until the next Check/CheckLines call on the
+// same Checker (nil when clean). The sweep buffers are retained, so
+// repeated CheckAll calls on a capacity-loaded machine allocate only
+// while the machine's footprint is still growing.
+func (c *Checker) CheckAll() []Violation {
+	c.out = c.out[:0]
+	c.gatherMachine()
+	c.sortEnts()
+	c.walk()
+	c.agentFiling()
+	if len(c.out) == 0 {
+		return nil
 	}
-	for _, cc := range m.Cores {
-		cc.L1D.ForEach(func(ln cache.Line) { add(ln.Addr) })
-		cc.L2.ForEach(func(ln cache.Line) { add(ln.Addr) })
+	return c.out
+}
+
+// sweepEnt is one (line, holder) tuple of the full-machine sweep: an L3,
+// L1, or L2 entry with its state, or a bare directory/HitME line (their
+// contents are re-read through the home agent during validation; the tuple
+// only forces the line into the sweep).
+type sweepEnt struct {
+	line addr.LineAddr
+	cv   uint32 // L3 core-valid bits
+	st   uint8  // cache.State (fits: the state enum is tiny)
+	kind uint8  // entL3..entHitME
+	idx  uint16 // slice id (entL3) or core id (entL1/entL2)
+}
+
+// Holder kinds, in per-line validation order: the stable sort keeps same-
+// line tuples in gather order, and the gather appends in this sequence.
+const (
+	entL3 = iota
+	entL1
+	entL2
+	entDir
+	entHitME
+)
+
+// gatherMachine fills c.ents with one tuple per resident entry, in the
+// order the per-line gather would visit holders: slices ascending, then
+// cores ascending (L1 before L2), then directories and HitME caches.
+func (c *Checker) gatherMachine() {
+	m := c.m
+	c.ents = c.ents[:0]
+	for s := range m.L3 {
+		si := uint16(s)
+		m.L3[s].ForEach(func(ln cache.Line) {
+			c.ents = append(c.ents, sweepEnt{line: ln.Addr, cv: ln.CoreValid, st: uint8(ln.State), kind: entL3, idx: si})
+		})
 	}
-	for _, sl := range m.L3 {
-		sl.ForEach(func(ln cache.Line) { add(ln.Addr) })
+	for i := range m.Cores {
+		ci := uint16(i)
+		m.Cores[i].L1D.ForEach(func(ln cache.Line) {
+			c.ents = append(c.ents, sweepEnt{line: ln.Addr, st: uint8(ln.State), kind: entL1, idx: ci})
+		})
+		m.Cores[i].L2.ForEach(func(ln cache.Line) {
+			c.ents = append(c.ents, sweepEnt{line: ln.Addr, st: uint8(ln.State), kind: entL2, idx: ci})
+		})
 	}
 	for _, ha := range m.HAs {
 		if ha.Dir != nil {
-			ha.Dir.ForEach(func(l addr.LineAddr, _ directory.MemState) { add(l) })
+			ha.Dir.ForEachUnordered(func(l addr.LineAddr, _ directory.MemState) {
+				c.ents = append(c.ents, sweepEnt{line: l, kind: entDir})
+			})
 		}
 		if ha.HitME != nil {
-			ha.HitME.ForEach(func(l addr.LineAddr, _ directory.PresenceVector, _ directory.EntryKind) { add(l) })
+			ha.HitME.ForEach(func(l addr.LineAddr, _ directory.PresenceVector, _ directory.EntryKind) {
+				c.ents = append(c.ents, sweepEnt{line: l, kind: entHitME})
+			})
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	return lines
 }
 
-// checkAgentFiling verifies every directory and HitME entry sits on the
-// home agent the address maps to (only reachable by corruption, since the
-// engine always routes through Machine.HA).
-func checkAgentFiling(m *machine.Machine) []Violation {
-	c := &Checker{m: m}
+// sortEnts stable-radix-sorts c.ents by line address (LSD, byte passes,
+// uniform passes skipped — line addresses span well under 64 meaningful
+// bits). Stability preserves the gather order within each line's group,
+// which is what makes the walk's finding order identical to per-line
+// checking.
+func (c *Checker) sortEnts() {
+	n := len(c.ents)
+	if n < 2 {
+		return
+	}
+	if cap(c.alt) < n {
+		c.alt = make([]sweepEnt, n)
+	}
+	a, b := c.ents, c.alt[:n]
+	var cnt [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for i := range a {
+			cnt[byte(a[i].line>>shift)]++
+		}
+		if cnt[byte(a[0].line>>shift)] == n {
+			continue // all keys share this byte; the pass is a no-op
+		}
+		sum := 0
+		for i := range cnt {
+			k := cnt[i]
+			cnt[i] = sum
+			sum += k
+		}
+		for i := range a {
+			k := byte(a[i].line >> shift)
+			b[cnt[k]] = a[i]
+			cnt[k]++
+		}
+		a, b = b, a
+	}
+	c.ents, c.alt = a, b
+}
+
+// walk validates each line group of the sorted sweep: the group's tuples
+// replay the per-line gather (placement and private-state findings
+// included), then the shared validation body runs.
+func (c *Checker) walk() {
+	ents := c.ents
+	for i := 0; i < len(ents); {
+		l := ents[i].line
+		j := i
+		for ; j < len(ents) && ents[j].line == l && ents[j].kind == entL3; j++ {
+			c.noteL3(l, topology.SliceID(ents[j].idx),
+				cache.Line{Addr: l, State: cache.State(ents[j].st), CoreValid: ents[j].cv})
+		}
+		for j < len(ents) && ents[j].line == l && (ents[j].kind == entL1 || ents[j].kind == entL2) {
+			core := int(ents[j].idx)
+			var s1, s2 cache.State
+			if ents[j].kind == entL1 {
+				s1 = cache.State(ents[j].st)
+				j++
+				if j < len(ents) && ents[j].line == l && ents[j].kind == entL2 && int(ents[j].idx) == core {
+					s2 = cache.State(ents[j].st)
+					j++
+				}
+			} else {
+				s2 = cache.State(ents[j].st)
+				j++
+			}
+			c.noteCore(l, core, s1, s2)
+		}
+		for ; j < len(ents) && ents[j].line == l; j++ {
+			// Directory/HitME tuples only pull the line into the sweep;
+			// validateLine reads their contents through the home agent.
+		}
+		c.validateLine(l)
+		c.resetScratch()
+		i = j
+	}
+}
+
+// agentFiling verifies every directory and HitME entry sits on the home
+// agent the address maps to (only reachable by corruption, since the
+// engine always routes through Machine.HA). Findings append to c.out.
+func (c *Checker) agentFiling() {
+	m := c.m
 	for id, ha := range m.HAs {
 		agent := topology.AgentID(id)
 		misfiled := func(l addr.LineAddr) (topology.AgentID, bool) {
@@ -312,12 +461,23 @@ func checkAgentFiling(m *machine.Machine) []Violation {
 			return want, want != agent
 		}
 		if ha.Dir != nil {
-			ha.Dir.ForEach(func(l addr.LineAddr, s directory.MemState) {
-				if want, bad := misfiled(l); bad {
-					c.add(ClassViolation, KindDirectory, l,
-						"directory entry (%v) filed on home agent %d, but the address maps to agent %d", s, agent, want)
+			// Detect on the unordered walk (no per-epoch re-sort of the
+			// whole directory); emit findings — corruption-only — on the
+			// ordered one so their order stays deterministic.
+			bad := 0
+			ha.Dir.ForEachUnordered(func(l addr.LineAddr, _ directory.MemState) {
+				if _, b := misfiled(l); b {
+					bad++
 				}
 			})
+			if bad > 0 {
+				ha.Dir.ForEach(func(l addr.LineAddr, s directory.MemState) {
+					if want, b := misfiled(l); b {
+						c.add(ClassViolation, KindDirectory, l,
+							"directory entry (%v) filed on home agent %d, but the address maps to agent %d", s, agent, want)
+					}
+				})
+			}
 		}
 		if ha.HitME != nil {
 			ha.HitME.ForEach(func(l addr.LineAddr, _ directory.PresenceVector, _ directory.EntryKind) {
@@ -328,35 +488,109 @@ func checkAgentFiling(m *machine.Machine) []Violation {
 			})
 		}
 	}
-	return c.out
 }
 
-// Checker accumulates findings; see NewChecker for the reusable form and
-// NewFastChecker for the reduced-fidelity form the harness hook runs.
+// Checker accumulates findings; see NewChecker for the reusable form,
+// NewFastChecker for the reduced-fidelity form the harness hook runs, and
+// LeanStale for detail-free stale findings.
 type Checker struct {
 	m   *machine.Machine
 	out []Violation
 	// fast selects triage fidelity: responsible-slice L3 lookups only,
-	// core scans driven by the L3 core-valid bits, detail-free stale
-	// findings. See NewFastChecker for the exact blind spots.
+	// core scans driven by the L3 core-valid bits. See NewFastChecker for
+	// the exact blind spots.
 	fast bool
-	// Scratch buffers reused across checkLine calls (nil on the ad-hoc
-	// checkers built for checkAgentFiling, which never calls checkLine).
-	coreSt []cache.State
-	l3     []cache.Line
-	l3ok   []bool
+	// lean elides ClassStale detail strings; see LeanStale.
+	lean bool
+	// Per-line scratch, empty/Invalid between lines (resetScratch):
+	// coreSt holds each core's strongest private state, coreList the
+	// cores holding a valid copy, l3/l3ok each node's L3 entry.
+	coreSt   []cache.State
+	coreList []int
+	l3       []cache.Line
+	l3ok     []bool
+	// Full-sweep scratch (CheckAll): the tuple buffer and its radix-sort
+	// double.
+	ents []sweepEnt
+	alt  []sweepEnt
 }
 
+// add appends a finding, composing its detail eagerly. Stale findings on
+// hot paths go through the non-variadic stale helpers instead, so lean
+// checkers skip both the fmt work and the argument boxing.
 func (c *Checker) add(class Class, kind Kind, l addr.LineAddr, format string, args ...interface{}) {
-	detail := ""
-	if !c.fast || class != ClassStale {
-		detail = fmt.Sprintf(format, args...)
-	}
-	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l, Detail: detail})
+	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l, Detail: fmt.Sprintf(format, args...)})
 }
 
-// checkLine runs every per-line invariant.
+// push appends a detail-free finding (the lean-stale form).
+func (c *Checker) push(class Class, kind Kind, l addr.LineAddr) {
+	c.out = append(c.out, Violation{Kind: kind, Class: class, Line: l})
+}
+
+// resetScratch restores the per-line scratch invariant (coreSt all
+// Invalid, coreList empty, l3ok all false) after a line is validated.
+func (c *Checker) resetScratch() {
+	for _, i := range c.coreList {
+		c.coreSt[i] = cache.Invalid
+	}
+	c.coreList = c.coreList[:0]
+	for n := range c.l3ok {
+		c.l3ok[n] = false
+	}
+}
+
+// checkLine runs every per-line invariant: a lookup-driven gather of the
+// line's holders followed by the shared validation body.
 func (c *Checker) checkLine(l addr.LineAddr) {
+	c.gatherLine(l)
+	c.validateLine(l)
+	c.resetScratch()
+}
+
+// noteL3 files one L3 entry into the per-line scratch, flagging entries
+// the address hash would not have placed in that slice.
+func (c *Checker) noteL3(l addr.LineAddr, sl topology.SliceID, ln cache.Line) {
+	m := c.m
+	n := m.Topo.NodeOfSlice(sl)
+	if resp := m.CAForNode(n, l); sl != resp {
+		c.add(ClassViolation, KindPlacement, l,
+			"node %d caches the line in slice %d, but the address hash selects slice %d", n, sl, resp)
+		return
+	}
+	c.l3[n], c.l3ok[n] = ln, true
+}
+
+// noteCore files one core's L1D/L2 states into the per-line scratch; it
+// checks L1/L2 agreement and that cores never hold Forward or Owned.
+func (c *Checker) noteCore(l addr.LineAddr, i int, s1, s2 cache.State) {
+	if s1.Valid() && s2.Valid() && s1 != s2 {
+		c.add(ClassViolation, KindPrivateState, l,
+			"core %d holds the line as %v in L1D but %v in L2", i, s1, s2)
+	}
+	// The innermost valid level, as HighestLevelState would return it
+	// (inlined: this runs for every core on every checked line).
+	st := s1
+	if !st.Valid() {
+		st = s2
+	}
+	if st == cache.Forward || st == cache.Owned {
+		c.add(ClassViolation, KindPrivateState, l,
+			"core %d holds the line in state %v; the engine grants only S/E/M to private caches", i, st)
+	}
+	if st.Valid() && !c.coreSt[i].Valid() {
+		c.coreList = append(c.coreList, i)
+	}
+	c.coreSt[i] = st
+}
+
+// scanCore looks up one core's private caches and files the result.
+func (c *Checker) scanCore(l addr.LineAddr, i int) {
+	cc := c.m.Cores[i]
+	c.noteCore(l, i, cc.L1D.StateOf(l), cc.L2.StateOf(l))
+}
+
+// gatherLine fills the per-line scratch by cache lookup.
+func (c *Checker) gatherLine(l addr.LineAddr) {
 	m := c.m
 	topo := m.Topo
 	nCores := topo.Cores()
@@ -368,65 +602,32 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 	// checker asks only the responsible slice, so a misplaced entry is
 	// simply not found; the full checker scans every slice of the node to
 	// flag the misplacement itself.
-	l3, l3ok := c.l3, c.l3ok
 	for n := 0; n < nNodes; n++ {
 		node := topology.NodeID(n)
 		if c.fast {
-			l3[n], l3ok[n] = m.L3[m.CAForNode(node, l)].Lookup(l)
+			c.l3[n], c.l3ok[n] = m.L3[m.CAForNode(node, l)].Lookup(l)
 			continue
 		}
-		l3ok[n] = false
 		for _, sl := range topo.SlicesOfNode(node) {
 			ln, ok := m.L3[sl].Lookup(l)
 			if !ok {
 				continue
 			}
-			// Resolve the responsible slice only on a hit; most slices
-			// miss, and the hash is not free on this path.
-			if resp := m.CAForNode(node, l); sl != resp {
-				c.add(ClassViolation, KindPlacement, l,
-					"node %d caches the line in slice %d, but the address hash selects slice %d", n, sl, resp)
-				continue
-			}
-			l3[n], l3ok[n] = ln, true
+			c.noteL3(l, sl, ln)
 		}
 	}
 
-	// Gather the strongest private state per core; check L1/L2 agreement
-	// and that cores never hold Forward. The fast checker visits only the
-	// cores the L3 entries' valid bits name (a copy held without its bit —
-	// itself a violation — is invisible to it); the full checker scans
-	// every core in the system.
-	coreSt := c.coreSt
-	scanCore := func(i int) {
-		cc := m.Cores[i]
-		s1, s2 := cc.L1D.StateOf(l), cc.L2.StateOf(l)
-		if s1.Valid() && s2.Valid() && s1 != s2 {
-			c.add(ClassViolation, KindPrivateState, l,
-				"core %d holds the line as %v in L1D but %v in L2", i, s1, s2)
-		}
-		// The innermost valid level, as HighestLevelState would return it
-		// (inlined: this loop runs for every core on every checked line).
-		st := s1
-		if !st.Valid() {
-			st = s2
-		}
-		if st == cache.Forward || st == cache.Owned {
-			c.add(ClassViolation, KindPrivateState, l,
-				"core %d holds the line in state %v; the engine grants only S/E/M to private caches", i, st)
-		}
-		coreSt[i] = st
-	}
+	// Gather the strongest private state per core. The fast checker
+	// visits only the cores the L3 entries' valid bits name (a copy held
+	// without its bit — itself a violation — is invisible to it); the
+	// full checker scans every core in the system.
 	if c.fast {
-		for i := range coreSt {
-			coreSt[i] = cache.Invalid
-		}
 		for n := 0; n < nNodes; n++ {
-			if !l3ok[n] {
+			if !c.l3ok[n] {
 				continue
 			}
 			sock := topo.SocketOfNode(topology.NodeID(n))
-			bits := l3[n].CoreValid
+			bits := c.l3[n].CoreValid
 			for bit := 0; bits != 0; bit++ {
 				if bits&(1<<uint(bit)) == 0 {
 					continue
@@ -436,21 +637,47 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 					continue // flagged by the L3-side bit check below
 				}
 				if core := sock*perDie + bit; core < nCores {
-					scanCore(core)
+					c.scanCore(l, core)
 				}
 			}
 		}
 	} else {
 		for i := 0; i < nCores; i++ {
-			scanCore(i)
+			c.scanCore(l, i)
 		}
 	}
+}
+
+// sortCoreList restores ascending core order. The lookup gather and the
+// sweep walk discover cores ascending already (O(k) pass); only the fast
+// gather's L3-bit order can be non-monotonic, and only under corruption.
+func (c *Checker) sortCoreList() {
+	a := c.coreList
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// validateLine runs the invariants over the gathered per-line scratch.
+// Loops over "every core" are driven by coreList (the cores holding a
+// valid copy, ascending — identical findings, since the skipped cores are
+// Invalid and every such loop ignores invalid states).
+func (c *Checker) validateLine(l addr.LineAddr) {
+	m := c.m
+	topo := m.Topo
+	nNodes := topo.Nodes()
+	perDie := topo.Die.Cores()
+	l3, l3ok, coreSt := c.l3, c.l3ok, c.coreSt
+	c.sortCoreList()
+	coreList := c.coreList
 
 	// SWMR: at most one core in a unique state, and then no other copy
 	// anywhere in the system.
 	uniqueCore := -1
-	for i, st := range coreSt {
-		if st.Unique() {
+	for _, i := range coreList {
+		if st := coreSt[i]; st.Unique() {
 			if uniqueCore >= 0 {
 				c.add(ClassViolation, KindSWMR, l,
 					"cores %d (%v) and %d (%v) both hold the line in a unique state", uniqueCore, coreSt[uniqueCore], i, st)
@@ -460,8 +687,8 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		}
 	}
 	if uniqueCore >= 0 {
-		for i, st := range coreSt {
-			if i != uniqueCore && st.Valid() {
+		for _, i := range coreList {
+			if st := coreSt[i]; i != uniqueCore && st.Valid() {
 				c.add(ClassViolation, KindSWMR, l,
 					"core %d holds the line (%v) while core %d holds it in a unique state (%v)", i, st, uniqueCore, coreSt[uniqueCore])
 			}
@@ -514,10 +741,8 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 
 	// Inclusivity and core-valid bits, from the core side: a private copy
 	// needs an L3 entry with the core's bit set.
-	for i, st := range coreSt {
-		if !st.Valid() {
-			continue
-		}
+	for _, i := range coreList {
+		st := coreSt[i]
 		n := topo.NodeOfCore(topology.CoreID(i))
 		if !l3ok[n] {
 			c.add(ClassViolation, KindInclusivity, l,
@@ -556,37 +781,45 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 				continue
 			}
 			if !coreSt[core].Valid() {
-				c.add(ClassStale, KindCoreValid, l,
-					"node %d's L3 sets core-valid bit %d but core %d holds no copy (silent eviction, Section VI-A)", n, bit, core)
+				if c.lean {
+					c.push(ClassStale, KindCoreValid, l)
+				} else {
+					c.add(ClassStale, KindCoreValid, l,
+						"node %d's L3 sets core-valid bit %d but core %d holds no copy (silent eviction, Section VI-A)", n, bit, core)
+				}
 			}
 		}
 	}
 
-	// Dirty-line/DRAM consistency residue: a shared-like L3 state claims
-	// the memory copy is valid, which a unique private copy would falsify.
-	for n := 0; n < nNodes; n++ {
-		if !l3ok[n] || !l3[n].State.SharedLike() {
-			continue
-		}
-		for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
-			if coreSt[core].Unique() {
-				c.add(ClassViolation, KindL3State, l,
-					"node %d's L3 holds the line %v (memory-valid) while its core %d holds it %v", n, l3[n].State, core, coreSt[core])
+	// Dirty-line/DRAM and MOESI-O residue both fire only when some core
+	// holds a unique copy; uniqueCore >= 0 iff one exists, so healthy
+	// shared lines skip both scans.
+	if uniqueCore >= 0 {
+		// A shared-like L3 state claims the memory copy is valid, which a
+		// unique private copy would falsify.
+		for n := 0; n < nNodes; n++ {
+			if !l3ok[n] || !l3[n].State.SharedLike() {
+				continue
+			}
+			for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
+				if coreSt[core].Unique() {
+					c.add(ClassViolation, KindL3State, l,
+						"node %d's L3 holds the line %v (memory-valid) while its core %d holds it %v", n, l3[n].State, core, coreSt[core])
+				}
 			}
 		}
-	}
-
-	// MOESI residue: an Owned L3 copy is shared with other nodes, so its
-	// own cores must not hold the line in a unique state — a core write
-	// would have had to invalidate the other sharers and retake M.
-	for n := 0; n < nNodes; n++ {
-		if !l3ok[n] || l3[n].State != cache.Owned {
-			continue
-		}
-		for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
-			if coreSt[core].Unique() {
-				c.add(ClassViolation, KindL3State, l,
-					"node %d's L3 holds the line O (shared dirty) while its core %d holds it %v", n, core, coreSt[core])
+		// MOESI residue: an Owned L3 copy is shared with other nodes, so
+		// its own cores must not hold the line in a unique state — a core
+		// write would have had to invalidate the other sharers and retake M.
+		for n := 0; n < nNodes; n++ {
+			if !l3ok[n] || l3[n].State != cache.Owned {
+				continue
+			}
+			for _, core := range topo.CoresOfNode(topology.NodeID(n)) {
+				if coreSt[core].Unique() {
+					c.add(ClassViolation, KindL3State, l,
+						"node %d's L3 holds the line O (shared dirty) while its core %d holds it %v", n, core, coreSt[core])
+				}
 			}
 		}
 	}
@@ -602,9 +835,11 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		return
 	}
 
-	// What the directory must cover: any copy outside the home node.
+	// What the directory must cover: any copy outside the home node. The
+	// detail — the first remote L3 holder, overridden by the last unique
+	// remote core — is composed lazily, only if a violation fires.
 	remoteClean, remoteUnique := false, false
-	remoteDetail := ""
+	remNode, remCore := -1, -1
 	for n := 0; n < nNodes; n++ {
 		if topology.NodeID(n) == home || !l3ok[n] {
 			continue
@@ -617,17 +852,18 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		} else {
 			remoteClean = true
 		}
-		if remoteDetail == "" {
-			remoteDetail = fmt.Sprintf("node %d holds it %v", n, l3[n].State)
+		if remNode < 0 {
+			remNode = n
 		}
 	}
-	for i, st := range coreSt {
+	for _, i := range coreList {
+		st := coreSt[i]
 		if !st.Valid() || topo.NodeOfCore(topology.CoreID(i)) == home {
 			continue
 		}
 		if st.Unique() {
 			remoteUnique = true
-			remoteDetail = fmt.Sprintf("core %d holds it %v", i, st)
+			remCore = i
 		}
 	}
 	required := directory.RemoteInvalid
@@ -641,14 +877,24 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 	_, _, hitmeValid := peekHitME(ha, l)
 	switch {
 	case got < required:
+		detail := ""
+		if remCore >= 0 {
+			detail = fmt.Sprintf("core %d holds it %v", remCore, coreSt[remCore])
+		} else if remNode >= 0 {
+			detail = fmt.Sprintf("node %d holds it %v", remNode, l3[remNode].State)
+		}
 		c.add(ClassViolation, KindDirectory, l,
-			"in-memory directory reads %v but %s (requires at least %v)", got, remoteDetail, required)
+			"in-memory directory reads %v but %s (requires at least %v)", got, detail, required)
 	case got > required && !hitmeValid:
 		// Documented staleness: silent L3 evictions never write the
 		// directory back (Table V). With a valid HitME entry the
 		// snoop-all state is pinned by AllocateShared and not reported.
-		c.add(ClassStale, KindDirectory, l,
-			"in-memory directory reads %v though only %v coverage is needed (silent-eviction staleness, Table V)", got, required)
+		if c.lean {
+			c.push(ClassStale, KindDirectory, l)
+		} else {
+			c.add(ClassStale, KindDirectory, l,
+				"in-memory directory reads %v though only %v coverage is needed (silent-eviction staleness, Table V)", got, required)
+		}
 	}
 
 	// HitME directory cache invariants.
@@ -667,33 +913,40 @@ func (c *Checker) checkLine(l addr.LineAddr) {
 		c.add(ClassViolation, KindHitME, l, "HitME entry has an empty presence vector")
 		return
 	}
-	for _, n := range v.Nodes() {
-		if n >= nNodes {
+	for n := nNodes; n < 8; n++ {
+		if v.Has(n) {
 			c.add(ClassViolation, KindHitME, l,
 				"HitME presence vector names node %d, beyond the %d-node topology", n, nNodes)
 		}
 	}
 	if kind == directory.EntryOwned {
-		owners := v.Nodes()
-		if len(owners) != 1 {
+		if owners := v.Count(); owners != 1 {
 			c.add(ClassViolation, KindHitME, l,
-				"owned HitME entry names %d nodes; directed snoops need exactly one owner", len(owners))
+				"owned HitME entry names %d nodes; directed snoops need exactly one owner", owners)
 			return
 		}
-		owner := owners[0]
+		owner := v.Sole()
 		if topology.NodeID(owner) == home {
 			c.add(ClassViolation, KindHitME, l,
 				"owned HitME entry names the home node %d; only remote owners are tracked", owner)
 		} else if owner < nNodes && !(l3ok[owner] && proto.CanForward(l3[owner].State)) {
-			c.add(ClassStale, KindHitME, l,
-				"owned HitME entry names node %d, which no longer holds a forwardable copy (dropped on next touch)", owner)
+			if c.lean {
+				c.push(ClassStale, KindHitME, l)
+			} else {
+				c.add(ClassStale, KindHitME, l,
+					"owned HitME entry names node %d, which no longer holds a forwardable copy (dropped on next touch)", owner)
+			}
 		}
 		return
 	}
-	for _, n := range v.Nodes() {
-		if n < nNodes && !l3ok[n] {
-			c.add(ClassStale, KindHitME, l,
-				"shared HitME vector names node %d, which no longer caches the line", n)
+	for n := 0; n < nNodes; n++ {
+		if v.Has(n) && !l3ok[n] {
+			if c.lean {
+				c.push(ClassStale, KindHitME, l)
+			} else {
+				c.add(ClassStale, KindHitME, l,
+					"shared HitME vector names node %d, which no longer caches the line", n)
+			}
 		}
 	}
 }

@@ -58,6 +58,45 @@ type Machine struct {
 
 	// next allocation offset per NUMA node.
 	allocOffset []addr.PAddr
+
+	// Slice-hash decode table, built once at construction: every node of
+	// a machine has the same slice count, so addr.SliceHash(l, n) is a
+	// pure per-line function; hashMemo is a direct-mapped memo over it.
+	// The transaction path and the invariant checker resolve the
+	// responsible slice for the same line several times per transaction
+	// (request route, snoop fan-out, per-node L3 gather), and the hash
+	// ends in a division by a non-power-of-two slice count — the memo
+	// turns the repeats into one table probe. Entries are never
+	// invalidated: the memoized function depends only on the line address
+	// and the (construction-time) geometry.
+	slicesPerNode int
+	hashMemo      []hashEnt
+}
+
+// hashEnt is one slot of the slice-hash memo. The zero entry (line 0,
+// hash 0) is exactly what SliceHash returns for line 0, so a fresh table
+// needs no validity flags.
+type hashEnt struct {
+	line addr.LineAddr
+	hash int32
+}
+
+// hashMemoBits sizes the memo (power of two; 64 KiB of entries). It
+// comfortably covers the revisit window of streaming workloads and the
+// dirty sets of checker-attached runs.
+const (
+	hashMemoBits  = 12
+	hashMemoSlots = 1 << hashMemoBits
+)
+
+// sliceHashOf resolves addr.SliceHash(l, slicesPerNode) through the memo.
+func (m *Machine) sliceHashOf(l addr.LineAddr) int {
+	e := &m.hashMemo[(uint64(l)*0x9e3779b97f4a7c15)>>(64-hashMemoBits)]
+	if e.line != l {
+		e.line = l
+		e.hash = int32(addr.SliceHash(l, m.slicesPerNode))
+	}
+	return int(e.hash)
 }
 
 // New assembles a machine from the configuration.
@@ -98,6 +137,8 @@ func New(cfg Config) (*Machine, error) {
 		m.HAs = append(m.HAs, ha)
 	}
 	m.allocOffset = make([]addr.PAddr, topo.Nodes())
+	m.slicesPerNode = len(topo.SlicesOfNode(0))
+	m.hashMemo = make([]hashEnt, hashMemoSlots)
 	return m, nil
 }
 
@@ -134,6 +175,48 @@ func (m *Machine) Reset() {
 	if m.OnReset != nil {
 		m.OnReset()
 	}
+}
+
+// PowerCycle is Reset plus allocation-map erasure: the machine returns to
+// its just-constructed state, with every cache, directory, statistic, AND
+// per-node allocation offset cleared — previously handed-out regions are
+// forgotten, and the next AllocOnNode hands out the same bases a fresh
+// machine would. The experiment farm power-cycles pooled machines between
+// points so a reused engine is indistinguishable from a new one.
+func (m *Machine) PowerCycle() {
+	for i := range m.allocOffset {
+		m.allocOffset[i] = 0
+	}
+	m.Reset()
+}
+
+// Reconfigure swaps the machine onto a new configuration that shares the
+// current one's structure — sockets, die, snoop mode, protocol, and
+// directory/HitME arrangement must be identical; latency, DRAM, and QPI
+// parameters (the fields a fault.Plan degrades per experiment point) take
+// effect immediately. DRAM controllers are rebuilt from the new config;
+// cached state is left alone, so callers pooling machines across points
+// follow Reconfigure with PowerCycle.
+func (m *Machine) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	old := m.Cfg
+	if cfg.Sockets != old.Sockets || cfg.Die != old.Die || cfg.Mode != old.Mode ||
+		cfg.Protocol != old.Protocol ||
+		cfg.DirectoryEnabled() != old.DirectoryEnabled() ||
+		cfg.DisableHitME != old.DisableHitME || cfg.HitMEBytes != old.HitMEBytes {
+		return fmt.Errorf("machine: Reconfigure requires an identical structure (sockets/die/mode/protocol/directory); build a new machine instead")
+	}
+	for _, ha := range m.HAs {
+		ctl, err := dram.NewController(cfg.DRAM)
+		if err != nil {
+			return err
+		}
+		ha.DRAM = ctl
+	}
+	m.Cfg = cfg
+	return nil
 }
 
 // AllocOnNode reserves size bytes of line-aligned memory homed on the given
@@ -224,14 +307,12 @@ func (m *Machine) HA(l addr.LineAddr) *HomeAgent {
 // for the given core: the address hash selects among the slices of the
 // core's NUMA node (Section IV-A).
 func (m *Machine) ResponsibleCA(core topology.CoreID, l addr.LineAddr) topology.SliceID {
-	slices := m.Topo.SlicesOfNode(m.Topo.NodeOfCore(core))
-	return slices[addr.SliceHash(l, len(slices))]
+	return m.Topo.SlicesOfNode(m.Topo.NodeOfCore(core))[m.sliceHashOf(l)]
 }
 
 // CAForNode returns the slice serving the line within an arbitrary node.
 func (m *Machine) CAForNode(node topology.NodeID, l addr.LineAddr) topology.SliceID {
-	slices := m.Topo.SlicesOfNode(node)
-	return slices[addr.SliceHash(l, len(slices))]
+	return m.Topo.SlicesOfNode(node)[m.sliceHashOf(l)]
 }
 
 // Slice returns the L3 slice object.

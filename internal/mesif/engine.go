@@ -195,7 +195,7 @@ type Engine struct {
 	// engine produces them.
 	Faults *fault.Injector
 
-	stats Stats
+	stats engineStats
 
 	// Dirty-set tracking (see SetDirtyTracking): when enabled, every
 	// transaction records the set of lines whose cache entries, core-valid
@@ -203,28 +203,47 @@ type Engine struct {
 	// incremental invariant checker can validate only those lines.
 	trackDirty bool
 	dirty      []addr.LineAddr
-	dirtySeen  map[addr.LineAddr]struct{}
+}
+
+// engineStats is the engine's internal counter block: the fields of Stats
+// with the per-source map flattened into a fixed array, so record stays
+// allocation-free on the transaction path and ResetStats clears in place
+// (no map churn on farm point resets). Stats() converts to the public map
+// form.
+type engineStats struct {
+	bySource                           [NumSources]uint64
+	reads, writes, flushes, broadcasts uint64
+	dirHits, snoopsSent, snoopsQPI     uint64
 }
 
 // New builds an engine for the machine.
 func New(m *machine.Machine) *Engine {
-	return &Engine{M: m, stats: Stats{BySource: make(map[Source]uint64)}}
+	return &Engine{M: m}
 }
 
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats {
-	out := e.stats
-	out.BySource = make(map[Source]uint64, len(e.stats.BySource))
-	//hsw:unordered map-to-map copy; the result compares equal regardless of insertion order
-	for k, v := range e.stats.BySource {
-		out.BySource[k] = v
+	out := Stats{
+		Reads:      e.stats.reads,
+		Writes:     e.stats.writes,
+		Flushes:    e.stats.flushes,
+		Broadcasts: e.stats.broadcasts,
+		DirHits:    e.stats.dirHits,
+		SnoopsSent: e.stats.snoopsSent,
+		SnoopsQPI:  e.stats.snoopsQPI,
+		BySource:   make(map[Source]uint64, NumSources),
+	}
+	for s, n := range e.stats.bySource {
+		if n != 0 {
+			out.BySource[Source(s)] = n
+		}
 	}
 	return out
 }
 
-// ResetStats zeroes the statistics.
+// ResetStats zeroes the statistics in place.
 func (e *Engine) ResetStats() {
-	e.stats = Stats{BySource: make(map[Source]uint64)}
+	e.stats = engineStats{}
 }
 
 // SetDirtyTracking enables (or disables) per-transaction dirty-set
@@ -246,14 +265,10 @@ func (e *Engine) ResetStats() {
 // outside any transaction and are deliberately not tracked.)
 func (e *Engine) SetDirtyTracking(on bool) {
 	e.trackDirty = on
-	if on && e.dirtySeen == nil {
-		e.dirtySeen = make(map[addr.LineAddr]struct{}, 8)
-	}
 	if !on {
-		for _, d := range e.dirty {
-			delete(e.dirtySeen, d)
-		}
-		e.dirty = nil
+		// Truncate, keeping capacity: re-enabling tracking (engine reuse
+		// across farm points) then allocates nothing.
+		e.dirty = e.dirty[:0]
 	}
 }
 
@@ -263,15 +278,19 @@ func (e *Engine) SetDirtyTracking(on bool) {
 // SetDirtyTracking(true) was called.
 func (e *Engine) DirtyLines() []addr.LineAddr { return e.dirty }
 
-// touch adds a line to the current transaction's dirty set.
+// touch adds a line to the current transaction's dirty set. Membership is
+// a linear scan: a transaction dirties the requested line plus a handful
+// of victims, so scanning the small slice beats maintaining a map (and
+// keeps the path allocation-free once the slice has grown).
 func (e *Engine) touch(l addr.LineAddr) {
 	if !e.trackDirty {
 		return
 	}
-	if _, ok := e.dirtySeen[l]; ok {
-		return
+	for _, d := range e.dirty {
+		if d == l {
+			return
+		}
 	}
-	e.dirtySeen[l] = struct{}{}
 	e.dirty = append(e.dirty, l)
 }
 
@@ -293,18 +312,18 @@ func nsT(v float64) units.Time { return units.FromNanoseconds(v) }
 func (e *Engine) record(op Op, a Access) Access {
 	switch op {
 	case OpRead:
-		e.stats.Reads++
+		e.stats.reads++
 	case OpWrite:
-		e.stats.Writes++
+		e.stats.writes++
 	case OpFlush:
-		e.stats.Flushes++
+		e.stats.flushes++
 	}
-	e.stats.BySource[a.Source]++
+	e.stats.bySource[a.Source]++
 	if a.Broadcast {
-		e.stats.Broadcasts++
+		e.stats.broadcasts++
 	}
 	if a.DirCacheHit {
-		e.stats.DirHits++
+		e.stats.dirHits++
 	}
 	return a
 }
@@ -314,11 +333,7 @@ func (e *Engine) record(op Op, a Access) Access {
 // It is the single entry path of Read, Write, and Flush, mirroring finish.
 func (e *Engine) begin(l addr.LineAddr) {
 	if e.trackDirty {
-		for _, d := range e.dirty {
-			delete(e.dirtySeen, d)
-		}
-		e.dirty = e.dirty[:0]
-		e.touch(l)
+		e.dirty = append(e.dirty[:0], l)
 	}
 	e.faultBegin()
 }
@@ -443,9 +458,9 @@ func (e *Engine) forwardHolderNode(l addr.LineAddr) (topology.NodeID, bool) {
 
 // countSnoop books snoop messages from an origin socket to a target node.
 func (e *Engine) countSnoop(fromSocket int, to topology.NodeID) {
-	e.stats.SnoopsSent++
+	e.stats.snoopsSent++
 	if e.M.Topo.SocketOfNode(to) != fromSocket {
-		e.stats.SnoopsQPI++
+		e.stats.snoopsQPI++
 	}
 }
 

@@ -45,6 +45,14 @@ func (e *Engine) ForwardNode(l addr.LineAddr) (topology.NodeID, bool) {
 // L3; this helper provokes it directly so the Table V preconditions can be
 // reproduced with moderate buffer sizes.
 func (e *Engine) EvictCached(r addr.Region) {
+	// Inspection-time eviction happens outside any transaction and is
+	// deliberately untracked (see SetDirtyTracking): suppress dirty-set
+	// recording so a region-sized sweep does not grow the set unbounded
+	// between transactions (touch dedups by linear scan, which would turn
+	// a memory-sized region quadratic).
+	track := e.trackDirty
+	e.trackDirty = false
+	defer func() { e.trackDirty = track }()
 	for _, l := range r.Lines() {
 		for n := 0; n < e.M.Topo.Nodes(); n++ {
 			node := topology.NodeID(n)

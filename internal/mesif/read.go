@@ -458,9 +458,9 @@ func (e *Engine) codMiss(core topology.CoreID, rn topology.NodeID, l addr.LineAd
 	// 1) HitME directory cache.
 	if v, kind, hit := e.hitmeLookup(ha, l); hit {
 		if kind == directory.EntryOwned {
-			if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
-				if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
-					e.countSnoop(haSock, topology.NodeID(owner[0]))
+			if owner := v.Sole(); v.Count() == 1 && topology.NodeID(owner) != rn {
+				if ent := e.l3EntryOf(topology.NodeID(owner), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
+					e.countSnoop(haSock, topology.NodeID(owner))
 					legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
 					service, src, flv, kept := e.peerService(ent)
 					legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))

@@ -178,8 +178,8 @@ func (e *Engine) rfoDataPathCOD(core topology.CoreID, rn topology.NodeID, l addr
 
 	// Directed snoop on a HitME hit.
 	if v, kind, hit := e.hitmeLookup(ha, l); hit && kind == directory.EntryOwned {
-		if owner := v.Nodes(); len(owner) == 1 && topology.NodeID(owner[0]) != rn {
-			if ent := e.l3EntryOf(topology.NodeID(owner[0]), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
+		if owner := v.Sole(); v.Count() == 1 && topology.NodeID(owner) != rn {
+			if ent := e.l3EntryOf(topology.NodeID(owner), l); ent.ok && e.M.Proto.CanForward(ent.line.State) {
 				legTo := e.M.Leg(e.M.AgentEndpoint(agent), e.M.SliceEndpoint(ent.slice))
 				service, src, flv, _ := e.peerService(ent)
 				legData := e.M.Leg(e.M.SliceEndpoint(ent.slice), e.M.CoreEndpoint(core))
