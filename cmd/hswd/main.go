@@ -1,0 +1,142 @@
+// Command hswd is the batch what-if server: a long-running HTTP/JSON
+// front end over the experiment farm that answers placement, latency,
+// bandwidth, and chaos what-if queries (machine config + protocol + snoop
+// mode + workload) and memoizes every answer in a crash-safe checkpoint
+// journal.
+//
+// Robustness contract:
+//
+//   - kill -9 mid-batch is safe: completed points are fsynced to -journal
+//     before they are served, and a restart on the same journal re-serves
+//     them byte-identically without re-executing;
+//   - duplicate in-flight queries coalesce; repeat queries are cache hits;
+//   - the work queue is bounded (-queue-budget): excess load is shed with
+//     429 + Retry-After instead of queueing without bound;
+//   - a query key that repeatedly panics or blows -point-deadline trips a
+//     circuit breaker (-breaker-threshold, -breaker-cooldown) and is
+//     served a structured degraded response;
+//   - SIGTERM/SIGINT drain gracefully: intake stops, in-flight batches
+//     finish (bounded by -drain-timeout), the journal flushes, exit 0.
+//
+// Endpoints: POST /v1/whatif, GET /healthz, /readyz, /statz.
+//
+// Usage:
+//
+//	hswd -journal memo.journal
+//	hswd -journal memo.journal -addr 127.0.0.1:8077 -shards 4
+//	hswd -journal memo.journal -bundle-dir ./bundles -queue-budget 128
+//
+//	curl -s localhost:8077/v1/whatif -d '{"queries":[
+//	  {"kind":"latency","mode":"cod","from_node":0,"to_node":3}]}'
+//
+// Exit codes: 0 clean shutdown (including a drained SIGTERM), 1 failure,
+// 2 flag errors.
+//
+//hsw:tier tool
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"haswellep/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "hswd: "+format+"\n", a...)
+		return 1
+	}
+
+	fs := flag.NewFlagSet("hswd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address (use port 0 for an ephemeral port)")
+	journal := fs.String("journal", "", "memo journal path (required); answers re-serve across restarts from it")
+	shards := fs.Int("shards", 2, "farm worker count per batch")
+	pointDeadline := fs.Duration("point-deadline", 2*time.Minute, "per-point attempt deadline (farm watchdog)")
+	retries := fs.Int("retries", 0, "per-point retry budget for failed attempts")
+	queueBudget := fs.Int("queue-budget", 64, "max points admitted for execution across all in-flight batches; beyond it requests shed with 429")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive panics/deadline abandonments that trip a key's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-circuit cooldown before a half-open probe is allowed")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight batches")
+	bundleDir := fs.String("bundle-dir", os.Getenv("HSW_BUNDLE_DIR"),
+		"directory for repro bundles on point panic (default $HSW_BUNDLE_DIR; empty disables)")
+	injectPanic := fs.Bool("inject-panic", false,
+		"honor the X-Hswd-Inject-Panic request header (failure-path smoke hook; never enable in real serving)")
+	maxBatch := fs.Int("max-batch", 64, "max queries per request")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "hswd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *journal == "" {
+		fmt.Fprintln(stderr, "hswd: -journal is required")
+		return 2
+	}
+
+	s, err := server.New(server.Config{
+		JournalPath:      *journal,
+		Shards:           *shards,
+		PointDeadline:    *pointDeadline,
+		Retries:          *retries,
+		QueueBudget:      *queueBudget,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		BundleDir:        *bundleDir,
+		AllowInjectPanic: *injectPanic,
+		MaxBatch:         *maxBatch,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("%v", err)
+	}
+	// The listen line goes to stderr so harnesses driving an ephemeral
+	// port can scrape the bound address.
+	fmt.Fprintf(stderr, "hswd: listening on %s (journal %s, %d points warm)\n",
+		ln.Addr(), *journal, s.Journal().Len())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail("serving: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake and finish in-flight batches first
+	// (Drain), then close the HTTP side; both share the drain budget.
+	fmt.Fprintf(stderr, "hswd: signal received, draining (budget %v)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fail("drain: %v", drainErr)
+	}
+	fmt.Fprintf(stderr, "hswd: drained, journal holds %d points\n", s.Journal().Len())
+	return 0
+}

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func execRun(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	if code, _, _ := execRun(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, errOut := execRun(t); code != 2 || !strings.Contains(errOut, "-journal is required") {
+		t.Errorf("missing -journal: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := execRun(t, "-journal", "j", "stray"); code != 2 {
+		t.Errorf("stray argument: exit %d, want 2", code)
+	}
+}
+
+func TestBadJournalFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.journal")
+	if err := os.WriteFile(path, []byte(`{"journal_version":1,"campaign":"other"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := execRun(t, "-journal", path)
+	if code != 1 || !strings.Contains(errOut, "campaign") {
+		t.Errorf("campaign mismatch: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// buildHswd compiles the real binary (the integration tests exercise real
+// signals against a real process).
+func buildHswd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hswd")
+	cmd := exec.Command("go", "build", "-o", bin, "haswellep/cmd/hswd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startHswd launches the binary and scrapes the bound ephemeral address
+// from its stderr listen line.
+func startHswd(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-shards", "1"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting hswd: %v", err)
+	}
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("hswd never printed its listen line (scanner err %v)", sc.Err())
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stderr)
+	return cmd, "http://" + addr
+}
+
+// whatIfBatch is the integration batch: six distinct placement queries,
+// each a 4-cell (or 2-cell) latency matrix — slow enough that a SIGKILL
+// lands mid-batch, fast enough for CI.
+const whatIfBatch = `{"queries":[
+	{"kind":"placement","mode":"cod","from_node":0},
+	{"kind":"placement","mode":"cod","from_node":1},
+	{"kind":"placement","mode":"cod","from_node":2},
+	{"kind":"placement","mode":"cod","from_node":3},
+	{"kind":"placement","mode":"home","from_node":0},
+	{"kind":"placement","mode":"home","from_node":1}
+]}`
+
+const batchPoints = 6
+
+func postBatch(url string) (*http.Response, []byte, error) {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Post(url+"/v1/whatif", "application/json", strings.NewReader(whatIfBatch))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+// journalRecords counts the complete point records in a journal file
+// (header excluded; a torn tail does not parse and is not counted, which
+// matches what a restart will restore).
+func journalRecords(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if i == 0 || len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Point string `json:"point"`
+		}
+		if json.Unmarshal(line, &rec) == nil && rec.Point != "" {
+			n++
+		}
+	}
+	return n
+}
+
+type statz struct {
+	JournalPoints int `json:"journal_points"`
+	Counters      struct {
+		Executed  uint64 `json:"executed"`
+		CacheHits uint64 `json:"cache_hits"`
+	} `json:"counters"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+func getStatz(t *testing.T, url string) statz {
+	t.Helper()
+	resp, err := http.Get(url + "/statz")
+	if err != nil {
+		t.Fatalf("GET /statz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding statz: %v", err)
+	}
+	return st
+}
+
+// TestKillAndResume is the crash-safety serving contract: SIGKILL the
+// server mid-batch, restart on the same journal, and the batch re-serves
+// byte-identically — completed points from warm state (zero re-execution),
+// the rest executed fresh.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and kills the real binary")
+	}
+	bin := buildHswd(t)
+
+	// Reference pass: the full batch on a throwaway journal.
+	refJournal := filepath.Join(t.TempDir(), "ref.journal")
+	refCmd, refURL := startHswd(t, bin, "-journal", refJournal)
+	defer refCmd.Process.Kill()
+	resp, refBody, err := postBatch(refURL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference batch: %v %v", err, resp)
+	}
+	_ = refCmd.Process.Signal(syscall.SIGTERM)
+	if err := refCmd.Wait(); err != nil {
+		t.Fatalf("reference server did not exit 0: %v", err)
+	}
+
+	// Kill pass: same batch, SIGKILL once the journal holds ≥1 point.
+	journal := filepath.Join(t.TempDir(), "memo.journal")
+	cmd, url := startHswd(t, bin, "-journal", journal)
+	go postBatch(url) // the response dies with the process
+	deadline := time.Now().Add(2 * time.Minute)
+	for journalRecords(t, journal) == 0 {
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("no point ever reached the journal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	completed := journalRecords(t, journal)
+	if completed == 0 {
+		t.Fatal("journal empty after kill")
+	}
+	t.Logf("killed with %d/%d points journaled", completed, batchPoints)
+
+	// Restart on the same journal: byte-identical batch, no duplicate
+	// farm work for the completed prefix.
+	cmd2, url2 := startHswd(t, bin, "-journal", journal)
+	defer cmd2.Process.Kill()
+	resp2, body2, err := postBatch(url2)
+	if err != nil || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resumed batch: %v %v", err, resp2)
+	}
+	if !bytes.Equal(refBody, body2) {
+		t.Fatalf("resumed response not byte-identical to the reference:\n%s\n%s", refBody, body2)
+	}
+	if got := resp2.Header.Get("X-Hswd-Cache-Hits"); got != fmt.Sprint(completed) {
+		t.Errorf("warm-state hits = %s, want %d", got, completed)
+	}
+	st := getStatz(t, url2)
+	if st.Counters.Executed != uint64(batchPoints-completed) {
+		t.Errorf("resumed server executed %d points, want %d (completed points re-ran)",
+			st.Counters.Executed, batchPoints-completed)
+	}
+	if st.Counters.CacheHits != uint64(completed) || st.JournalPoints != batchPoints {
+		t.Errorf("resumed statz: %+v, want %d cache hits and %d journal points", st, completed, batchPoints)
+	}
+
+	// And the whole batch is now warm: a repeat executes nothing.
+	resp3, body3, err := postBatch(url2)
+	if err != nil || resp3.Header.Get("X-Hswd-Executed") != "0" {
+		t.Fatalf("warm repeat executed points: %v %v", err, resp3)
+	}
+	if !bytes.Equal(refBody, body3) {
+		t.Fatal("warm repeat not byte-identical")
+	}
+	_ = cmd2.Process.Signal(syscall.SIGTERM)
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("resumed server did not exit 0: %v", err)
+	}
+}
+
+// TestSigtermDrainsInFlight sends SIGTERM while a batch is executing: the
+// in-flight client still gets its full 200, and the process exits 0.
+func TestSigtermDrainsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and signals the real binary")
+	}
+	bin := buildHswd(t)
+	journal := filepath.Join(t.TempDir(), "memo.journal")
+	cmd, url := startHswd(t, bin, "-journal", journal)
+	defer cmd.Process.Kill()
+
+	type result struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		r, b, err := postBatch(url)
+		inflight <- result{r, b, err}
+	}()
+	// Wait until the batch is admitted and executing, then SIGTERM.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := getStatz(t, url)
+		if st.QueueDepth > 0 || st.JournalPoints > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never started executing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-inflight
+	if res.err != nil || res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight batch did not complete during drain: %v %v", res.err, res.resp)
+	}
+	var out struct {
+		Results []struct {
+			Degraded *struct{ Kind string } `json:"degraded"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(res.body, &out); err != nil || len(out.Results) != batchPoints {
+		t.Fatalf("drained response malformed: %v %s", err, res.body)
+	}
+	for i, r := range out.Results {
+		if r.Degraded != nil {
+			t.Errorf("drained result %d degraded (%s); drain should finish in-flight work", i, r.Degraded.Kind)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit not 0: %v", err)
+	}
+	if got := journalRecords(t, journal); got != batchPoints {
+		t.Errorf("journal holds %d points after drain, want %d", got, batchPoints)
+	}
+}

@@ -75,6 +75,17 @@ func NewEnvProto(mode machine.SnoopMode, proto coherence.ID) *Env {
 	return newEnv(mode, m, mesif.New(m))
 }
 
+// NewEnvCfg builds an env on an arbitrary validated machine configuration
+// — the what-if serving layer's constructor, where geometry (sockets, die
+// variant) varies per query instead of being pinned to the test system.
+func NewEnvCfg(cfg machine.Config) (*Env, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newEnv(cfg.Mode, m, mesif.New(m)), nil
+}
+
 // NewEnvWithFaults builds a test-system machine in the given mode with the
 // fault plan installed: the plan's static degradation is folded into the
 // machine configuration and its injector is attached to the engine. The

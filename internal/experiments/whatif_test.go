@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"haswellep/internal/coherence"
+	"haswellep/internal/machine"
+	"haswellep/internal/topology"
+)
+
+func TestWhatIfCanonicalDefaults(t *testing.T) {
+	s, err := WhatIfSpec{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Die: topology.Die12, From: 0, To: 1}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if s.Sockets != 2 || s.SizeBytes != SizeMem || s.Protocol != coherence.MESIF {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Cores != 0 || s.Seed != 0 || s.Rate != 0 {
+		t.Fatalf("latency kind should zero cores/seed/rate: %+v", s)
+	}
+
+	// Chaos pins the geometry, so two specs differing only in irrelevant
+	// fields share one key.
+	a, err := WhatIfSpec{Kind: WhatIfChaos, Seed: 7, Rate: 0.05, From: 3, SizeBytes: 8192}.Canonical()
+	if err != nil {
+		t.Fatalf("chaos Canonical: %v", err)
+	}
+	b, err := WhatIfSpec{Kind: WhatIfChaos, Seed: 7, Rate: 0.05, Cores: 9}.Canonical()
+	if err != nil {
+		t.Fatalf("chaos Canonical: %v", err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("equivalent chaos specs got different keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	if a.Mode != machine.COD || a.Sockets != 2 || a.Die != topology.Die12 {
+		t.Fatalf("chaos did not pin the test system: %+v", a)
+	}
+}
+
+func TestWhatIfValidateRejects(t *testing.T) {
+	bad := []WhatIfSpec{
+		{Kind: "warp", Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: SizeMem},
+		{Kind: WhatIfLatency, Mode: machine.SnoopMode(9), Sockets: 2, Die: topology.Die12, SizeBytes: SizeMem},
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 3, Die: topology.Die12, SizeBytes: SizeMem},
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.DieVariant(7), SizeBytes: SizeMem},
+		// COD on the 8-core die is an impossible geometry (config gate).
+		{Kind: WhatIfLatency, Mode: machine.COD, Sockets: 2, Die: topology.Die8, SizeBytes: SizeMem},
+		// Node indices out of range for the geometry.
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, From: 2, SizeBytes: SizeMem},
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, To: -1, SizeBytes: SizeMem},
+		{Kind: WhatIfPlacement, Mode: machine.COD, Sockets: 2, Die: topology.Die12, From: 4, SizeBytes: SizeMem},
+		// Workload bounds.
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: 64},
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: MaxWhatIfBytes + 1},
+		{Kind: WhatIfBandwidth, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: SizeMem, Cores: 13},
+		// Chaos bounds.
+		{Kind: WhatIfChaos, Mode: machine.COD, Sockets: 2, Die: topology.Die12, Rate: 1.5},
+		{Kind: WhatIfChaos, Mode: machine.COD, Sockets: 2, Die: topology.Die12, Rate: -0.1},
+		{Kind: WhatIfChaos, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12},
+		// Hostile labels.
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: SizeMem, Label: "a/b"},
+		{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Sockets: 2, Die: topology.Die12, SizeBytes: SizeMem, Label: strings.Repeat("x", 33)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+}
+
+func TestWhatIfKeyCoversEveryField(t *testing.T) {
+	base := WhatIfSpec{Kind: WhatIfBandwidth, Mode: machine.HomeSnoop, Protocol: coherence.MESIF,
+		Sockets: 2, Die: topology.Die12, From: 0, To: 1, SizeBytes: SizeMem, Cores: 4, Label: "a"}
+	variants := []WhatIfSpec{base}
+	for _, mut := range []func(*WhatIfSpec){
+		func(s *WhatIfSpec) { s.Kind = WhatIfLatency },
+		func(s *WhatIfSpec) { s.Mode = machine.SourceSnoop },
+		func(s *WhatIfSpec) { s.Protocol = coherence.MOESI },
+		func(s *WhatIfSpec) { s.Sockets = 1; s.To = 0 },
+		func(s *WhatIfSpec) { s.Die = topology.Die8 },
+		func(s *WhatIfSpec) { s.From = 1 },
+		func(s *WhatIfSpec) { s.To = 0 },
+		func(s *WhatIfSpec) { s.SizeBytes = SizeL3 },
+		func(s *WhatIfSpec) { s.Cores = 8 },
+		func(s *WhatIfSpec) { s.Label = "b" },
+	} {
+		v := base
+		mut(&v)
+		variants = append(variants, v)
+	}
+	seen := map[string]int{}
+	for i, v := range variants {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", i, err)
+		}
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestWhatIfLatencyAnswerDeterministic(t *testing.T) {
+	s, err := WhatIfSpec{Kind: WhatIfLatency, Mode: machine.COD, Die: topology.Die12, From: 0, To: 3, SizeBytes: SizeL3n}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	a1, err := RunWhatIf(nil, s, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("RunWhatIf: %v", err)
+	}
+	a2, err := RunWhatIf(nil, s, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("RunWhatIf: %v", err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same spec, different answers:\n%+v\n%+v", a1, a2)
+	}
+	if a1.Latency == nil || a1.Latency.Ns <= 0 || a1.Latency.Lines <= 0 {
+		t.Fatalf("implausible latency answer: %+v", a1.Latency)
+	}
+	// Cross-socket modified line: remote forwards must appear.
+	if a1.Latency.RemoteDRAM+a1.Latency.RemoteFwd == 0 {
+		t.Fatalf("cross-socket access shows no remote activity: %+v", a1.Latency)
+	}
+	// The journal re-serve contract: marshal → unmarshal → marshal is
+	// byte-identical.
+	b1, err := json.Marshal(a1)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back WhatIfAnswer
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("answer does not round-trip byte-identically:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestWhatIfBandwidthAnswer(t *testing.T) {
+	local, err := WhatIfSpec{Kind: WhatIfBandwidth, Mode: machine.HomeSnoop, Die: topology.Die12, From: 0, To: 0, Cores: 8, SizeBytes: SizeMem}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	remote := local
+	remote.To = 1
+	al, err := RunWhatIf(nil, local, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("local: %v", err)
+	}
+	ar, err := RunWhatIf(nil, remote, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("remote: %v", err)
+	}
+	if al.Bandwidth.SingleGBps <= 0 || al.Bandwidth.AggregateGBps <= 0 {
+		t.Fatalf("implausible bandwidth: %+v", al.Bandwidth)
+	}
+	// The paper's central asymmetry: remote streams are capped by QPI well
+	// below the local DRAM ceiling.
+	if ar.Bandwidth.AggregateGBps >= al.Bandwidth.AggregateGBps {
+		t.Fatalf("remote aggregate %.1f not below local %.1f",
+			ar.Bandwidth.AggregateGBps, al.Bandwidth.AggregateGBps)
+	}
+	if ar.Bandwidth.CapGBps >= al.Bandwidth.CapGBps {
+		t.Fatalf("remote cap %.1f not below local cap %.1f", ar.Bandwidth.CapGBps, al.Bandwidth.CapGBps)
+	}
+	if al.Bandwidth.AggregateGBps > al.Bandwidth.CapGBps+1e-9 {
+		t.Fatalf("aggregate %.1f exceeds its cap %.1f", al.Bandwidth.AggregateGBps, al.Bandwidth.CapGBps)
+	}
+}
+
+func TestWhatIfPlacementPrefersLocal(t *testing.T) {
+	s, err := WhatIfSpec{Kind: WhatIfPlacement, Mode: machine.COD, Die: topology.Die12, From: 2, SizeBytes: SizeL3n}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	a, err := RunWhatIf(nil, s, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("RunWhatIf: %v", err)
+	}
+	if len(a.Placement.LatencyNs) != 4 {
+		t.Fatalf("want 4 nodes, got %d", len(a.Placement.LatencyNs))
+	}
+	if a.Placement.BestNode != s.From {
+		t.Fatalf("best node %d, want the local node %d (latencies %v)",
+			a.Placement.BestNode, s.From, a.Placement.LatencyNs)
+	}
+}
+
+func TestWhatIfChaosAnswer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos what-if point is slow")
+	}
+	s, err := WhatIfSpec{Kind: WhatIfChaos, Seed: 11, Rate: 0.02}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	a, err := RunWhatIf(nil, s, WhatIfOptions{})
+	if err != nil {
+		t.Fatalf("RunWhatIf: %v", err)
+	}
+	c := a.Chaos
+	if c == nil || c.Mean4Ns <= 0 || c.FaultEvents == 0 || c.InjectedFaults == 0 {
+		t.Fatalf("implausible chaos answer: %+v", c)
+	}
+}
+
+func TestWhatIfInjectPanicPanics(t *testing.T) {
+	s, err := WhatIfSpec{Kind: WhatIfLatency, Mode: machine.HomeSnoop, Die: topology.Die12, From: 0, To: 1}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectPanic did not panic")
+		}
+	}()
+	_, _ = RunWhatIf(nil, s, WhatIfOptions{InjectPanic: true})
+}

@@ -10,7 +10,8 @@
 //     degraded, and its worker freed (the watchdog for hung shards);
 //   - transient failures are retried under a bounded budget with
 //     exponential backoff, after which the point is marked degraded and the
-//     campaign continues;
+//     campaign continues; backoff sleeps are context-interruptible, so a
+//     cancelled campaign never sits out a pending backoff before draining;
 //   - completed points are checkpointed to a versioned on-disk journal
 //     (journal.go) keyed by the campaign identity, so an interrupted run
 //     resumes exactly where it stopped;
@@ -382,7 +383,17 @@ func runPoint[P, R any](ctx context.Context, o Options, key string, p P, idx int
 		if shift > 10 {
 			shift = 10
 		}
-		time.Sleep(backoff << shift)
+		// The backoff sleep is context-interruptible: a cancelled campaign
+		// returns the point's last failure immediately instead of sitting
+		// out the remaining backoff (which, at high attempt counts, can be
+		// minutes) before the farm is allowed to drain.
+		t := time.NewTimer(backoff << shift)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return res, nil
+		case <-t.C:
+		}
 	}
 }
 

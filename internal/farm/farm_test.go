@@ -245,6 +245,67 @@ func TestGracefulCancel(t *testing.T) {
 	}
 }
 
+// TestCancelInterruptsBackoff is the serving layer's drain guarantee at
+// the farm level: a campaign cancelled while a point sits in its retry
+// backoff must flush the checkpoint journal and return the completed
+// prefix immediately — not after the pending backoff (here: one hour)
+// expires.
+func TestCancelInterruptsBackoff(t *testing.T) {
+	j, err := OpenJournal(t.TempDir()+"/backoff.journal", "backoff-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	failedOnce := make(chan struct{})
+	run := func(c *Ctx, p int) (int, error) {
+		if p == 0 {
+			return 100, nil
+		}
+		if c.Attempt == 0 {
+			close(failedOnce)
+		}
+		return 0, errors.New("always failing")
+	}
+	go func() {
+		<-failedOnce
+		cancel()
+	}()
+
+	start := time.Now()
+	o := Options{Shards: 1, Retries: 8, Backoff: time.Hour, Journal: j}
+	results, err := Run(ctx, o, []int{0, 1, 2, 3}, intKey, run)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("Run took %v; cancellation did not interrupt the backoff sleep", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The completed prefix is returned and checkpointed; the failing point
+	// carries its last failure; the rest were never attempted.
+	if !results[0].OK() || results[0].Value != 100 {
+		t.Errorf("completed prefix lost: %+v", results[0])
+	}
+	if j.Len() != 1 {
+		t.Errorf("journal holds %d points, want the completed prefix (1)", j.Len())
+	}
+	if _, ok := j.Lookup(results[0].Key); !ok {
+		t.Errorf("completed point %q not flushed to the journal", results[0].Key)
+	}
+	f := results[1].Failure
+	if f == nil || f.Kind != KindError || f.Attempts != 1 {
+		t.Errorf("cancelled-in-backoff point should keep its last failure: %+v", f)
+	}
+	for _, i := range []int{2, 3} {
+		if results[i].Failure == nil || results[i].Failure.Kind != KindSkipped {
+			t.Errorf("point %d should be skipped: %+v", i, results[i].Failure)
+		}
+	}
+}
+
 // TestBadInputs: duplicate and empty keys, nil functions.
 func TestBadInputs(t *testing.T) {
 	ok := func(_ *Ctx, p int) (int, error) { return p, nil }

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// breakerPhase is one key's circuit state.
+type breakerPhase int
+
+const (
+	breakerClosed breakerPhase = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (p breakerPhase) String() string {
+	switch p {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breakerState is one memo key's circuit.
+type breakerState struct {
+	phase breakerPhase
+	// fails counts consecutive hard failures (panics and deadline
+	// abandonments) while closed; threshold of them trips the circuit.
+	fails int
+	// probe marks that the half-open circuit has already admitted its one
+	// probe execution.
+	probe bool
+}
+
+// breakerSet is the per-key circuit breaker: a key that keeps panicking or
+// blowing its deadline is cut off — served degraded immediately, costing
+// the queue nothing — until a cooldown expires and one probe execution is
+// allowed through to test whether the key recovered. Plain errors do not
+// trip it: they are already retried and bounded by the farm; the breaker
+// exists for the failure modes that burn a worker or a deadline each time.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	m         map[string]*breakerState
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*breakerState)}
+}
+
+// allow reports whether an execution of key may proceed. In half-open it
+// admits exactly one probe; callers that get true MUST report the outcome
+// via onSuccess or onHardFailure (or onProbeAbandoned when the execution
+// never happened), or the circuit wedges half-open.
+func (b *breakerSet) allow(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[key]
+	if st == nil {
+		return true
+	}
+	switch st.phase {
+	case breakerOpen:
+		return false
+	case breakerHalfOpen:
+		if st.probe {
+			return false
+		}
+		st.probe = true
+		return true
+	default:
+		return true
+	}
+}
+
+// onSuccess records a completed execution: the circuit closes and the
+// consecutive-failure count resets.
+func (b *breakerSet) onSuccess(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.m[key]; st != nil {
+		delete(b.m, key)
+	}
+}
+
+// onProbeAbandoned returns the half-open probe slot without an outcome
+// (the execution was cancelled before it ran).
+func (b *breakerSet) onProbeAbandoned(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.m[key]; st != nil && st.phase == breakerHalfOpen {
+		st.probe = false
+	}
+}
+
+// onHardFailure records a panic or deadline abandonment. While closed it
+// counts toward the threshold; a half-open probe failing reopens
+// immediately. Tripping schedules the half-open transition after the
+// cooldown (time.AfterFunc — the serving layer never reads the wall
+// clock).
+func (b *breakerSet) onHardFailure(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[key]
+	if st == nil {
+		st = &breakerState{}
+		b.m[key] = st
+	}
+	switch st.phase {
+	case breakerHalfOpen:
+		b.trip(key, st)
+	case breakerClosed:
+		st.fails++
+		if st.fails >= b.threshold {
+			b.trip(key, st)
+		}
+	}
+}
+
+// trip opens the circuit and arms the cooldown. Callers hold b.mu.
+func (b *breakerSet) trip(key string, st *breakerState) {
+	st.phase = breakerOpen
+	st.probe = false
+	st.fails = 0
+	time.AfterFunc(b.cooldown, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if cur := b.m[key]; cur != nil && cur.phase == breakerOpen {
+			cur.phase = breakerHalfOpen
+			cur.probe = false
+		}
+	})
+}
+
+// breakerInfo is one tripped circuit's /statz row.
+type breakerInfo struct {
+	Key   string `json:"key"`
+	Phase string `json:"phase"`
+}
+
+// snapshot lists every non-closed circuit, sorted by key for deterministic
+// output.
+func (b *breakerSet) snapshot() []breakerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]breakerInfo, 0, len(b.m))
+	//hsw:unordered collected into a slice and sorted below
+	for k, st := range b.m {
+		if st.phase == breakerClosed {
+			continue
+		}
+		out = append(out, breakerInfo{Key: k, Phase: st.phase.String()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeQuery holds the whole query-decoding path — JSON envelope →
+// machine config + workload spec — to the structured-rejection contract:
+// any byte string either decodes into canonical, validated specs or comes
+// back as a *QueryError; it never panics and never lets an impossible
+// geometry through. The seed corpus mixes valid requests with hostile
+// ones (impossible geometries, overflow-shaped numbers, unknown fields,
+// trailing garbage, traversal-shaped labels).
+func FuzzDecodeQuery(f *testing.F) {
+	seeds := []string{
+		// Valid, one of each kind.
+		`{"queries":[{"kind":"latency","mode":"home","from_node":0,"to_node":1}]}`,
+		`{"queries":[{"kind":"bandwidth","mode":"cod","from_node":0,"to_node":3,"cores":6,"size_bytes":4194304}]}`,
+		`{"queries":[{"kind":"placement","mode":"source","from_node":1,"protocol":"moesi","die":8,"sockets":1}]}`,
+		`{"queries":[{"kind":"chaos","seed":7,"rate":0.05,"label":"smoke"}],"deadline_ms":30000}`,
+		// Hostile: impossible geometries and range abuse.
+		`{"queries":[{"kind":"latency","mode":"cod","die":8}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","sockets":3}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","from_node":-1}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","size_bytes":9223372036854775807}]}`,
+		`{"queries":[{"kind":"bandwidth","mode":"home","cores":2147483647}]}`,
+		`{"queries":[{"kind":"chaos","rate":1e308}]}`,
+		`{"queries":[{"kind":"chaos","rate":-0.0}]}`,
+		// Hostile: protocol/mode/kind confusion, labels, structure.
+		`{"queries":[{"kind":"latency","mode":"HOME"}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","protocol":"MESIF "}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","label":"../../../etc/passwd"}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","label":"` + strings.Repeat("a", 64) + `"}]}`,
+		`{"queries":[{"kind":"latency","mode":"home","extra":1}]}`,
+		`{"queries":[{"kind":"latency","mode":"home"}],"deadline_ms":-9}`,
+		`{"queries":[{"kind":"latency","mode":"home"}]}{"queries":[]}`,
+		`{"queries":[]}`,
+		`{"queries": null}`,
+		`[]`,
+		`{`,
+		"",
+		"\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specs, _, qerr := DecodeBatch(strings.NewReader(string(data)), 1<<16, 16)
+		if qerr != nil {
+			if specs != nil {
+				t.Fatal("specs returned alongside a decode error")
+			}
+			if qerr.Detail == "" {
+				t.Fatal("structured error with empty detail")
+			}
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatal("accepted request decoded to zero specs")
+		}
+		for i, s := range specs {
+			// Everything that decodes is canonical: it validates, builds
+			// a constructible machine config, and has a stable identity.
+			if err := s.Validate(); err != nil {
+				t.Fatalf("spec %d accepted but invalid: %v (%+v)", i, err, s)
+			}
+			if err := s.Config().Validate(); err != nil {
+				t.Fatalf("spec %d yields an invalid machine config: %v", i, err)
+			}
+			c, err := s.Canonical()
+			if err != nil {
+				t.Fatalf("spec %d not re-canonicalizable: %v", i, err)
+			}
+			if c.Key() != s.Key() {
+				t.Fatalf("spec %d key unstable under canonicalization: %q vs %q", i, s.Key(), c.Key())
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"haswellep/internal/experiments"
+)
+
+func decodeOne(t *testing.T, body string) ([]experiments.WhatIfSpec, Request, *QueryError) {
+	t.Helper()
+	return DecodeBatch(strings.NewReader(body), 1<<20, 64)
+}
+
+func TestDecodeBatchValid(t *testing.T) {
+	specs, req, qerr := decodeOne(t, `{"queries":[
+		{"kind":"latency","mode":"home","from_node":0,"to_node":1},
+		{"kind":"bandwidth","mode":"cod","from_node":0,"to_node":3,"cores":6},
+		{"kind":"placement","mode":"source","from_node":1,"protocol":"moesi"},
+		{"kind":"chaos","seed":7,"rate":0.05}
+	],"deadline_ms":5000}`)
+	if qerr != nil {
+		t.Fatalf("DecodeBatch: %v", qerr)
+	}
+	if len(specs) != 4 || req.DeadlineMS != 5000 {
+		t.Fatalf("got %d specs, deadline %d", len(specs), req.DeadlineMS)
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d not canonical: %v", i, err)
+		}
+	}
+	if specs[0].SizeBytes != experiments.SizeMem {
+		t.Errorf("size default not applied: %d", specs[0].SizeBytes)
+	}
+	if specs[3].Kind != experiments.WhatIfChaos || specs[3].Seed != 7 {
+		t.Errorf("chaos spec mangled: %+v", specs[3])
+	}
+}
+
+func TestDecodeBatchRejects(t *testing.T) {
+	cases := []struct {
+		name, body string
+		wantIndex  int
+	}{
+		{"not json", `hello`, -1},
+		{"empty batch", `{"queries":[]}`, -1},
+		{"unknown envelope field", `{"queries":[{"kind":"latency","mode":"home"}],"shards":4}`, -1},
+		{"unknown query field", `{"queries":[{"kind":"latency","mode":"home","sized_bytes":1}]}`, -1},
+		{"trailing garbage", `{"queries":[{"kind":"latency","mode":"home"}]} {}`, -1},
+		{"negative deadline", `{"queries":[{"kind":"latency","mode":"home"}],"deadline_ms":-1}`, -1},
+		{"unknown kind", `{"queries":[{"kind":"warp","mode":"home"}]}`, 0},
+		{"missing mode", `{"queries":[{"kind":"latency"}]}`, 0},
+		{"bad mode", `{"queries":[{"kind":"latency","mode":"turbo"}]}`, 0},
+		{"bad protocol", `{"queries":[{"kind":"latency","mode":"home","protocol":"mesiff"}]}`, 0},
+		{"bad die", `{"queries":[{"kind":"latency","mode":"home","die":10}]}`, 0},
+		{"cod on die8", `{"queries":[{"kind":"latency","mode":"cod","die":8}]}`, 0},
+		{"node out of range", `{"queries":[{"kind":"latency","mode":"home","from_node":2}]}`, 0},
+		{"size out of range", `{"queries":[{"kind":"latency","mode":"home","size_bytes":1}]}`, 0},
+		{"rate out of range", `{"queries":[{"kind":"chaos","rate":2}]}`, 0},
+		{"hostile label", `{"queries":[{"kind":"latency","mode":"home","label":"../../etc"}]}`, 0},
+		{"second query bad", `{"queries":[{"kind":"latency","mode":"home"},{"kind":"latency","mode":"home","cores":-1,"size_bytes":-5}]}`, 1},
+	}
+	for _, c := range cases {
+		_, _, qerr := decodeOne(t, c.body)
+		if qerr == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if qerr.Index != c.wantIndex {
+			t.Errorf("%s: error index %d, want %d (%v)", c.name, qerr.Index, c.wantIndex, qerr)
+		}
+	}
+}
+
+func TestDecodeBatchLimits(t *testing.T) {
+	// Over the batch limit.
+	var b strings.Builder
+	b.WriteString(`{"queries":[`)
+	for i := 0; i < 65; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`{"kind":"latency","mode":"home"}`)
+	}
+	b.WriteString(`]}`)
+	if _, _, qerr := decodeOne(t, b.String()); qerr == nil || qerr.Index != -1 {
+		t.Errorf("oversized batch not rejected at the envelope: %v", qerr)
+	}
+	// Over the byte limit: the decoder sees a truncated body and fails
+	// instead of reading without bound.
+	big := `{"queries":[{"kind":"latency","mode":"home","label":"` + strings.Repeat("x", 200) + `"}]}`
+	if _, _, qerr := DecodeBatch(strings.NewReader(big), 64, 64); qerr == nil {
+		t.Error("body over the limit not rejected")
+	}
+}

@@ -1,0 +1,565 @@
+// Package server is the batch what-if serving layer (cmd/hswd): a
+// long-running HTTP/JSON front end over the experiment farm that answers
+// placement/latency/bandwidth/chaos what-if queries (machine config +
+// protocol + snoop mode + workload), memoized by canonical query key in
+// the farm's crash-safe checkpoint journal.
+//
+// Robustness is the product:
+//
+//   - the journal IS the memo store: every completed point is fsynced
+//     before it is served, so a kill -9 mid-batch followed by a restart on
+//     the same journal re-serves the same answers byte-identically without
+//     re-executing completed points;
+//   - duplicate in-flight queries coalesce (singleflight): one execution
+//     serves every concurrent requester of a key;
+//   - the work queue is bounded: a batch whose cache misses would push the
+//     backlog past the budget is shed with 429 + Retry-After instead of
+//     queuing without bound;
+//   - a key that repeatedly panics or blows its deadline trips a per-key
+//     circuit breaker and is served a structured degraded response —
+//     partial batch results survive, the queue is not burned;
+//   - SIGTERM drains gracefully: intake stops, in-flight batches finish
+//     (or are checkpointed at the drain deadline), the journal flushes,
+//     the process exits 0.
+//
+// /healthz, /readyz, and /statz make the degradation observable.
+//
+//hsw:tier harness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"haswellep/internal/experiments"
+	"haswellep/internal/farm"
+)
+
+// Campaign is the memo journal's campaign identity. Query keys carry the
+// full (config, workload) identity, so one campaign spans every what-if
+// the server can answer; bump the suffix when the key schema changes.
+const Campaign = "hswd/whatif/v1"
+
+// Config tunes one server instance.
+type Config struct {
+	// JournalPath locates the crash-safe memo journal (required).
+	JournalPath string
+	// Shards is the farm worker count per batch; below 1 means 1.
+	Shards int
+	// PointDeadline bounds one attempt of one point (farm watchdog);
+	// 0 means the 2-minute default.
+	PointDeadline time.Duration
+	// Retries is the per-point retry budget; negative means 0.
+	Retries int
+	// Backoff is the farm's base retry backoff; 0 means farm.DefaultBackoff.
+	Backoff time.Duration
+	// QueueBudget bounds the points admitted for execution across all
+	// in-flight batches; a batch pushing past it is shed (429). 0 means 64.
+	QueueBudget int
+	// BreakerThreshold is the consecutive hard failures (panic/deadline)
+	// that trip a key's circuit; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open delay; 0 means 30s.
+	BreakerCooldown time.Duration
+	// BundleDir, when non-empty, captures repro bundles for panicking
+	// points there (the response's degraded detail names the bundle).
+	BundleDir string
+	// AllowInjectPanic honors the X-Hswd-Inject-Panic request header —
+	// the failure-path smoke hook (hswd -inject-panic). Never enable in
+	// real serving.
+	AllowInjectPanic bool
+	// MaxBatch bounds the queries in one request; 0 means 64.
+	MaxBatch int
+	// MaxBodyBytes bounds the request body; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// RunPoint executes one what-if point; nil means experiments.RunWhatIf.
+	// Tests substitute deterministic stand-ins here.
+	RunPoint func(fc *farm.Ctx, s experiments.WhatIfSpec, o experiments.WhatIfOptions) (experiments.WhatIfAnswer, error)
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.PointDeadline == 0 {
+		c.PointDeadline = 2 * time.Minute
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.QueueBudget == 0 {
+		c.QueueBudget = 64
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RunPoint == nil {
+		c.RunPoint = experiments.RunWhatIf
+	}
+	return c
+}
+
+// QueryResult is one query's slot in the response: a completed answer or a
+// structured degraded record, never both. Completed answers are the
+// journal's bytes verbatim, so a response is byte-identical whether the
+// point was just executed or re-served across a restart.
+type QueryResult struct {
+	Key      string          `json:"key"`
+	Answer   json.RawMessage `json:"answer,omitempty"`
+	Degraded *Degraded       `json:"degraded,omitempty"`
+}
+
+// Degraded is the structured record of a point that could not be served:
+// the farm's failure detail (kind, attempts, repro bundle) or the serving
+// layer's own degradation (breaker_open, cancelled).
+type Degraded struct {
+	// Kind is "error", "panic", "deadline", "skipped", "breaker_open",
+	// or "cancelled".
+	Kind       string `json:"kind"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Error      string `json:"error,omitempty"`
+	BundlePath string `json:"bundle_path,omitempty"`
+}
+
+// Response is the POST /v1/whatif body: one result per query, in request
+// order (duplicate queries share one result).
+type Response struct {
+	Results []QueryResult `json:"results"`
+}
+
+// counters is the /statz tally. Guarded by Server.mu.
+type counters struct {
+	// Queries counts query slots received in admitted (non-shed) batches.
+	Queries uint64 `json:"queries"`
+	// CacheHits counts slots served from the journal without execution
+	// (including points another request completed while this one queued).
+	CacheHits uint64 `json:"cache_hits"`
+	// Coalesced counts slots that joined another request's in-flight
+	// execution instead of executing again.
+	Coalesced uint64 `json:"coalesced"`
+	// Executed counts farm-executed points; Degraded the subset that
+	// failed all attempts (Panics/Deadlines by kind, Retries re-attempts).
+	Executed  uint64 `json:"executed"`
+	Degraded  uint64 `json:"degraded"`
+	Panics    uint64 `json:"panics"`
+	Deadlines uint64 `json:"deadlines"`
+	Retries   uint64 `json:"retries"`
+	// Shed counts whole batches refused with 429; BreakerDenied counts
+	// slots served degraded by an open circuit.
+	Shed          uint64 `json:"shed"`
+	BreakerDenied uint64 `json:"breaker_denied"`
+}
+
+// Statz is the /statz snapshot.
+type Statz struct {
+	QueueDepth    int           `json:"queue_depth"`
+	QueueBudget   int           `json:"queue_budget"`
+	Draining      bool          `json:"draining"`
+	JournalPoints int           `json:"journal_points"`
+	Counters      counters      `json:"counters"`
+	Breakers      []breakerInfo `json:"breakers"`
+}
+
+// flight is one in-flight execution of a memo key; joiners wait on done
+// and read res afterwards.
+type flight struct {
+	done chan struct{}
+	res  QueryResult
+}
+
+// Server is one hswd instance. Create with New, serve Handler, stop with
+// Drain.
+type Server struct {
+	cfg      Config
+	journal  *farm.Journal
+	breakers *breakerSet
+
+	// hardCtx is cancelled when a drain deadline expires: every in-flight
+	// batch's farm context is derived from it, and the farm's
+	// interruptible backoff guarantees a prompt return.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	queued   int // points admitted for execution, not yet finished
+	flights  map[string]*flight
+	ctr      counters
+	wg       sync.WaitGroup // in-flight /v1/whatif handlers
+}
+
+// New opens (or resumes) the memo journal and builds the server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.JournalPath == "" {
+		return nil, fmt.Errorf("server: Config.JournalPath is required")
+	}
+	j, err := farm.OpenJournal(cfg.JournalPath, Campaign)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		journal:    j,
+		breakers:   newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		hardCtx:    ctx,
+		hardCancel: cancel,
+		flights:    make(map[string]*flight),
+	}, nil
+}
+
+// Journal exposes the memo journal (observability, tests).
+func (s *Server) Journal() *farm.Journal { return s.journal }
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := Statz{
+		QueueDepth:  s.queued,
+		QueueBudget: s.cfg.QueueBudget,
+		Draining:    s.draining,
+		Counters:    s.ctr,
+	}
+	s.mu.Unlock()
+	st.JournalPoints = s.journal.Len()
+	st.Breakers = s.breakers.snapshot()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleWhatIf is the batch query endpoint. Lifecycle of one batch:
+// decode strictly → dedupe to unique memo keys → serve journal hits →
+// serve breaker-open keys degraded → shed if the remaining misses would
+// blow the queue budget → split misses into leaders (this request
+// executes them, one farm.Run) and joins (another request already is) →
+// execute, journal, complete flights → assemble results in request order.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	specs, req, qerr := DecodeBatch(r.Body, s.cfg.MaxBodyBytes, s.cfg.MaxBatch)
+	if qerr != nil {
+		writeJSON(w, http.StatusBadRequest, qerr)
+		return
+	}
+
+	// The drain gate: intake stops the moment Drain is called; requests
+	// admitted before it finish under the drain deadline.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	// The batch context: the HTTP request's, bounded by the client
+	// deadline when one was sent, and cut by the drain hard-stop.
+	runCtx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	runCtx, cancelRun := context.WithCancel(runCtx)
+	defer cancelRun()
+	defer context.AfterFunc(s.hardCtx, cancelRun)()
+
+	inject := s.cfg.AllowInjectPanic && r.Header.Get("X-Hswd-Inject-Panic") != ""
+
+	// Dedupe to unique keys, preserving first-appearance order.
+	keys := make([]string, len(specs))
+	positions := make(map[string][]int, len(specs))
+	specOf := make(map[string]experiments.WhatIfSpec, len(specs))
+	var uniq []string
+	for i, sp := range specs {
+		k := sp.Key()
+		keys[i] = k
+		if _, seen := positions[k]; !seen {
+			uniq = append(uniq, k)
+			specOf[k] = sp
+		}
+		positions[k] = append(positions[k], i)
+	}
+
+	resolved := make(map[string]QueryResult, len(uniq))
+	var toRun []string
+	var hits, denied uint64
+	for _, k := range uniq {
+		if raw, ok := s.journal.Lookup(k); ok {
+			resolved[k] = QueryResult{Key: k, Answer: raw}
+			hits += uint64(len(positions[k]))
+			continue
+		}
+		if !s.breakers.allow(k) {
+			resolved[k] = QueryResult{Key: k, Degraded: &Degraded{
+				Kind: "breaker_open",
+				Error: fmt.Sprintf("circuit breaker open after %d consecutive hard failures; retry after the %v cooldown",
+					s.cfg.BreakerThreshold, s.cfg.BreakerCooldown),
+			}}
+			denied += uint64(len(positions[k]))
+			continue
+		}
+		toRun = append(toRun, k)
+	}
+
+	// Admission and singleflight split, atomically against other batches.
+	var leaders []string
+	joinOf := make(map[string]*flight)
+	s.mu.Lock()
+	newLeaders := 0
+	for _, k := range toRun {
+		if s.flights[k] == nil {
+			newLeaders++
+		}
+	}
+	if s.queued+newLeaders > s.cfg.QueueBudget {
+		backlog := s.queued
+		s.ctr.Shed++
+		s.mu.Unlock()
+		// Half-open probes this batch claimed never execute: return them.
+		for _, k := range toRun {
+			s.breakers.onProbeAbandoned(k)
+		}
+		retry := 1 + backlog/s.cfg.Shards
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": fmt.Sprintf("queue budget exceeded: %d points in flight, %d more requested, budget %d; retry after %ds",
+				backlog, newLeaders, s.cfg.QueueBudget, retry),
+		})
+		return
+	}
+	var coalesced uint64
+	for _, k := range toRun {
+		if f := s.flights[k]; f != nil {
+			joinOf[k] = f
+			coalesced += uint64(len(positions[k]))
+		} else {
+			f = &flight{done: make(chan struct{})}
+			s.flights[k] = f
+			leaders = append(leaders, k)
+		}
+	}
+	s.queued += len(leaders)
+	s.ctr.Queries += uint64(len(specs))
+	s.ctr.CacheHits += hits
+	s.ctr.BreakerDenied += denied
+	s.ctr.Coalesced += coalesced
+	s.mu.Unlock()
+
+	if len(leaders) > 0 {
+		s.runLeaders(runCtx, leaders, specOf, inject, resolved)
+	}
+	for _, k := range toRun {
+		f := joinOf[k]
+		if f == nil {
+			continue
+		}
+		select {
+		case <-f.done:
+			resolved[k] = f.res
+		case <-runCtx.Done():
+			resolved[k] = QueryResult{Key: k, Degraded: &Degraded{
+				Kind:  "cancelled",
+				Error: "request cancelled while waiting for a coalesced in-flight query",
+			}}
+		}
+	}
+
+	out := make([]QueryResult, len(keys))
+	for i, k := range keys {
+		out[i] = resolved[k]
+	}
+	w.Header().Set("X-Hswd-Cache-Hits", strconv.FormatUint(hits, 10))
+	w.Header().Set("X-Hswd-Executed", strconv.Itoa(len(leaders)))
+	writeJSON(w, http.StatusOK, Response{Results: out})
+}
+
+// runLeaders batch-executes this request's cache misses through one
+// farm.Run: panic isolation, per-point deadline watchdog, bounded retries
+// with interruptible backoff, and fsynced journaling of every completed
+// point — then completes the singleflight flights and settles breakers and
+// counters.
+func (s *Server) runLeaders(ctx context.Context, leaders []string, specOf map[string]experiments.WhatIfSpec, inject bool, resolved map[string]QueryResult) {
+	o := experiments.WhatIfOptions{BundleDir: s.cfg.BundleDir, InjectPanic: inject}
+	results, runErr := farm.Run(ctx, farm.Options{
+		Shards:        s.cfg.Shards,
+		PointDeadline: s.cfg.PointDeadline,
+		Retries:       s.cfg.Retries,
+		Backoff:       s.cfg.Backoff,
+		Journal:       s.journal,
+	}, leaders, func(_ int, k string) string { return k },
+		func(c *farm.Ctx, k string) (json.RawMessage, error) {
+			ans, err := s.cfg.RunPoint(c, specOf[k], o)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(ans)
+		})
+
+	var tally counters
+	finish := func(k string, qr QueryResult) {
+		resolved[k] = qr
+		s.mu.Lock()
+		if f := s.flights[k]; f != nil {
+			delete(s.flights, k)
+			f.res = qr
+			close(f.done)
+		}
+		s.mu.Unlock()
+	}
+	if results == nil {
+		// The campaign could not start (an undecodable checkpoint entry —
+		// the journal names the remedy). Serve the whole slice degraded.
+		for _, k := range leaders {
+			finish(k, QueryResult{Key: k, Degraded: &Degraded{Kind: "error", Error: runErr.Error()}})
+		}
+	}
+	for _, res := range results {
+		var qr QueryResult
+		if res.Attempts > 1 {
+			tally.Retries += uint64(res.Attempts - 1)
+		}
+		if res.Failure == nil {
+			qr = QueryResult{Key: res.Key, Answer: res.Value}
+			if res.FromCheckpoint {
+				// Another batch completed it between our journal lookup
+				// and the farm's: still a cache hit, not an execution.
+				tally.CacheHits++
+			} else {
+				tally.Executed++
+			}
+			s.breakers.onSuccess(res.Key)
+		} else {
+			f := res.Failure
+			tally.Degraded++
+			d := &Degraded{Kind: f.Kind.String(), Attempts: f.Attempts, BundlePath: f.BundlePath}
+			switch f.Kind {
+			case farm.KindPanic:
+				d.Error = f.Panic
+				if f.Err != "" {
+					d.Error += " (" + f.Err + ")"
+				}
+				tally.Panics++
+				s.breakers.onHardFailure(res.Key)
+			case farm.KindDeadline:
+				d.Error = f.Err
+				tally.Deadlines++
+				s.breakers.onHardFailure(res.Key)
+			case farm.KindSkipped:
+				d.Error = "batch cancelled before this point ran"
+				s.breakers.onProbeAbandoned(res.Key)
+			default:
+				d.Error = f.Err
+				// Plain errors are the farm's domain (already retried);
+				// they do not move the circuit, but a claimed half-open
+				// probe slot must be returned.
+				s.breakers.onProbeAbandoned(res.Key)
+			}
+			qr = QueryResult{Key: res.Key, Degraded: d}
+		}
+		finish(res.Key, qr)
+	}
+
+	s.mu.Lock()
+	s.queued -= len(leaders)
+	s.ctr.Executed += tally.Executed
+	s.ctr.CacheHits += tally.CacheHits
+	s.ctr.Degraded += tally.Degraded
+	s.ctr.Panics += tally.Panics
+	s.ctr.Deadlines += tally.Deadlines
+	s.ctr.Retries += tally.Retries
+	s.mu.Unlock()
+}
+
+// drainGrace bounds how long a hard-stopped Drain waits for cancelled
+// batches to come home before closing the journal out from under them. A
+// wedged attempt is only abandoned by the farm's watchdog at its own
+// PointDeadline; waiting that out on SIGTERM would defeat the drain
+// deadline, and closing early is safe — every completed point was fsynced
+// when it was recorded, and a straggler's late Record fails cleanly
+// against the closed journal.
+const drainGrace = time.Second
+
+// Drain gracefully stops the server: intake closes (readyz flips to 503,
+// new batches get 503), in-flight batches finish — every point completed
+// before ctx expires is journaled — and the journal is flushed and closed.
+// If ctx expires first, the hard-stop cancels the in-flight farm runs
+// (prompt, thanks to the farm's interruptible backoff), waits drainGrace
+// for them to settle, and returns ctx.Err; completed prefixes are already
+// durable either way, because the journal fsyncs every record as it lands.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.hardCancel()
+		t := time.NewTimer(drainGrace)
+		select {
+		case <-done:
+			t.Stop()
+		case <-t.C:
+		}
+		err = ctx.Err()
+	}
+	if cerr := s.journal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"haswellep/internal/experiments"
+	"haswellep/internal/farm"
+)
+
+// stubAnswer is the deterministic stand-in answer for a spec: derived only
+// from the key, so re-execution anywhere reproduces it.
+func stubAnswer(s experiments.WhatIfSpec) experiments.WhatIfAnswer {
+	return experiments.WhatIfAnswer{
+		Kind:    s.Kind,
+		Latency: &experiments.LatencyAnswer{Ns: float64(len(s.Key())), Lines: 1},
+	}
+}
+
+// newTestServer builds a server on a temp journal with a fast stub point
+// function, letting tests mutate cfg first.
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		JournalPath:   filepath.Join(t.TempDir(), "memo.journal"),
+		Shards:        2,
+		PointDeadline: 30 * time.Second,
+		RunPoint: func(_ *farm.Ctx, s experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			return stubAnswer(s), nil
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doPost is the goroutine-safe POST helper (no testing.T); post wraps it
+// with fatal error handling for main-goroutine call sites.
+func doPost(url, body string, hdr map[string]string) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/whatif", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, b, nil
+}
+
+func post(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	resp, b, err := doPost(url, body, hdr)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	return resp, b
+}
+
+func getStatz(t *testing.T, url string) Statz {
+	t.Helper()
+	resp, err := http.Get(url + "/statz")
+	if err != nil {
+		t.Fatalf("GET /statz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding statz: %v", err)
+	}
+	return st
+}
+
+const qLatency = `{"queries":[{"kind":"latency","mode":"home","from_node":0,"to_node":1}]}`
+
+func TestServeMemoizeAndByteIdenticalRestart(t *testing.T) {
+	var calls atomic.Int64
+	jpath := filepath.Join(t.TempDir(), "memo.journal")
+	s, ts := newTestServer(t, func(c *Config) {
+		c.JournalPath = jpath
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			calls.Add(1)
+			return stubAnswer(sp), nil
+		}
+	})
+
+	resp1, body1 := post(t, ts.URL, qLatency, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d %s", resp1.StatusCode, body1)
+	}
+	if resp1.Header.Get("X-Hswd-Executed") != "1" {
+		t.Fatalf("first query executed %q points, want 1", resp1.Header.Get("X-Hswd-Executed"))
+	}
+	resp2, body2 := post(t, ts.URL, qLatency, nil)
+	if resp2.Header.Get("X-Hswd-Cache-Hits") != "1" || resp2.Header.Get("X-Hswd-Executed") != "0" {
+		t.Fatalf("second query not a pure cache hit: hits=%q executed=%q",
+			resp2.Header.Get("X-Hswd-Cache-Hits"), resp2.Header.Get("X-Hswd-Executed"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("memoized response differs:\n%s\n%s", body1, body2)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("point executed %d times, want 1", n)
+	}
+	st := getStatz(t, ts.URL)
+	if st.Counters.CacheHits != 1 || st.Counters.Executed != 1 || st.JournalPoints != 1 {
+		t.Fatalf("statz after memoized pair: %+v", st)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Restart on the same journal: the answer re-serves byte-identically
+	// with zero executions.
+	s2, ts2 := newTestServer(t, func(c *Config) {
+		c.JournalPath = jpath
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			t.Error("restarted server re-executed a journaled point")
+			return stubAnswer(sp), nil
+		}
+	})
+	defer s2.Drain(context.Background())
+	resp3, body3 := post(t, ts2.URL, qLatency, nil)
+	if resp3.StatusCode != http.StatusOK || resp3.Header.Get("X-Hswd-Executed") != "0" {
+		t.Fatalf("restarted query: %d executed=%q", resp3.StatusCode, resp3.Header.Get("X-Hswd-Executed"))
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatalf("restarted response not byte-identical:\n%s\n%s", body1, body3)
+	}
+}
+
+func TestBatchDeduplicatesAndOrders(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	defer s.Drain(context.Background())
+	body := `{"queries":[
+		{"kind":"latency","mode":"home","from_node":0,"to_node":1},
+		{"kind":"latency","mode":"home","from_node":1,"to_node":0},
+		{"kind":"latency","mode":"home","from_node":0,"to_node":1}
+	]}`
+	resp, b := post(t, ts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("X-Hswd-Executed") != "2" {
+		t.Fatalf("duplicate query not deduped: executed=%q", resp.Header.Get("X-Hswd-Executed"))
+	}
+	var out Response
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("want 3 result slots, got %d", len(out.Results))
+	}
+	if out.Results[0].Key != out.Results[2].Key || out.Results[0].Key == out.Results[1].Key {
+		t.Fatalf("result ordering broken: %q %q %q", out.Results[0].Key, out.Results[1].Key, out.Results[2].Key)
+	}
+	if !bytes.Equal(out.Results[0].Answer, out.Results[2].Answer) {
+		t.Fatal("duplicate slots differ")
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	s, ts := newTestServer(t, func(c *Config) {
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			calls.Add(1)
+			<-gate
+			return stubAnswer(sp), nil
+		}
+	})
+	defer s.Drain(context.Background())
+
+	const clients = 4
+	var wg sync.WaitGroup
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i], errs[i] = doPost(ts.URL, qLatency, nil)
+		}(i)
+	}
+	// Wait until the one leader is actually executing, then release it.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the joiners pile onto the flight
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("coalesced key executed %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d saw a different body:\n%s\n%s", i, bodies[0], bodies[i])
+		}
+	}
+	st := getStatz(t, ts.URL)
+	if st.Counters.Coalesced+st.Counters.CacheHits != clients-1 {
+		t.Fatalf("want %d coalesced+hit slots, statz %+v", clients-1, st.Counters)
+	}
+}
+
+func TestOverloadShedsWhileAdmittedComplete(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, func(c *Config) {
+		c.QueueBudget = 1
+		c.Shards = 1
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			<-gate
+			return stubAnswer(sp), nil
+		}
+	})
+	defer s.Drain(context.Background())
+
+	admitted := make(chan []byte, 1)
+	go func() {
+		resp, b, err := doPost(ts.URL, qLatency, nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b = nil
+		}
+		admitted <- b
+	}()
+	// Wait until the admitted batch holds the queue.
+	for {
+		if st := getStatz(t, ts.URL); st.QueueDepth == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Every further miss must shed with 429 + Retry-After; a join of the
+	// in-flight key must NOT shed.
+	shedBody := `{"queries":[{"kind":"latency","mode":"source","from_node":0,"to_node":1}]}`
+	resp, b := post(t, ts.URL, shedBody, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload not shed: %d %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	join := make(chan *http.Response, 1)
+	go func() {
+		r, _, err := doPost(ts.URL, qLatency, nil)
+		if err != nil {
+			r = nil
+		}
+		join <- r
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+
+	if b := <-admitted; b == nil {
+		t.Fatal("admitted batch failed under overload")
+	}
+	if r := <-join; r == nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("coalescing join was shed: %v", r)
+	}
+	st := getStatz(t, ts.URL)
+	if st.Counters.Shed != 1 {
+		t.Fatalf("statz shed = %d, want 1", st.Counters.Shed)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %d", st.QueueDepth)
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	s, ts := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = 50 * time.Millisecond
+		c.Shards = 1
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			calls.Add(1)
+			if !healthy.Load() {
+				panic("wedged point")
+			}
+			return stubAnswer(sp), nil
+		}
+	})
+	defer s.Drain(context.Background())
+
+	degradedKind := func(b []byte) string {
+		var out Response
+		if err := json.Unmarshal(b, &out); err != nil || len(out.Results) != 1 {
+			t.Fatalf("bad response %s: %v", b, err)
+		}
+		if out.Results[0].Degraded == nil {
+			return ""
+		}
+		return out.Results[0].Degraded.Kind
+	}
+
+	// Two panics trip the circuit...
+	for i := 0; i < 2; i++ {
+		resp, b := post(t, ts.URL, qLatency, nil)
+		if resp.StatusCode != http.StatusOK || degradedKind(b) != "panic" {
+			t.Fatalf("panic %d not a structured degraded response: %d %s", i, resp.StatusCode, b)
+		}
+	}
+	// ...after which the key is served degraded without executing.
+	before := calls.Load()
+	resp, b := post(t, ts.URL, qLatency, nil)
+	if degradedKind(b) != "breaker_open" {
+		t.Fatalf("tripped key not breaker_open: %d %s", resp.StatusCode, b)
+	}
+	if calls.Load() != before {
+		t.Fatal("breaker-open key still executed")
+	}
+	st := getStatz(t, ts.URL)
+	if len(st.Breakers) != 1 || st.Breakers[0].Phase != "open" {
+		t.Fatalf("statz breakers: %+v", st.Breakers)
+	}
+	if st.Counters.Panics < 2 || st.Counters.BreakerDenied != 1 {
+		t.Fatalf("statz counters: %+v", st.Counters)
+	}
+
+	// After the cooldown the half-open probe goes through; a healthy point
+	// closes the circuit.
+	healthy.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, b = post(t, ts.URL, qLatency, nil)
+		if degradedKind(b) == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: %s", b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(getStatz(t, ts.URL).Breakers) != 0 {
+		t.Fatal("recovered circuit still listed in statz")
+	}
+}
+
+func TestInjectPanicProducesDegradedResponse(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.AllowInjectPanic = true
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, o experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			if o.InjectPanic {
+				panic("injected")
+			}
+			return stubAnswer(sp), nil
+		}
+	})
+	defer s.Drain(context.Background())
+
+	resp, b := post(t, ts.URL, qLatency, map[string]string{"X-Hswd-Inject-Panic": "1"})
+	var out Response
+	if err := json.Unmarshal(b, &out); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("inject-panic response: %d %s (%v)", resp.StatusCode, b, err)
+	}
+	d := out.Results[0].Degraded
+	if d == nil || d.Kind != "panic" || d.Error == "" {
+		t.Fatalf("want structured panic degradation, got %s", b)
+	}
+	// The panicking point must not have been journaled: without the
+	// header the same key executes cleanly.
+	resp2, b2 := post(t, ts.URL, qLatency, nil)
+	if resp2.Header.Get("X-Hswd-Executed") != "1" {
+		t.Fatalf("clean retry of the panicked key was not executed: %s", b2)
+	}
+}
+
+func TestDrainStopsIntakeAndFinishesInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, func(c *Config) {
+		c.RunPoint = func(_ *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			once.Do(func() { close(entered) })
+			<-gate
+			return stubAnswer(sp), nil
+		}
+	})
+
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		r, _, err := doPost(ts.URL, qLatency, nil)
+		if err != nil {
+			r = nil
+		}
+		inflight <- r
+	}()
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// Draining: readyz flips, new intake refused.
+	for {
+		r, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz: %v", err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r, _ := post(t, ts.URL, qLatency, nil); r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("intake not closed while draining: %d", r.StatusCode)
+	}
+
+	close(gate)
+	if r := <-inflight; r == nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight batch did not finish during drain: %v", r)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// The journal closed with the in-flight point recorded.
+	if s.Journal().Len() != 1 {
+		t.Fatalf("journal holds %d points after drain, want 1", s.Journal().Len())
+	}
+}
+
+func TestDrainDeadlineHardStops(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, func(c *Config) {
+		c.PointDeadline = 30 * time.Second // watchdog must not be what saves us
+		c.RunPoint = func(fc *farm.Ctx, sp experiments.WhatIfSpec, _ experiments.WhatIfOptions) (experiments.WhatIfAnswer, error) {
+			once.Do(func() { close(entered) })
+			<-gate
+			return experiments.WhatIfAnswer{}, fmt.Errorf("wedged")
+		}
+	})
+	t.Cleanup(func() { close(gate) })
+
+	go doPost(ts.URL, qLatency, nil)
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := make(chan error, 1)
+	go func() { start <- s.Drain(ctx) }()
+	select {
+	case err := <-start:
+		// The wedged attempt is abandoned by the farm only at its own
+		// deadline; the hard-stop must not wait for it once the point's
+		// error returns. Here the stub blocks forever, so Drain returns
+		// after the context expires and the farm abandons via its
+		// watchdog path — what we assert is that Drain came back at all,
+		// promptly, with the context's error.
+		if err == nil {
+			t.Fatal("Drain returned nil despite expiring deadline")
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatal("Drain wedged past the hard-stop")
+	}
+}

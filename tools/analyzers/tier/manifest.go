@@ -47,10 +47,12 @@ var Manifest = map[string]Tier{
 	"haswellep/internal/experiments": Harness,
 	"haswellep/internal/farm":        Harness,
 	"haswellep/internal/report":      Harness,
+	"haswellep/internal/server":      Harness,
 
 	// Tool tier: command-line drivers and examples.
 	"haswellep/cmd/hswbench":  Tool,
 	"haswellep/cmd/hswchaos":  Tool,
+	"haswellep/cmd/hswd":      Tool,
 	"haswellep/cmd/hswctr":    Tool,
 	"haswellep/cmd/hswmlc":    Tool,
 	"haswellep/cmd/hswreplay": Tool,
